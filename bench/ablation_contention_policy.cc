@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation of the Section IV-B claim that the contention model can be
+ * shared between scheduling policies: "instruction orderings matter
+ * only when the degree of contention is low". We run the oracle under
+ * RR and GTO on every kernel and report how much the measured CPI
+ * differs between policies, split by contention level, together with
+ * GPUMech's (policy-independent) contention CPI.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace gpumech;
+
+int
+main()
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    std::cout << "=== Ablation: contention model vs scheduling policy "
+                 "===\n";
+    std::cout << "config: " << config.summary() << "\n\n";
+
+    Table t({"kernel", "oracle CPI (RR)", "oracle CPI (GTO)",
+             "policy delta", "model contention CPI"});
+    std::vector<double> deltas_low, deltas_high;
+
+    for (const auto &workload : evaluationWorkloads()) {
+        KernelTrace kernel = workload.generate(config);
+
+        GpuTiming rr(kernel, config, SchedulingPolicy::RoundRobin);
+        double cpi_rr = rr.run().cpi();
+        GpuTiming gto(kernel, config,
+                      SchedulingPolicy::GreedyThenOldest);
+        double cpi_gto = gto.run().cpi();
+
+        GpuMechResult model = runGpuMech(kernel, config, GpuMechOptions{});
+        double delta = relativeError(cpi_gto, cpi_rr);
+
+        bool high_contention = model.cpiContention > 1.0;
+        (high_contention ? deltas_high : deltas_low).push_back(delta);
+
+        t.addRow({workload.name, fmtDouble(cpi_rr, 2),
+                  fmtDouble(cpi_gto, 2), fmtPercent(delta),
+                  fmtDouble(model.cpiContention, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMean |CPI(GTO) - CPI(RR)| / CPI(RR):\n";
+    std::cout << "  low-contention kernels  (model contention <= 1 "
+                 "CPI): "
+              << fmtPercent(mean(deltas_low)) << "\n";
+    std::cout << "  high-contention kernels (model contention >  1 "
+                 "CPI): "
+              << fmtPercent(mean(deltas_high)) << "\n";
+    std::cout << "\npaper claim: when contention is high, scheduling "
+                 "policy barely moves the queuing delays, so one "
+                 "contention model serves both policies.\n";
+    return 0;
+}

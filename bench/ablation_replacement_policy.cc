@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: cache replacement policy sensitivity.
+ *
+ * The paper fixes LRU caches (Table I). Because GPUMech's inputs come
+ * from a functional simulation of the same caches, the model adapts
+ * to any replacement policy automatically; this bench sweeps
+ * LRU/FIFO/pseudo-random on cache-sensitive kernels and checks that
+ * (a) the oracle's hit rates respond to the policy and (b) GPUMech's
+ * error stays in its usual band under every policy.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "timing/gpu_timing.hh"
+
+using namespace gpumech;
+
+int
+main()
+{
+    std::cout << "=== Ablation: cache replacement policy ===\n\n";
+
+    const std::vector<std::string> kernels = {
+        "kmeans_kernel_c", "leukocyte_dilate",
+        "hotspot_calculate_temp", "stencil_block2d",
+        "convolutionRows"};
+    const std::vector<std::pair<std::uint32_t, std::string>> policies =
+        {{0, "LRU"}, {1, "FIFO"}, {2, "Random"}};
+
+    Table t({"kernel", "policy", "oracle CPI", "L1 hit rate",
+             "GPUMech err"});
+    std::map<std::string, std::vector<double>> errors;
+    for (const auto &name : kernels) {
+        const Workload &workload = workloadByName(name);
+        for (const auto &[index, label] : policies) {
+            HardwareConfig config = HardwareConfig::baseline();
+            config.replacementPolicy = index;
+            KernelTrace kernel = workload.generate(config);
+
+            GpuTiming oracle(kernel, config,
+                             SchedulingPolicy::RoundRobin);
+            TimingStats s = oracle.run();
+            double hit_rate = s.l1Accesses
+                ? static_cast<double>(s.l1Hits) / s.l1Accesses
+                : 0.0;
+
+            GpuMechResult model =
+                runGpuMech(kernel, config, GpuMechOptions{});
+            double err = relativeError(model.ipc, 1.0 / s.cpi());
+            errors[label].push_back(err);
+            t.addRow({name, label, fmtDouble(s.cpi(), 2),
+                      fmtPercent(hit_rate), fmtPercent(err)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAverage GPUMech error per policy:\n";
+    for (const auto &[index, label] : policies) {
+        (void)index;
+        std::cout << "  " << label << ": "
+                  << fmtPercent(mean(errors[label])) << "\n";
+    }
+    std::cout << "\nexpected shape: hit rates shift with the policy "
+                 "and GPUMech tracks the oracle under all three, "
+                 "because its inputs are collected on the same "
+                 "caches.\n";
+    return 0;
+}

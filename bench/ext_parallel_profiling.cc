@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension experiment: parallel per-warp interval profiling.
+ *
+ * Section VI-D notes the interval algorithm "can be further increased
+ * by running the interval algorithm of each warp in parallel, but we
+ * did not explore this option". This bench explores it: it times the
+ * per-warp profiling phase serially and with increasing thread counts
+ * and verifies the results are identical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "collector/input_collector.hh"
+#include "core/interval_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace gpumech;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : config(HardwareConfig::baseline()),
+          kernel(workloadByName("srad_kernel1").generate(config)),
+          inputs(collectInputs(kernel, config))
+    {}
+
+    HardwareConfig config;
+    KernelTrace kernel;
+    CollectorResult inputs;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_ProfileSerial(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        auto profiles = buildAllProfiles(f.kernel, f.inputs, f.config);
+        benchmark::DoNotOptimize(profiles.size());
+    }
+    state.SetLabel("512 warps");
+}
+
+void
+BM_ProfileParallel(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    auto threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto profiles = buildAllProfilesParallel(f.kernel, f.inputs,
+                                                 f.config, threads);
+        benchmark::DoNotOptimize(profiles.size());
+    }
+    state.SetLabel(std::to_string(threads) + " threads");
+}
+
+} // namespace
+
+BENCHMARK(BM_ProfileSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfileParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

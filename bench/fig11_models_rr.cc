@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 11 reproduction: per-kernel relative performance error of
+ * the five Table II models against detailed timing simulation, for
+ * the round-robin scheduling policy at the Table I configuration,
+ * over all 40 evaluation kernels.
+ *
+ * Paper shape: Naive_Interval and Markov_Chain overestimate heavily
+ * for memory-divergent kernels; MT alone still misses contention;
+ * MT_MSHR fixes most kernels; MT_MSHR_BAND (GPUMech) additionally
+ * fixes write-heavy kernels; ~75% of kernels land below 20% error and
+ * the GPUMech average error is in the low tens of percent.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/args.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace gpumech;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    bool verbose = args.has("verbose") || args.has("v");
+    HardwareConfig config = HardwareConfig::baseline();
+    std::cout << "=== Figure 11: model comparison, round-robin ===\n";
+    std::cout << "config: " << config.summary() << "\n\n";
+
+    auto evals = evaluateSuite(evaluationWorkloads(), config,
+                               SchedulingPolicy::RoundRobin,
+                               allModels(), verbose);
+
+    Table t({"kernel", "oracle CPI", "Naive", "Markov", "MT",
+             "MT_MSHR", "GPUMech"});
+    for (const auto &e : evals) {
+        t.addRow({e.kernel,
+                  fmtDouble(e.oracleCpi, 2),
+                  fmtPercent(e.error(ModelKind::NaiveInterval), 0),
+                  fmtPercent(e.error(ModelKind::MarkovChain), 0),
+                  fmtPercent(e.error(ModelKind::MT), 0),
+                  fmtPercent(e.error(ModelKind::MT_MSHR), 0),
+                  fmtPercent(e.error(ModelKind::MT_MSHR_BAND), 1)});
+    }
+    if (args.has("csv")) {
+        t.printCsv(std::cout);
+    } else {
+        t.print(std::cout);
+    }
+
+    std::cout << "\nAverage error per model:\n";
+    for (ModelKind kind : allModels()) {
+        std::cout << "  " << toString(kind) << ": "
+                  << fmtPercent(averageError(evals, kind)) << "\n";
+    }
+    std::cout << "\nKernels with <20% error:\n";
+    for (ModelKind kind :
+         {ModelKind::MarkovChain, ModelKind::MT_MSHR_BAND}) {
+        std::cout << "  " << toString(kind) << ": "
+                  << fmtPercent(fractionWithin(evals, kind, 0.20))
+                  << "\n";
+    }
+    std::cout << "\npaper: GPUMech avg 13.2% (RR), Markov_Chain avg "
+                 "62.9%; 75% of kernels <20% (GPUMech) vs 50% "
+                 "(Markov_Chain).\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 16 reproduction: CPI stacks of cfd_step_factor,
+ * cfd_compute_flux and kmeans_invert_mapping at {8, 16, 32, 48} warps
+ * per core, with the oracle CPI alongside (the paper's line series).
+ * All CPIs are normalized by the oracle CPI at 8 warps, as in the
+ * paper.
+ *
+ * Paper shape: GPUMech predicts each kernel's scaling trend —
+ * step_factor scales well (DRAM latency bound, little congestion),
+ * compute_flux saturates around 32 warps as MSHR dominates, and
+ * invert_mapping is QUEUE-dominated (divergent writes) with a high L1
+ * share.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace gpumech;
+
+int
+main()
+{
+    std::cout << "=== Figure 16: CPI stacks vs warps per core ===\n\n";
+
+    const std::vector<std::string> kernels = {
+        "cfd_step_factor", "cfd_compute_flux", "kmeans_invert_mapping"};
+    const std::vector<std::uint32_t> warp_counts = {8, 16, 32, 48};
+
+    for (const auto &name : kernels) {
+        const Workload &workload = workloadByName(name);
+        std::cout << "--- " << name << " (" << workload.description
+                  << ") ---\n";
+
+        Table t({"warps", "BASE", "DEP", "L1", "L2", "DRAM", "MSHR",
+                 "QUEUE", "model CPI", "oracle CPI", "norm model",
+                 "norm oracle"});
+
+        double base_oracle = 0.0;
+        for (std::uint32_t warps : warp_counts) {
+            HardwareConfig config = HardwareConfig::baseline();
+            config.warpsPerCore = warps;
+            StackEvaluation eval = evaluateStack(
+                workload, config, SchedulingPolicy::RoundRobin);
+            double oracle_cpi = eval.oracle.cpi();
+            if (base_oracle == 0.0)
+                base_oracle = oracle_cpi;
+
+            const CpiStack &s = eval.model.stack;
+            t.addRow({std::to_string(warps),
+                      fmtDouble(s[StallType::Base], 2),
+                      fmtDouble(s[StallType::Dep], 2),
+                      fmtDouble(s[StallType::L1], 2),
+                      fmtDouble(s[StallType::L2], 2),
+                      fmtDouble(s[StallType::Dram], 2),
+                      fmtDouble(s[StallType::Mshr], 2),
+                      fmtDouble(s[StallType::Queue], 2),
+                      fmtDouble(s.total(), 2),
+                      fmtDouble(oracle_cpi, 2),
+                      fmtDouble(s.total() / base_oracle, 2),
+                      fmtDouble(oracle_cpi / base_oracle, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "paper shape: step_factor scales (DRAM-latency "
+                 "dominated, negligible MSHR/QUEUE until 48 warps); "
+                 "compute_flux saturates ~32 warps (MSHR dominates); "
+                 "invert_mapping is QUEUE-dominated via divergent "
+                 "writes despite high L1 hit rates.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CPI-stack explorer (the paper's Section VII application): visualize
+ * a kernel's performance bottlenecks across warp counts and find the
+ * scaling saturation point.
+ *
+ * Usage: cpi_stack_explorer [kernel_name]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/gpumech.hh"
+#include "workloads/workload.hh"
+
+using namespace gpumech;
+
+namespace
+{
+
+/** The dominant non-BASE category of a stack. */
+StallType
+bottleneck(const CpiStack &stack)
+{
+    StallType best = StallType::Dep;
+    for (StallType t : {StallType::Dep, StallType::L1, StallType::L2,
+                        StallType::Dram, StallType::Mshr,
+                        StallType::Queue}) {
+        if (stack[t] > stack[best])
+            best = t;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "cfd_compute_flux";
+    const Workload &workload = workloadByName(name);
+    std::cout << "kernel: " << name << " — " << workload.description
+              << "\n\n";
+
+    const std::vector<std::uint32_t> warp_counts = {8, 16, 24, 32, 48};
+    Table t({"warps", "CPI", "IPC/core", "bottleneck", "stack"});
+
+    double best_ipc = 0.0;
+    std::uint32_t best_warps = 0;
+    for (std::uint32_t warps : warp_counts) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.warpsPerCore = warps;
+        KernelTrace kernel = workload.generate(config);
+        GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+
+        if (r.ipc > best_ipc) {
+            best_ipc = r.ipc;
+            best_warps = warps;
+        }
+        t.addRow({std::to_string(warps), fmtDouble(r.cpi, 2),
+                  fmtDouble(r.ipc, 3), toString(bottleneck(r.stack)),
+                  r.stack.toLine(2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nbest configuration: " << best_warps
+              << " warps/core (predicted core IPC "
+              << fmtDouble(best_ipc, 3) << ")\n";
+    std::cout << "\nHow to read this: growing MSHR/QUEUE categories "
+                 "with warp count mean the memory system saturates — "
+                 "adding warps past the saturation point buys "
+                 "nothing. A dominant DEP category means more warps "
+                 "(or more ILP) still helps.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-space exploration — the use case GPUMech's speed enables
+ * (Section VI-D): sweep a hardware grid (MSHR entries x DRAM
+ * bandwidth) with the analytical model only, then validate the chosen
+ * point with one detailed simulation.
+ *
+ * Profiling (input collection, per-warp interval profiles,
+ * clustering) runs once; each grid point only reruns the cache
+ * simulation and the representative warp's interval algorithm via
+ * GpuMechProfiler::evaluateAt().
+ *
+ * Usage: design_space_exploration [kernel_name]
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/gpumech.hh"
+#include "timing/gpu_timing.hh"
+#include "workloads/workload.hh"
+
+using namespace gpumech;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "spmv_jds";
+    const Workload &workload = workloadByName(name);
+    HardwareConfig base = HardwareConfig::baseline();
+    KernelTrace kernel = workload.generate(base);
+    std::cout << "kernel: " << name << " — " << workload.description
+              << "\n\n";
+
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    GpuMechProfiler profiler(kernel, base);
+    auto t1 = clock::now();
+
+    const std::vector<std::uint32_t> mshr_grid = {16, 32, 64, 128};
+    const std::vector<double> bw_grid = {96.0, 192.0, 384.0};
+
+    Table t({"MSHRs", "BW (GB/s)", "predicted CPI", "predicted IPC"});
+    double best_ipc = 0.0;
+    HardwareConfig best = base;
+    for (std::uint32_t mshrs : mshr_grid) {
+        for (double bw : bw_grid) {
+            HardwareConfig config = base;
+            config.numMshrs = mshrs;
+            config.dramBandwidthGBs = bw;
+            GpuMechResult r = profiler.evaluateAt(
+                config, SchedulingPolicy::RoundRobin);
+            if (r.ipc > best_ipc) {
+                best_ipc = r.ipc;
+                best = config;
+            }
+            t.addRow({std::to_string(mshrs),
+                      fmtDouble(bw, 0),
+                      fmtDouble(r.cpi, 2),
+                      fmtDouble(r.ipc, 3)});
+        }
+    }
+    auto t2 = clock::now();
+    t.print(std::cout);
+
+    std::cout << "\nbest point: " << best.numMshrs << " MSHRs, "
+              << best.dramBandwidthGBs << " GB/s (predicted IPC "
+              << fmtDouble(best_ipc, 3) << ")\n";
+
+    // One detailed simulation to validate the winner.
+    auto t3 = clock::now();
+    GpuTiming oracle(kernel, best, SchedulingPolicy::RoundRobin);
+    TimingStats stats = oracle.run();
+    auto t4 = clock::now();
+
+    auto ms = [](auto a, auto b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    std::cout << "oracle at best point: CPI " << fmtDouble(stats.cpi(), 2)
+              << " (model " << fmtDouble(1.0 / best_ipc, 2) << ")\n\n";
+    std::cout << "time: profiling " << fmtDouble(ms(t0, t1), 1)
+              << " ms, " << mshr_grid.size() * bw_grid.size()
+              << " model evaluations " << fmtDouble(ms(t1, t2), 1)
+              << " ms, one detailed simulation "
+              << fmtDouble(ms(t3, t4), 1) << " ms\n";
+    std::cout << "sweeping this grid with the detailed simulator "
+                 "would cost ~"
+              << fmtDouble(ms(t3, t4) * 12 / 1000.0, 1)
+              << " s; the model explored it in "
+              << fmtDouble(ms(t1, t2) / 1000.0, 2) << " s.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: model one kernel with GPUMech and compare against the
+ * detailed timing simulator.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [kernel_name]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/gpumech.hh"
+#include "timing/gpu_timing.hh"
+#include "workloads/workload.hh"
+
+using namespace gpumech;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "srad_kernel1";
+
+    // 1. Describe the machine (Table I defaults).
+    HardwareConfig config = HardwareConfig::baseline();
+    std::cout << "machine: " << config.summary() << "\n";
+
+    // 2. Generate (or load) a kernel trace.
+    const Workload &workload = workloadByName(name);
+    KernelTrace kernel = workload.generate(config);
+    std::cout << "kernel:  " << kernel.name() << " — "
+              << workload.description << "\n"
+              << "         " << kernel.numWarps() << " warps, "
+              << kernel.totalInsts() << " warp-instructions\n\n";
+
+    // 3. Run GPUMech (input collector -> interval profiles ->
+    //    representative warp -> multi-warp model).
+    GpuMechOptions options;
+    options.policy = SchedulingPolicy::RoundRobin;
+    GpuMechResult model = runGpuMech(kernel, config, options);
+
+    std::cout << "GPUMech prediction (RR policy)\n";
+    std::cout << "  representative warp: " << model.repWarpIndex
+              << " (single-warp IPC " << model.repWarpPerf << ", "
+              << model.repNumIntervals << " intervals)\n";
+    std::cout << "  CPI multithreading:  " << model.cpiMultithreading
+              << "\n";
+    std::cout << "  CPI contention:      " << model.cpiContention
+              << "\n";
+    std::cout << "  CPI final:           " << model.cpi << "\n";
+    std::cout << "  CPI stack:           " << model.stack.toLine()
+              << "\n\n";
+
+    // 4. Validate against the detailed timing simulator.
+    GpuTiming oracle(kernel, config, options.policy);
+    TimingStats stats = oracle.run();
+    double oracle_ipc = 1.0 / stats.cpi(); // per-core IPC
+    double error = std::abs(model.ipc - oracle_ipc) / oracle_ipc;
+    std::cout << "detailed simulation\n";
+    std::cout << "  cycles: " << stats.totalCycles << ", CPI "
+              << stats.cpi() << "\n";
+    std::cout << "  model error: " << error * 100.0 << "%\n";
+    return 0;
+}

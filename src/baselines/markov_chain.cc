@@ -1,0 +1,53 @@
+#include "baselines/markov_chain.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+MarkovParams
+markovParams(const IntervalProfile &rep)
+{
+    MarkovParams params;
+    double insts = static_cast<double>(rep.totalInsts());
+    if (insts == 0.0)
+        return params;
+
+    // A warp suspends after the last instruction of each stalling
+    // interval: p = stalling intervals / instructions issued.
+    double stalling = 0.0;
+    double stall_cycles = 0.0;
+    for (const auto &interval : rep.intervals) {
+        if (interval.stallCycles > 0.0) {
+            stalling += 1.0;
+            stall_cycles += interval.stallCycles;
+        }
+    }
+    params.p = stalling / insts;
+    params.m = stalling > 0.0 ? stall_cycles / stalling : 0.0;
+    params.piActive = 1.0 / (1.0 + params.p * params.m);
+    return params;
+}
+
+BaselinePrediction
+markovChain(const IntervalProfile &rep, std::uint32_t num_warps,
+            const HardwareConfig &config)
+{
+    if (num_warps == 0)
+        panic("markovChain: need at least one warp");
+
+    MarkovParams params = markovParams(rep);
+    BaselinePrediction result;
+
+    // Utilization: probability at least one of the N independent
+    // warps is activated in a cycle.
+    double idle = std::pow(1.0 - params.piActive,
+                           static_cast<double>(num_warps));
+    result.ipc = (1.0 - idle) * config.issueRate;
+    result.cpi = result.ipc > 0.0 ? 1.0 / result.ipc : 0.0;
+    return result;
+}
+
+} // namespace gpumech

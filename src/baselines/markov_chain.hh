@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Markov-chain multithreading baseline (Chen & Aamodt, HPCA'09;
+ * paper Section VIII-A, Table II "Markov_Chain").
+ *
+ * Each warp is a two-state Markov chain: activated (can issue) or
+ * suspended (stalled). The activated->suspended transition probability
+ * p and the mean suspension length M are derived from the
+ * representative warp's interval profile; the steady-state probability
+ * of being activated is 1 / (1 + p*M), and core throughput is the
+ * probability that at least one of the N independent warps is
+ * activated in a cycle. The model does not represent any scheduling
+ * policy and assumes at most one outstanding request per warp — the
+ * two limitations Section VIII-A identifies.
+ */
+
+#ifndef GPUMECH_BASELINES_MARKOV_CHAIN_HH
+#define GPUMECH_BASELINES_MARKOV_CHAIN_HH
+
+#include "baselines/naive_interval.hh"
+#include "common/config.hh"
+#include "core/interval.hh"
+
+namespace gpumech
+{
+
+/** Derived Markov-chain parameters (exposed for tests). */
+struct MarkovParams
+{
+    double p = 0.0;         //!< P(activated -> suspended) per issue
+    double m = 0.0;         //!< mean suspension length in cycles
+    double piActive = 0.0;  //!< steady-state activated probability
+};
+
+/** Derive p, M and the steady state from an interval profile. */
+MarkovParams markovParams(const IntervalProfile &rep);
+
+/**
+ * Run the Markov-chain model.
+ *
+ * @param rep representative warp's interval profile
+ * @param num_warps warps per core
+ * @param config machine description (issue rate)
+ */
+BaselinePrediction markovChain(const IntervalProfile &rep,
+                               std::uint32_t num_warps,
+                               const HardwareConfig &config);
+
+} // namespace gpumech
+
+#endif // GPUMECH_BASELINES_MARKOV_CHAIN_HH

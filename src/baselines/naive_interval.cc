@@ -1,0 +1,24 @@
+#include "baselines/naive_interval.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+BaselinePrediction
+naiveInterval(const IntervalProfile &rep, std::uint32_t num_warps,
+              const HardwareConfig &config)
+{
+    if (num_warps == 0)
+        panic("naiveInterval: need at least one warp");
+    BaselinePrediction result;
+    double single = rep.warpPerf(config.issueRate);
+    result.ipc = std::min(single * static_cast<double>(num_warps),
+                          config.issueRate);
+    result.cpi = result.ipc > 0.0 ? 1.0 / result.ipc : 0.0;
+    return result;
+}
+
+} // namespace gpumech

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Naive interval baseline (paper Eq. 1, Table II "Naive_Interval").
+ *
+ * Predicts the multithreaded core IPC as the single-warp IPC times the
+ * warp count — the "optimistic overlap" assumption that every
+ * instruction of the remaining warps hides the representative warp's
+ * stalls. Capped at the machine's issue rate (the physical bound
+ * implicit in Eq. 1's users).
+ */
+
+#ifndef GPUMECH_BASELINES_NAIVE_INTERVAL_HH
+#define GPUMECH_BASELINES_NAIVE_INTERVAL_HH
+
+#include "common/config.hh"
+#include "core/interval.hh"
+
+namespace gpumech
+{
+
+/** Prediction of a baseline multithreading model. */
+struct BaselinePrediction
+{
+    double ipc = 0.0;
+    double cpi = 0.0;
+};
+
+/**
+ * Run the naive interval model (Eq. 1).
+ *
+ * @param rep representative warp's interval profile
+ * @param num_warps warps per core
+ * @param config machine description (issue rate)
+ */
+BaselinePrediction naiveInterval(const IntervalProfile &rep,
+                                 std::uint32_t num_warps,
+                                 const HardwareConfig &config);
+
+} // namespace gpumech
+
+#endif // GPUMECH_BASELINES_NAIVE_INTERVAL_HH

@@ -1,0 +1,187 @@
+#include "collector/input_collector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+double
+PcProfile::fracL1Hit() const
+{
+    std::uint64_t n = instL1Hit + instL2Hit + instL2Miss;
+    return n == 0 ? 0.0 : static_cast<double>(instL1Hit) / n;
+}
+
+double
+PcProfile::fracL2Hit() const
+{
+    std::uint64_t n = instL1Hit + instL2Hit + instL2Miss;
+    return n == 0 ? 0.0 : static_cast<double>(instL2Hit) / n;
+}
+
+double
+PcProfile::fracL2Miss() const
+{
+    std::uint64_t n = instL1Hit + instL2Hit + instL2Miss;
+    return n == 0 ? 0.0 : static_cast<double>(instL2Miss) / n;
+}
+
+double
+PcProfile::reqL1MissRate() const
+{
+    return reqCount == 0
+        ? 0.0
+        : static_cast<double>(reqL1Miss) / static_cast<double>(reqCount);
+}
+
+double
+PcProfile::reqL2MissRate() const
+{
+    return reqCount == 0
+        ? 0.0
+        : static_cast<double>(reqL2Miss) / static_cast<double>(reqCount);
+}
+
+double
+PcProfile::amat(const HardwareConfig &config) const
+{
+    return fracL1Hit() * config.l1HitLatency +
+           fracL2Hit() * config.l2HitLatency +
+           fracL2Miss() * config.l2MissLatency();
+}
+
+double
+CollectorResult::latencyOf(std::uint32_t pc) const
+{
+    if (pc >= pcLatency.size())
+        panic(msg("latencyOf: pc ", pc, " out of range"));
+    return pcLatency[pc];
+}
+
+CollectorResult
+collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
+{
+    CollectorResult result;
+    result.pcs.resize(kernel.numStaticInsts());
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc)
+        result.pcs[pc].op = kernel.opcodeOf(pc);
+
+    FunctionalHierarchy hierarchy(config);
+
+    // Per-warp cursor over global-memory instructions only; the
+    // collector interleaves warps (and cores) round-robin, mirroring
+    // the paper's cache simulator.
+    struct Cursor
+    {
+        const WarpTrace *warp;
+        std::uint32_t core;
+        std::size_t idx = 0;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(kernel.numWarps());
+    for (const auto &warp : kernel.warps())
+        cursors.push_back(Cursor{&warp, kernel.coreOf(warp, config), 0});
+
+    // Instruction-count bookkeeping happens once per dynamic
+    // instruction regardless of opcode.
+    for (const auto &warp : kernel.warps()) {
+        for (const auto &inst : warp.insts)
+            ++result.pcs[inst.pc].instCount;
+    }
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &cur : cursors) {
+            // Advance to this warp's next global-memory instruction.
+            const auto &insts = cur.warp->insts;
+            while (cur.idx < insts.size() &&
+                   !isGlobalMemory(insts[cur.idx].op)) {
+                ++cur.idx;
+            }
+            if (cur.idx >= insts.size())
+                continue;
+            progress = true;
+
+            const WarpInst &inst = insts[cur.idx++];
+            PcProfile &pc = result.pcs[inst.pc];
+            pc.reqCount += inst.lines.size();
+
+            if (inst.op == Opcode::GlobalLoad) {
+                MemEvent worst = MemEvent::L1Hit;
+                for (Addr line : inst.lines) {
+                    MemEvent ev = hierarchy.accessLoad(cur.core, line);
+                    if (ev != MemEvent::L1Hit)
+                        ++pc.reqL1Miss;
+                    if (ev == MemEvent::L2Miss)
+                        ++pc.reqL2Miss;
+                    worst = std::max(worst, ev);
+                }
+                switch (worst) {
+                  case MemEvent::L1Hit:
+                    ++pc.instL1Hit;
+                    break;
+                  case MemEvent::L2Hit:
+                    ++pc.instL2Hit;
+                    break;
+                  case MemEvent::L2Miss:
+                    ++pc.instL2Miss;
+                    break;
+                }
+            } else {
+                // Stores are write-through/no-allocate: they do not
+                // touch cache tag state, and every request is
+                // DRAM-bound.
+                pc.reqL2Miss += inst.lines.size();
+                pc.reqL1Miss += inst.lines.size();
+                pc.instL2Miss += 1;
+            }
+        }
+    }
+
+    // Per-PC latencies (Section V-B).
+    result.pcLatency.resize(kernel.numStaticInsts());
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc) {
+        Opcode op = kernel.opcodeOf(pc);
+        if (op == Opcode::GlobalLoad) {
+            result.pcLatency[pc] = result.pcs[pc].amat(config);
+        } else if (op == Opcode::GlobalStore) {
+            result.pcLatency[pc] = 1.0;
+        } else {
+            result.pcLatency[pc] = fixedLatency(op, config.latency);
+        }
+    }
+
+    // avg_miss_latency (Eq. 19): mean L2/DRAM latency over L1-missing
+    // load requests, without queuing.
+    std::uint64_t miss_reqs = 0;
+    std::uint64_t dram_reqs = 0;
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc) {
+        if (kernel.opcodeOf(pc) != Opcode::GlobalLoad)
+            continue;
+        miss_reqs += result.pcs[pc].reqL1Miss;
+        dram_reqs += result.pcs[pc].reqL2Miss;
+    }
+    if (miss_reqs == 0) {
+        result.avgMissLatency = config.l2HitLatency;
+    } else {
+        std::uint64_t l2_hit_reqs = miss_reqs - dram_reqs;
+        result.avgMissLatency =
+            (static_cast<double>(l2_hit_reqs) * config.l2HitLatency +
+             static_cast<double>(dram_reqs) * config.l2MissLatency()) /
+            static_cast<double>(miss_reqs);
+    }
+
+    double l1_acc = 0.0, l1_hit = 0.0;
+    for (std::uint32_t c = 0; c < config.numCores; ++c) {
+        l1_acc += static_cast<double>(hierarchy.l1(c).accesses());
+        l1_hit += static_cast<double>(hierarchy.l1(c).hits());
+    }
+    result.l1HitRate = l1_acc == 0.0 ? 0.0 : l1_hit / l1_acc;
+    result.l2HitRate = hierarchy.l2().hitRate();
+    return result;
+}
+
+} // namespace gpumech

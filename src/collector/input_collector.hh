@@ -1,0 +1,107 @@
+/**
+ * @file
+ * GPUMech input collector (paper Section V).
+ *
+ * Runs the functional cache simulator over every warp's memory
+ * instructions in round-robin order and produces:
+ *  - the distribution of miss events per memory PC (instruction-level,
+ *    classified by the longest-latency coalesced request);
+ *  - request-level L1/L2 miss rates per PC (used by the contention
+ *    models to count MSHR- and DRAM-bound requests);
+ *  - the latency of every static instruction: fixed latencies for
+ *    compute PCs, AMAT for memory PCs (Section V-B);
+ *  - avg_miss_latency, the uncontended L2/DRAM latency constant of the
+ *    MSHR model (Eq. 19).
+ */
+
+#ifndef GPUMECH_COLLECTOR_INPUT_COLLECTOR_HH
+#define GPUMECH_COLLECTOR_INPUT_COLLECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/hierarchy.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gpumech
+{
+
+/** Collected statistics for one static instruction (PC). */
+struct PcProfile
+{
+    Opcode op = Opcode::IntAlu;
+
+    /** Dynamic executions of this PC across all warps. */
+    std::uint64_t instCount = 0;
+
+    // Instruction-level miss-event distribution (loads only): each
+    // execution is classified by its slowest request.
+    std::uint64_t instL1Hit = 0;
+    std::uint64_t instL2Hit = 0;
+    std::uint64_t instL2Miss = 0;
+
+    // Request-level counts (global loads and stores).
+    std::uint64_t reqCount = 0;
+    std::uint64_t reqL1Miss = 0;  //!< load requests missing L1
+    std::uint64_t reqL2Miss = 0;  //!< load requests missing L2
+
+    /** Fraction of executions whose slowest request hit L1. */
+    double fracL1Hit() const;
+    /** Fraction of executions whose slowest request hit L2. */
+    double fracL2Hit() const;
+    /** Fraction of executions whose slowest request missed L2. */
+    double fracL2Miss() const;
+
+    /** Per-request L1 miss rate (loads). */
+    double reqL1MissRate() const;
+    /** Per-request L2 miss rate (loads; relative to all requests). */
+    double reqL2MissRate() const;
+
+    /** Average memory access time of this PC (loads; Section V-B). */
+    double amat(const HardwareConfig &config) const;
+};
+
+/** Everything the single-warp and multi-warp models need as input. */
+struct CollectorResult
+{
+    /** Per-PC profiles, indexed by PC. */
+    std::vector<PcProfile> pcs;
+
+    /**
+     * Latency of each static instruction in cycles: fixed for compute
+     * PCs, AMAT for global loads, 1 for global stores (they never
+     * stall dependents).
+     */
+    std::vector<double> pcLatency;
+
+    /**
+     * Uncontended average L2/DRAM latency of L1-missing load requests
+     * (Eq. 19's avg_miss_latency). Falls back to the L2 hit latency
+     * when the kernel has no L1 misses.
+     */
+    double avgMissLatency = 0.0;
+
+    // Aggregate cache statistics of the functional simulation.
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+
+    /** Latency of a PC; fatal if out of range. */
+    double latencyOf(std::uint32_t pc) const;
+};
+
+/**
+ * Run the input collector over a kernel.
+ *
+ * The cache simulator models the same number of warps and cores as
+ * the target system (warps mapped to cores by block id) and reads
+ * memory instructions from each warp's trace in round-robin fashion,
+ * with the cores themselves interleaved round-robin onto the shared
+ * L2 (Section V-A).
+ */
+CollectorResult collectInputs(const KernelTrace &kernel,
+                              const HardwareConfig &config);
+
+} // namespace gpumech
+
+#endif // GPUMECH_COLLECTOR_INPUT_COLLECTOR_HH

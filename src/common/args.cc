@@ -1,0 +1,100 @@
+#include "common/args.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    parse(tokens);
+}
+
+ArgParser::ArgParser(const std::vector<std::string> &tokens)
+{
+    parse(tokens);
+}
+
+void
+ArgParser::parse(const std::vector<std::string> &tokens)
+{
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (tok.rfind("--", 0) != 0) {
+            positionals.push_back(tok);
+            continue;
+        }
+        std::string body = tok.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // "--key value" when the next token is not an option;
+        // otherwise a bare flag.
+        if (i + 1 < tokens.size() &&
+            tokens[i + 1].rfind("--", 0) != 0) {
+            options[body] = tokens[i + 1];
+            ++i;
+        } else {
+            options[body] = "";
+        }
+    }
+}
+
+std::string
+ArgParser::positional(std::size_t i, const std::string &fallback) const
+{
+    return i < positionals.size() ? positionals[i] : fallback;
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return options.find(name) != options.end();
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback)
+    const
+{
+    auto it = options.find(name);
+    if (it == options.end() || it->second.empty())
+        return fallback;
+    return it->second;
+}
+
+std::uint32_t
+ArgParser::getUint(const std::string &name, std::uint32_t fallback) const
+{
+    auto it = options.find(name);
+    if (it == options.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        fatal(msg("--", name, " expects an integer, got '", it->second,
+                  "'"));
+    return static_cast<std::uint32_t>(v);
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    auto it = options.find(name);
+    if (it == options.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal(msg("--", name, " expects a number, got '", it->second,
+                  "'"));
+    return v;
+}
+
+} // namespace gpumech

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the CLI tool and benches.
+ *
+ * Supports positional arguments plus `--flag`, `--key value`, and
+ * `--key=value` options. Deliberately tiny: no subcommand tree, no
+ * auto-help generation.
+ */
+
+#ifndef GPUMECH_COMMON_ARGS_HH
+#define GPUMECH_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpumech
+{
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /** Parse from main()'s argv (argv[0] is skipped). */
+    ArgParser(int argc, const char *const *argv);
+
+    /** Parse from a token list (for tests). */
+    explicit ArgParser(const std::vector<std::string> &tokens);
+
+    /** Number of positional (non-option) arguments. */
+    std::size_t numPositional() const { return positionals.size(); }
+
+    /** Positional argument i, or @p fallback when absent. */
+    std::string positional(std::size_t i,
+                           const std::string &fallback = "") const;
+
+    /** True when --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** Value of --name, or @p fallback when absent/valueless. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Numeric value of --name; fatal on non-numeric input. */
+    std::uint32_t getUint(const std::string &name,
+                          std::uint32_t fallback) const;
+
+    /** Floating-point value of --name; fatal on non-numeric input. */
+    double getDouble(const std::string &name, double fallback) const;
+
+  private:
+    void parse(const std::vector<std::string> &tokens);
+
+    std::vector<std::string> positionals;
+    std::map<std::string, std::string> options;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_ARGS_HH

@@ -1,0 +1,48 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+namespace gpumech
+{
+
+std::string
+toString(SchedulingPolicy policy)
+{
+    switch (policy) {
+      case SchedulingPolicy::RoundRobin:
+        return "RR";
+      case SchedulingPolicy::GreedyThenOldest:
+        return "GTO";
+    }
+    return "?";
+}
+
+HardwareConfig
+HardwareConfig::baseline()
+{
+    return HardwareConfig{};
+}
+
+HardwareConfig
+HardwareConfig::withIssueWidth(std::uint32_t width) const
+{
+    HardwareConfig copy = *this;
+    copy.issueWidth = width;
+    copy.issueRate = static_cast<double>(width);
+    return copy;
+}
+
+std::string
+HardwareConfig::summary() const
+{
+    std::ostringstream os;
+    os << numCores << " cores @ " << coreFreqGhz << " GHz, "
+       << warpsPerCore << " warps/core, SIMT " << simtWidth
+       << ", L1 " << l1SizeBytes / 1024 << "KB/" << numMshrs << " MSHRs, "
+       << "L2 " << l2SizeBytes / 1024 << "KB, DRAM "
+       << dramBandwidthGBs << " GB/s, " << dramAccessLatency
+       << "-cycle access";
+    return os.str();
+}
+
+} // namespace gpumech

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Hardware configuration of the modeled GPU (paper Table I) plus the
+ * sweep values used in the evaluation section.
+ */
+
+#ifndef GPUMECH_COMMON_CONFIG_HH
+#define GPUMECH_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpumech
+{
+
+/** Warp scheduling policies modeled by GPUMech (Section IV-A). */
+enum class SchedulingPolicy
+{
+    RoundRobin,      //!< issue one instruction per warp in turn
+    GreedyThenOldest //!< greedy on the current warp, then oldest ready
+};
+
+/** Human-readable policy name ("RR" / "GTO"). */
+std::string toString(SchedulingPolicy policy);
+
+/**
+ * Static instruction latencies in core cycles, "modeled according to
+ * the CUDA manual" (Table I: normal FP instructions are 25 cycles).
+ */
+struct LatencyTable
+{
+    std::uint32_t intAlu = 20;    //!< integer ALU operation
+    std::uint32_t fpAlu = 25;     //!< normal floating-point operation
+    std::uint32_t sfu = 40;       //!< special function unit (sin, rsqrt..)
+    std::uint32_t sharedMem = 30; //!< 16KB software-managed cache access
+    std::uint32_t branch = 20;    //!< branch / control instruction
+};
+
+/**
+ * The modeled machine (paper Table I).
+ *
+ * All latencies are in core cycles at coreFreqGhz. The same structure
+ * configures the detailed timing simulator (the oracle), the
+ * functional cache simulation in the input collector, and the
+ * analytical models, so a sweep point changes every component
+ * coherently.
+ */
+struct HardwareConfig
+{
+    // --- organization ---
+    std::uint32_t numCores = 16;      //!< number of SM cores
+    double coreFreqGhz = 1.0;         //!< core clock
+    std::uint32_t simtWidth = 32;     //!< SIMT lanes
+    std::uint32_t warpSize = 32;      //!< threads per warp
+    std::uint32_t warpsPerCore = 32;  //!< max threads 1024 / warp size 32
+    std::uint32_t issueWidth = 1;     //!< warp-instructions per cycle
+    double issueRate = 1.0;           //!< sustained issue rate (inst/cyc)
+
+    // --- instruction latencies ---
+    LatencyTable latency;
+
+    /**
+     * Special-function-unit lanes per core. The paper assumes a
+     * balanced design where normal-operation resources never contend
+     * (Section IV-B), which corresponds to sfuLanes == warpSize (one
+     * cycle of SFU occupancy per warp instruction). Setting fewer
+     * lanes makes an SFU warp-instruction occupy the unit for
+     * warpSize / sfuLanes cycles — the structural contention the
+     * paper's future-work note proposes to model.
+     */
+    std::uint32_t sfuLanes = 32;
+
+    /** Cycles one SFU warp-instruction occupies the SFU. */
+    std::uint32_t
+    sfuOccupancyCycles() const
+    {
+        return (warpSize + sfuLanes - 1) / sfuLanes;
+    }
+
+    // --- L1 data cache (per core) ---
+    std::uint32_t l1SizeBytes = 32 * 1024;
+    std::uint32_t l1LineBytes = 128;
+    std::uint32_t l1Assoc = 8;
+    std::uint32_t l1HitLatency = 25;   //!< cycles, total from issue
+    std::uint32_t numMshrs = 32;       //!< L1 MSHR entries per core
+
+    /**
+     * Cache replacement policy index, shared by L1 and L2:
+     * 0 = LRU (default), 1 = FIFO, 2 = pseudo-random. Kept as an
+     * integer here to avoid a header cycle with mem/cache.hh; the
+     * hierarchy translates it.
+     */
+    std::uint32_t replacementPolicy = 0;
+
+    // --- L2 cache (shared) ---
+    std::uint32_t l2SizeBytes = 768 * 1024;
+    std::uint32_t l2LineBytes = 128;
+    std::uint32_t l2Assoc = 8;
+    std::uint32_t l2HitLatency = 120;  //!< cycles, includes NoC
+
+    // --- DRAM ---
+    double dramBandwidthGBs = 192.0;   //!< aggregate bandwidth
+    std::uint32_t dramAccessLatency = 300; //!< cycles beyond an L2 hit
+
+    /** Latency of an access that misses L2 (120 + 300 = 420 cycles). */
+    std::uint32_t
+    l2MissLatency() const
+    {
+        return l2HitLatency + dramAccessLatency;
+    }
+
+    /**
+     * DRAM service time per cache line in core cycles:
+     * freq * lineSize / bandwidth (Eq. 22's "s").
+     */
+    double
+    dramServiceCycles() const
+    {
+        return coreFreqGhz * 1e9 * l2LineBytes / (dramBandwidthGBs * 1e9);
+    }
+
+    /** Table I baseline configuration. */
+    static HardwareConfig baseline();
+
+    /**
+     * Copy of this configuration with a different issue width; keeps
+     * issueWidth (used by the timing simulator) and issueRate (used
+     * by the analytical models) coherent.
+     */
+    HardwareConfig withIssueWidth(std::uint32_t width) const;
+
+    /** One-line summary for bench headers. */
+    std::string summary() const;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_CONFIG_HH

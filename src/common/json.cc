@@ -1,0 +1,116 @@
+#include "common/json.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+void
+JsonWriter::openObject()
+{
+    out << "{";
+    needComma.push_back(false);
+}
+
+void
+JsonWriter::comma()
+{
+    if (needComma.back())
+        out << ",";
+    needComma.back() = true;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          default:
+            r += c;
+        }
+    }
+    return r;
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    comma();
+    out << "\"" << escape(key) << "\":";
+    openObject();
+}
+
+void
+JsonWriter::endObject()
+{
+    if (needComma.size() <= 1)
+        panic("JsonWriter::endObject with no open nested object");
+    out << "}";
+    needComma.pop_back();
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    comma();
+    out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string &key, double value)
+{
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out << "\"" << escape(key) << "\":" << buf;
+}
+
+void
+JsonWriter::field(const std::string &key, std::uint64_t value)
+{
+    comma();
+    out << "\"" << escape(key) << "\":" << value;
+}
+
+void
+JsonWriter::field(const std::string &key, bool value)
+{
+    comma();
+    out << "\"" << escape(key) << "\":" << (value ? "true" : "false");
+}
+
+std::string
+JsonWriter::finish()
+{
+    if (finished)
+        panic("JsonWriter::finish called twice");
+    if (needComma.size() != 1)
+        panic("JsonWriter::finish with open nested objects");
+    finished = true;
+    out << "}";
+    return out.str();
+}
+
+} // namespace gpumech

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable CLI output.
+ *
+ * Writes flat or nested objects of numbers/strings/booleans — enough
+ * for result export without pulling in a JSON library. Not a parser.
+ */
+
+#ifndef GPUMECH_COMMON_JSON_HH
+#define GPUMECH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpumech
+{
+
+/** Streaming writer for one JSON object tree. */
+class JsonWriter
+{
+  public:
+    JsonWriter() { openObject(); }
+
+    /** Begin a nested object under @p key. */
+    void beginObject(const std::string &key);
+
+    /** Close the innermost nested object. */
+    void endObject();
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, bool value);
+
+    /** Close the root object and return the document. */
+    std::string finish();
+
+  private:
+    void openObject();
+    void comma();
+    static std::string escape(const std::string &s);
+
+    std::ostringstream out;
+    std::vector<bool> needComma; //!< per nesting level
+    bool finished = false;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_JSON_HH

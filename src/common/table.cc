@@ -1,0 +1,145 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+Table::Table(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size()) {
+        panic(msg("table row width ", row.size(),
+                  " != header width ", head.size()));
+    }
+    body.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(head);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit_row(head);
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+printBarChart(std::ostream &os, const std::string &title,
+              const std::vector<std::string> &labels,
+              const std::vector<double> &values, int width)
+{
+    if (labels.size() != values.size())
+        panic("bar chart labels/values size mismatch");
+    os << title << "\n";
+    double max_v = 0.0;
+    std::size_t max_label = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        max_v = std::max(max_v, values[i]);
+        max_label = std::max(max_label, labels[i].size());
+    }
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        int bar = max_v > 0.0
+            ? static_cast<int>(std::lround(values[i] / max_v * width))
+            : 0;
+        os << "  " << std::left
+           << std::setw(static_cast<int>(max_label)) << labels[i] << " |"
+           << std::string(static_cast<std::size_t>(bar), '#') << " "
+           << fmtDouble(values[i], 3) << "\n";
+    }
+}
+
+void
+printGroupedBarChart(std::ostream &os, const std::string &title,
+                     const std::vector<std::string> &labels,
+                     const std::vector<std::string> &series,
+                     const std::vector<std::vector<double>> &values,
+                     int width)
+{
+    if (labels.size() != values.size())
+        panic("grouped bar chart labels/values size mismatch");
+    os << title << "\n";
+    double max_v = 0.0;
+    std::size_t max_series = 0;
+    for (const auto &group : values) {
+        if (group.size() != series.size())
+            panic("grouped bar chart series size mismatch");
+        for (double v : group)
+            max_v = std::max(max_v, v);
+    }
+    for (const auto &s : series)
+        max_series = std::max(max_series, s.size());
+
+    for (std::size_t g = 0; g < labels.size(); ++g) {
+        os << "  " << labels[g] << "\n";
+        for (std::size_t s = 0; s < series.size(); ++s) {
+            int bar = max_v > 0.0
+                ? static_cast<int>(
+                      std::lround(values[g][s] / max_v * width))
+                : 0;
+            os << "    " << std::left
+               << std::setw(static_cast<int>(max_series)) << series[s]
+               << " |" << std::string(static_cast<std::size_t>(bar), '#')
+               << " " << fmtDouble(values[g][s], 3) << "\n";
+        }
+    }
+}
+
+} // namespace gpumech

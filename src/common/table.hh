@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ASCII table, CSV, and horizontal bar-chart renderers used by the
+ * bench binaries to print the paper's tables and figures as text.
+ */
+
+#ifndef GPUMECH_COMMON_TABLE_HH
+#define GPUMECH_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpumech
+{
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"kernel", "error"});
+ *   t.addRow({"srad", "13.2%"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with padded columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no padding, comma-separated). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format a fraction as a percentage string, e.g. 0.132 -> "13.2%". */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/**
+ * Render a labeled horizontal bar chart (one row per label) where each
+ * bar is scaled so the maximum value spans @p width characters.
+ */
+void printBarChart(std::ostream &os, const std::string &title,
+                   const std::vector<std::string> &labels,
+                   const std::vector<double> &values, int width = 50);
+
+/**
+ * Render a grouped bar chart: one block per label, one bar per series.
+ * Used for the model-comparison figures.
+ */
+void printGroupedBarChart(std::ostream &os, const std::string &title,
+                          const std::vector<std::string> &labels,
+                          const std::vector<std::string> &series,
+                          const std::vector<std::vector<double>> &values,
+                          int width = 50);
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_TABLE_HH

@@ -1,0 +1,139 @@
+#include "core/contention.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+double
+expectedMshrQueuingDelay(double core_reqs, std::uint32_t num_mshrs,
+                         double avg_miss_latency)
+{
+    if (core_reqs <= 0.0 || num_mshrs == 0)
+        return 0.0;
+    // Eq. 19: request j in arrival order completes after
+    // avg_miss_latency * ceil(j / #MSHR); averaging over j and
+    // subtracting the uncontended latency gives the expected queuing
+    // delay. The sum of ceil(j/M) for j = 1..N has the closed form
+    // below (g full batches of M plus a partial batch).
+    double n = std::floor(core_reqs);
+    double m = static_cast<double>(num_mshrs);
+    if (n < 1.0)
+        return 0.0;
+    double g = std::floor(n / m);
+    double sum_ceil = m * g * (g + 1.0) / 2.0 + (n - g * m) * (g + 1.0);
+    double expected_latency = avg_miss_latency * sum_ceil / n;
+    return std::max(expected_latency - avg_miss_latency, 0.0);
+}
+
+double
+bandwidthQueuingDelay(double lambda, double service_cycles,
+                      double total_reqs)
+{
+    if (lambda <= 0.0 || service_cycles <= 0.0 || total_reqs <= 0.0)
+        return 0.0;
+    // Eq. 22: utilization of the deterministic server.
+    double rho = lambda * service_cycles;
+    // Eq. 21 cap: a request arrives with half the maximum number of
+    // requests ahead of it.
+    double cap = service_cycles * total_reqs / 2.0;
+    if (rho >= 1.0)
+        return cap;
+    double wq = lambda * service_cycles * service_cycles /
+                (2.0 * (1.0 - rho));
+    return std::min(wq, cap);
+}
+
+ContentionResult
+modelContention(const IntervalProfile &rep, const MultithreadingResult &mt,
+                const CollectorResult &inputs,
+                const HardwareConfig &config, bool model_mshr,
+                bool model_bandwidth, bool model_sfu)
+{
+    ContentionResult result;
+    double total_insts = static_cast<double>(rep.totalInsts());
+    if (total_insts == 0.0)
+        return result;
+
+    const double warps = static_cast<double>(config.warpsPerCore);
+    const double cores = static_cast<double>(config.numCores);
+    const double service = config.dramServiceCycles();
+
+    // Per-core instructions and the span the multithreading model
+    // already accounts for.
+    double core_insts = total_insts * warps;
+    double mt_span = mt.cpi * core_insts;
+    result.multithreadedSpan = mt_span;
+
+    // Aggregate the profile's request populations (per core).
+    double mshr_reqs = 0.0;     //!< L1-missing load requests
+    double dram_reqs = 0.0;     //!< DRAM-bound requests
+    double sfu_insts = 0.0;     //!< SFU instructions
+    double mem_intervals = 0.0; //!< intervals issuing DRAM requests
+    for (const auto &interval : rep.intervals) {
+        mshr_reqs += interval.mshrReqs;
+        dram_reqs += interval.dramReqs;
+        sfu_insts += interval.sfuInsts;
+        if (interval.dramReqs > 0.0)
+            mem_intervals += 1.0;
+    }
+    mshr_reqs *= warps;
+    dram_reqs *= warps;
+    sfu_insts *= warps;
+
+    // --- MSHR model (Eq. 18-20, steady-state aggregation) ---
+    // The MSHR file drains at #MSHR / avg_miss_latency requests per
+    // cycle; when the profile's demand exceeds what drains within the
+    // multithreaded span, the deficit stalls the core.
+    if (model_mshr && mshr_reqs > 0.0) {
+        double needed =
+            mshr_reqs * inputs.avgMissLatency / config.numMshrs;
+        result.mshrServiceNeeded = needed;
+        result.mshrDelay = std::max(needed - mt_span, 0.0);
+    }
+
+    // --- DRAM bandwidth model (Eq. 21-23) ---
+    // The channel serves all cores; demand beyond its service rate
+    // stretches execution (saturation deficit). Below saturation the
+    // M/D/1 waiting time charges each memory interval's requests
+    // once (a divergent burst's requests overlap their queuing).
+    if (model_bandwidth && dram_reqs > 0.0) {
+        double span = mt_span + result.mshrDelay;
+        double gpu_reqs = dram_reqs * cores;
+        double needed = gpu_reqs * service;
+        result.dramServiceNeeded = needed;
+        double lambda = gpu_reqs / span;
+        result.dramUtilization = lambda * service;
+        if (result.dramUtilization >= 1.0) {
+            result.bandwidthDelay = needed - span;
+        } else {
+            double wq = bandwidthQueuingDelay(lambda, service, gpu_reqs);
+            result.bandwidthDelay = wq * mem_intervals;
+        }
+    }
+
+    // --- SFU structural contention (extension) ---
+    // Each SFU warp-instruction occupies the unit for
+    // warpSize / sfuLanes cycles; the per-core SFU service time
+    // beyond the multithreaded span stalls the core. This is the
+    // generalization the paper's Section IV-B sketches as future
+    // work.
+    if (model_sfu && sfu_insts > 0.0) {
+        double occupancy =
+            static_cast<double>(config.sfuOccupancyCycles());
+        double needed = sfu_insts * occupancy;
+        double span = mt_span + result.mshrDelay + result.bandwidthDelay;
+        result.sfuDelay = std::max(needed - span, 0.0);
+    }
+
+    result.mshrCpi = result.mshrDelay / core_insts;
+    result.queueCpi = result.bandwidthDelay / core_insts;
+    result.sfuCpi = result.sfuDelay / core_insts;
+    result.cpi = result.mshrCpi + result.queueCpi + result.sfuCpi;
+    return result;
+}
+
+} // namespace gpumech

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Resource-contention model (paper Section IV-B): queuing delays from
+ * a finite MSHR file (Eq. 18-20) and from limited DRAM bandwidth via
+ * an M/D/1 queue (Eq. 21-23).
+ *
+ * The per-request expected delays follow the paper's equations; their
+ * aggregation is applied in steady state over the representative
+ * warp's whole profile rather than per interval in isolation: the
+ * service time each shared resource needs for the profile's requests
+ * (MSHR: requests * avg_miss_latency / #MSHR; DRAM: requests *
+ * service_time) is compared against the multithreaded execution span,
+ * and only the deficit is charged. This captures the same saturation
+ * physics while crediting requests that drain during the other
+ * intervals of a loop iteration (see DESIGN.md).
+ */
+
+#ifndef GPUMECH_CORE_CONTENTION_HH
+#define GPUMECH_CORE_CONTENTION_HH
+
+#include <cstdint>
+
+#include "collector/input_collector.hh"
+#include "common/config.hh"
+#include "core/interval.hh"
+#include "core/multiwarp.hh"
+
+namespace gpumech
+{
+
+/** Output of the contention model. */
+struct ContentionResult
+{
+    /** Combined contention CPI (Eq. 17's role, per-core scale). */
+    double cpi = 0.0;
+
+    /** Per-core cycles lost to MSHR saturation. */
+    double mshrDelay = 0.0;
+
+    /** Per-core cycles lost to DRAM-bandwidth queuing. */
+    double bandwidthDelay = 0.0;
+
+    /**
+     * Per-core cycles lost to SFU structural contention (extension:
+     * the paper's Section IV-B future-work item).
+     */
+    double sfuDelay = 0.0;
+
+    /** CPI share of the MSHR category (for the CPI stack). */
+    double mshrCpi = 0.0;
+
+    /** CPI share of the QUEUE category. */
+    double queueCpi = 0.0;
+
+    /** CPI share of the SFU category (extension). */
+    double sfuCpi = 0.0;
+
+    // Diagnostics.
+    double mshrServiceNeeded = 0.0;  //!< MSHR-throughput cycles needed
+    double dramServiceNeeded = 0.0;  //!< DRAM service cycles needed
+    double multithreadedSpan = 0.0;  //!< baseline span from the MT model
+    double dramUtilization = 0.0;    //!< rho of the DRAM channel
+};
+
+/**
+ * Expected per-request MSHR queuing delay (Eq. 19) for a burst of
+ * @p core_reqs concurrent requests on a core with @p num_mshrs
+ * entries and uncontended miss latency @p avg_miss_latency.
+ */
+double expectedMshrQueuingDelay(double core_reqs, std::uint32_t num_mshrs,
+                                double avg_miss_latency);
+
+/**
+ * M/D/1 waiting time (Eq. 21) with the paper's cap of half the
+ * maximum number of requests ahead: arrival rate lambda,
+ * deterministic service time s.
+ */
+double bandwidthQueuingDelay(double lambda, double service_cycles,
+                             double total_reqs);
+
+/**
+ * Run the contention model over the representative warp's profile.
+ *
+ * @param rep representative warp's interval profile (annotated with
+ *        per-interval request counts by the interval builder)
+ * @param mt multithreading-model result (provides the baseline span)
+ * @param inputs collector outputs (avg_miss_latency)
+ * @param config machine description
+ * @param model_mshr enable the MSHR model (Eq. 18-20)
+ * @param model_bandwidth enable the DRAM bandwidth model (Eq. 21-23)
+ * @param model_sfu enable the SFU structural-contention extension
+ */
+ContentionResult
+modelContention(const IntervalProfile &rep, const MultithreadingResult &mt,
+                const CollectorResult &inputs,
+                const HardwareConfig &config, bool model_mshr,
+                bool model_bandwidth, bool model_sfu = false);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_CONTENTION_HH

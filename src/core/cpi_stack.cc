@@ -1,0 +1,128 @@
+#include "core/cpi_stack.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(StallType type)
+{
+    switch (type) {
+      case StallType::Base:
+        return "BASE";
+      case StallType::Dep:
+        return "DEP";
+      case StallType::L1:
+        return "L1";
+      case StallType::L2:
+        return "L2";
+      case StallType::Dram:
+        return "DRAM";
+      case StallType::Mshr:
+        return "MSHR";
+      case StallType::Queue:
+        return "QUEUE";
+      case StallType::Sfu:
+        return "SFU";
+    }
+    return "?";
+}
+
+double
+CpiStack::total() const
+{
+    double t = 0.0;
+    for (double v : cpi)
+        t += v;
+    return t;
+}
+
+std::string
+CpiStack::toLine(int precision) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < numStallTypes; ++i) {
+        if (i)
+            os << " ";
+        os << toString(static_cast<StallType>(i)) << "="
+           << fmtDouble(cpi[i], precision);
+    }
+    return os.str();
+}
+
+CpiStack
+buildSingleWarpStack(const IntervalProfile &rep,
+                     const CollectorResult &inputs,
+                     const HardwareConfig &config)
+{
+    CpiStack stack;
+    double insts = static_cast<double>(rep.totalInsts());
+    if (insts == 0.0)
+        return stack;
+
+    stack[StallType::Base] = 1.0 / config.issueRate;
+
+    double dep = 0.0, l1 = 0.0, l2 = 0.0, dram = 0.0;
+    for (const auto &interval : rep.intervals) {
+        switch (interval.cause) {
+          case StallCause::None:
+            break;
+          case StallCause::Compute:
+            dep += interval.stallCycles;
+            break;
+          case StallCause::Memory: {
+            const PcProfile &pc = inputs.pcs[interval.causePc];
+            l1 += interval.stallCycles * pc.fracL1Hit();
+            l2 += interval.stallCycles * pc.fracL2Hit();
+            dram += interval.stallCycles * pc.fracL2Miss();
+            break;
+          }
+        }
+    }
+    stack[StallType::Dep] = dep / insts;
+    stack[StallType::L1] = l1 / insts;
+    stack[StallType::L2] = l2 / insts;
+    stack[StallType::Dram] = dram / insts;
+    return stack;
+}
+
+CpiStack
+buildCpiStack(const IntervalProfile &rep, const CollectorResult &inputs,
+              const HardwareConfig &config, const MultithreadingResult &mt,
+              const ContentionResult &contention)
+{
+    CpiStack stack = buildSingleWarpStack(rep, inputs, config);
+    double insts = static_cast<double>(rep.totalInsts());
+    if (insts == 0.0)
+        return stack;
+
+    // Shrink the stall categories so the stack totals the
+    // multithreading CPI while BASE stays the configured issue cost
+    // (footnote 3: BASE is a constant of the configuration). The
+    // relative importance of the stall categories is preserved,
+    // as Section VII prescribes.
+    double base = stack[StallType::Base];
+    double single_stalls = stack.total() - base;
+    double mt_stalls = std::max(mt.cpi - base, 0.0);
+    double factor =
+        single_stalls > 0.0 ? mt_stalls / single_stalls : 0.0;
+    for (StallType t : {StallType::Dep, StallType::L1, StallType::L2,
+                        StallType::Dram}) {
+        stack[t] *= factor;
+    }
+
+    // Stack the modeled queuing delays on top (Section VII third
+    // bullet), on the same per-core scale as the rest of the stack so
+    // the stack total equals CPI_final.
+    stack[StallType::Mshr] = contention.mshrCpi;
+    stack[StallType::Queue] = contention.queueCpi;
+    stack[StallType::Sfu] = contention.sfuCpi;
+    return stack;
+}
+
+} // namespace gpumech

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CPI stacks (paper Section VII, Table III): the breakdown of a
+ * kernel's predicted CPI into issue cycles (BASE), compute-dependence
+ * stalls (DEP), memory stalls split by miss level (L1/L2/DRAM), and
+ * the modeled queuing delays (MSHR/QUEUE).
+ */
+
+#ifndef GPUMECH_CORE_CPI_STACK_HH
+#define GPUMECH_CORE_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "collector/input_collector.hh"
+#include "common/config.hh"
+#include "core/contention.hh"
+#include "core/interval.hh"
+#include "core/multiwarp.hh"
+
+namespace gpumech
+{
+
+/** Stall categories of Table III. */
+enum class StallType : std::uint8_t
+{
+    Base,  //!< instruction issue cycles
+    Dep,   //!< compute dependencies
+    L1,    //!< L1 hits
+    L2,    //!< L2 hits
+    Dram,  //!< DRAM access latency (no queuing)
+    Mshr,  //!< MSHR queuing delay
+    Queue, //!< DRAM-bandwidth queuing delay
+    Sfu,   //!< SFU structural contention (extension, off by default)
+};
+
+/** Number of stack categories. */
+constexpr std::size_t numStallTypes = 8;
+
+/** Table III abbreviation for a category. */
+std::string toString(StallType type);
+
+/** A CPI stack: cycles-per-instruction in each category. */
+struct CpiStack
+{
+    std::array<double, numStallTypes> cpi{};
+
+    double &operator[](StallType t) { return cpi[static_cast<int>(t)]; }
+    double
+    operator[](StallType t) const
+    {
+        return cpi[static_cast<int>(t)];
+    }
+
+    /** Sum of all categories (the total predicted CPI). */
+    double total() const;
+
+    /** Render the stack as one line, e.g. "BASE=1.00 DEP=0.42 ...". */
+    std::string toLine(int precision = 3) const;
+};
+
+/**
+ * Build the CPI stack of the representative warp running alone
+ * (Section VII first bullet): BASE is 1/issue_rate per instruction;
+ * each interval's stall cycles are attributed to DEP or split across
+ * L1/L2/DRAM by the causing load's miss-event distribution.
+ */
+CpiStack buildSingleWarpStack(const IntervalProfile &rep,
+                              const CollectorResult &inputs,
+                              const HardwareConfig &config);
+
+/**
+ * Build the multithreaded CPI stack (Section VII): the single-warp
+ * stall categories are shrunk so the stack totals the multithreading
+ * CPI (BASE stays constant per footnote 3), then the modeled MSHR and
+ * QUEUE delays are stacked on top.
+ */
+CpiStack buildCpiStack(const IntervalProfile &rep,
+                       const CollectorResult &inputs,
+                       const HardwareConfig &config,
+                       const MultithreadingResult &mt,
+                       const ContentionResult &contention);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_CPI_STACK_HH

@@ -1,0 +1,111 @@
+#include "core/gpumech.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(ModelLevel level)
+{
+    switch (level) {
+      case ModelLevel::MT:
+        return "MT";
+      case ModelLevel::MT_MSHR:
+        return "MT_MSHR";
+      case ModelLevel::MT_MSHR_BAND:
+        return "MT_MSHR_BAND";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Assemble a result from a representative profile and inputs. */
+GpuMechResult
+assemble(const IntervalProfile &rep, std::uint32_t rep_index,
+         const CollectorResult &inputs, const HardwareConfig &config,
+         SchedulingPolicy policy, ModelLevel level, bool model_sfu)
+{
+    GpuMechResult result;
+    result.repWarpIndex = rep_index;
+    result.repWarpPerf = rep.warpPerf(config.issueRate);
+    result.repNumIntervals = rep.intervals.size();
+
+    result.multithreading = modelMultithreading(
+        rep, config.warpsPerCore, config, policy);
+    result.cpiMultithreading = result.multithreading.cpi;
+
+    bool mshr = level != ModelLevel::MT;
+    bool band = level == ModelLevel::MT_MSHR_BAND;
+    result.contention =
+        modelContention(rep, result.multithreading, inputs, config,
+                        mshr, band, model_sfu);
+    result.cpiContention = result.contention.cpi;
+
+    // Eq. 3.
+    result.cpi = result.cpiMultithreading + result.cpiContention;
+    result.ipc = result.cpi > 0.0 ? 1.0 / result.cpi : 0.0;
+
+    result.stack = buildCpiStack(rep, inputs, config,
+                                 result.multithreading,
+                                 result.contention);
+    return result;
+}
+
+} // namespace
+
+GpuMechProfiler::GpuMechProfiler(const KernelTrace &kernel,
+                                 const HardwareConfig &config,
+                                 RepSelection selection,
+                                 std::uint32_t num_clusters,
+                                 unsigned profile_threads)
+    : kernel(kernel), config(config)
+{
+    if (kernel.numWarps() == 0)
+        fatal("GpuMechProfiler: kernel has no warps");
+    collected = collectInputs(kernel, config);
+    warpProfiles = profile_threads == 1
+        ? buildAllProfiles(kernel, collected, config)
+        : buildAllProfilesParallel(kernel, collected, config,
+                                   profile_threads);
+    repWarp = selectRepresentative(warpProfiles, config, selection,
+                                   num_clusters);
+}
+
+GpuMechResult
+GpuMechProfiler::evaluate(SchedulingPolicy policy, ModelLevel level,
+                          bool model_sfu) const
+{
+    return assemble(warpProfiles[repWarp], repWarp, collected, config,
+                    policy, level, model_sfu);
+}
+
+GpuMechResult
+GpuMechProfiler::evaluateAt(const HardwareConfig &new_config,
+                            SchedulingPolicy policy, ModelLevel level,
+                            bool model_sfu) const
+{
+    // Re-collect cache behaviour and rebuild only the representative
+    // warp's interval profile at the new configuration (Section VI-D:
+    // clustering and the remaining warps' profiles are per-input work
+    // and are reused).
+    CollectorResult new_inputs = collectInputs(kernel, new_config);
+    IntervalProfile rep = buildIntervalProfile(
+        kernel.warps()[repWarp], new_inputs, new_config);
+    return assemble(rep, repWarp, new_inputs, new_config, policy, level,
+                    model_sfu);
+}
+
+GpuMechResult
+runGpuMech(const KernelTrace &kernel, const HardwareConfig &config,
+           const GpuMechOptions &options)
+{
+    GpuMechProfiler profiler(kernel, config, options.selection,
+                             options.numClusters);
+    return profiler.evaluate(options.policy, options.level,
+                             options.modelSfu);
+}
+
+} // namespace gpumech

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * GPUMech top-level pipeline (paper Figure 5): input collection,
+ * per-warp interval profiles, representative-warp selection, the
+ * multi-warp model, and the CPI stack.
+ *
+ * This is the library's primary public entry point:
+ *
+ * @code
+ *   KernelTrace kernel = someWorkload(config);
+ *   GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+ *   std::cout << r.cpi << "\n" << r.stack.toLine() << "\n";
+ * @endcode
+ */
+
+#ifndef GPUMECH_CORE_GPUMECH_HH
+#define GPUMECH_CORE_GPUMECH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collector/input_collector.hh"
+#include "common/config.hh"
+#include "core/contention.hh"
+#include "core/cpi_stack.hh"
+#include "core/interval_builder.hh"
+#include "core/multiwarp.hh"
+#include "core/representative.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gpumech
+{
+
+/** Model levels of Table II (each adds one mechanism). */
+enum class ModelLevel
+{
+    MT,           //!< multithreading only (Section IV-A)
+    MT_MSHR,      //!< + MSHR queuing (Section IV-B1)
+    MT_MSHR_BAND, //!< + DRAM bandwidth queuing = full GPUMech
+};
+
+/** Human-readable model-level name matching Table II. */
+std::string toString(ModelLevel level);
+
+/** Options for a GPUMech run. */
+struct GpuMechOptions
+{
+    SchedulingPolicy policy = SchedulingPolicy::RoundRobin;
+    ModelLevel level = ModelLevel::MT_MSHR_BAND;
+    RepSelection selection = RepSelection::Clustering;
+    std::uint32_t numClusters = 2; //!< k for the clustering selector
+
+    /**
+     * Extension: model SFU structural contention (the paper's
+     * Section IV-B future-work item). Off by default — the paper
+     * assumes a balanced design with no normal-operation contention.
+     */
+    bool modelSfu = false;
+};
+
+/** Full output of a GPUMech run. */
+struct GpuMechResult
+{
+    double cpi = 0.0; //!< CPI_final (Eq. 3)
+    double ipc = 0.0; //!< 1 / cpi
+
+    double cpiMultithreading = 0.0;
+    double cpiContention = 0.0;
+
+    /** Warp chosen as representative (index into the kernel's warps). */
+    std::uint32_t repWarpIndex = 0;
+
+    /** Single-warp IPC of the representative warp (Eq. 5). */
+    double repWarpPerf = 0.0;
+
+    /** Number of intervals in the representative profile. */
+    std::size_t repNumIntervals = 0;
+
+    /** The predicted CPI stack (Section VII). */
+    CpiStack stack;
+
+    MultithreadingResult multithreading;
+    ContentionResult contention;
+};
+
+/**
+ * Run the full GPUMech pipeline on a kernel trace.
+ *
+ * Prefer this function unless intermediate artifacts need reuse
+ * across sweep points (then see GpuMechProfiler below).
+ */
+GpuMechResult runGpuMech(const KernelTrace &kernel,
+                         const HardwareConfig &config,
+                         const GpuMechOptions &options = {});
+
+/**
+ * Reusable profiling front end.
+ *
+ * Splits the pipeline the way Section VI-D describes: collecting
+ * inputs + profiling all warps + clustering happen once per kernel
+ * input, while evaluating a new hardware configuration only reruns
+ * the cache simulation and the representative warp's interval
+ * algorithm.
+ */
+class GpuMechProfiler
+{
+  public:
+    /**
+     * Profile a kernel: run the input collector, build every warp's
+     * interval profile and select the representative warp.
+     *
+     * @param profile_threads worker threads for the per-warp interval
+     *        algorithm (Section VI-D's unexplored parallelization);
+     *        1 = serial, 0 = hardware concurrency. Results are
+     *        identical either way.
+     */
+    GpuMechProfiler(const KernelTrace &kernel,
+                    const HardwareConfig &config,
+                    RepSelection selection = RepSelection::Clustering,
+                    std::uint32_t num_clusters = 2,
+                    unsigned profile_threads = 1);
+
+    /** Evaluate the multi-warp model at the profiling configuration. */
+    GpuMechResult evaluate(SchedulingPolicy policy,
+                           ModelLevel level = ModelLevel::MT_MSHR_BAND,
+                           bool model_sfu = false) const;
+
+    /**
+     * Re-evaluate at a different hardware configuration: reruns the
+     * cache simulation and the representative warp's interval
+     * algorithm (cheap), reusing the already-selected representative
+     * warp (Section VI-D).
+     */
+    GpuMechResult evaluateAt(const HardwareConfig &new_config,
+                             SchedulingPolicy policy,
+                             ModelLevel level = ModelLevel::MT_MSHR_BAND,
+                             bool model_sfu = false) const;
+
+    const CollectorResult &inputs() const { return collected; }
+    const std::vector<IntervalProfile> &profiles() const
+    {
+        return warpProfiles;
+    }
+    std::uint32_t repIndex() const { return repWarp; }
+    const IntervalProfile &repProfile() const
+    {
+        return warpProfiles[repWarp];
+    }
+
+  private:
+    const KernelTrace &kernel;
+    HardwareConfig config;
+    CollectorResult collected;
+    std::vector<IntervalProfile> warpProfiles;
+    std::uint32_t repWarp = 0;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_GPUMECH_HH

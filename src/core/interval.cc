@@ -1,0 +1,49 @@
+#include "core/interval.hh"
+
+namespace gpumech
+{
+
+std::uint64_t
+IntervalProfile::totalInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &iv : intervals)
+        n += iv.numInsts;
+    return n;
+}
+
+double
+IntervalProfile::totalStallCycles() const
+{
+    double s = 0.0;
+    for (const auto &iv : intervals)
+        s += iv.stallCycles;
+    return s;
+}
+
+double
+IntervalProfile::totalCycles(double issue_rate) const
+{
+    return static_cast<double>(totalInsts()) / issue_rate +
+           totalStallCycles();
+}
+
+double
+IntervalProfile::warpPerf(double issue_rate) const
+{
+    double cycles = totalCycles(issue_rate);
+    return cycles == 0.0
+        ? 0.0
+        : static_cast<double>(totalInsts()) / cycles;
+}
+
+double
+IntervalProfile::avgIntervalInsts() const
+{
+    if (intervals.empty())
+        return 0.0;
+    return static_cast<double>(totalInsts()) /
+           static_cast<double>(intervals.size());
+}
+
+} // namespace gpumech

@@ -1,0 +1,159 @@
+#include "core/interval_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+namespace
+{
+
+/** Accumulate a finished interval's contention annotations. */
+void
+annotateInterval(Interval &interval, const WarpTrace &warp,
+                 std::size_t first, std::size_t last,
+                 const CollectorResult &inputs)
+{
+    for (std::size_t k = first; k <= last; ++k) {
+        const WarpInst &inst = warp.insts[k];
+        if (inst.op == Opcode::GlobalLoad) {
+            const PcProfile &pc = inputs.pcs[inst.pc];
+            double reqs = static_cast<double>(inst.numRequests());
+            interval.mshrReqs += reqs * pc.reqL1MissRate();
+            interval.dramReqs += reqs * pc.reqL2MissRate();
+            interval.memInsts += 1.0 - pc.fracL1Hit();
+        } else if (inst.op == Opcode::GlobalStore) {
+            // Write-through: every store request is DRAM-bound but
+            // never allocates an MSHR.
+            interval.dramReqs += static_cast<double>(inst.numRequests());
+        } else if (inst.op == Opcode::Sfu) {
+            interval.sfuInsts += 1.0;
+        }
+    }
+}
+
+} // namespace
+
+IntervalProfile
+buildIntervalProfile(const WarpTrace &warp, const CollectorResult &inputs,
+                     const HardwareConfig &config)
+{
+    IntervalProfile profile;
+    profile.warpId = warp.warpId;
+    if (warp.insts.empty())
+        return profile;
+
+    const double rate = config.issueRate;
+    const double issue_step = 1.0 / rate;
+
+    std::vector<double> done(warp.insts.size(), 0.0);
+
+    double prev_issue = 0.0;
+    std::size_t interval_first = 0;
+
+    for (std::size_t k = 0; k < warp.insts.size(); ++k) {
+        const WarpInst &inst = warp.insts[k];
+
+        // Dependence-constrained earliest issue (Eq. 4).
+        double dep_ready = 0.0;
+        std::int32_t binding_dep = noDep;
+        for (std::int32_t d : inst.deps) {
+            if (d == noDep)
+                continue;
+            double avail = done[static_cast<std::size_t>(d)] + 1.0;
+            if (avail > dep_ready) {
+                dep_ready = avail;
+                binding_dep = d;
+            }
+        }
+
+        double issue;
+        if (k == 0) {
+            issue = 0.0;
+        } else {
+            issue = std::max(prev_issue + issue_step, dep_ready);
+        }
+        done[k] = issue + inputs.latencyOf(inst.pc);
+
+        if (k > 0 && issue > prev_issue + issue_step) {
+            // Stall detected: close the interval ending at k-1.
+            Interval interval;
+            interval.numInsts = k - interval_first;
+            interval.stallCycles = issue - (prev_issue + issue_step);
+            const WarpInst &src =
+                warp.insts[static_cast<std::size_t>(binding_dep)];
+            if (src.op == Opcode::GlobalLoad) {
+                interval.cause = StallCause::Memory;
+                interval.causePc = src.pc;
+            } else {
+                interval.cause = StallCause::Compute;
+            }
+            annotateInterval(interval, warp, interval_first, k - 1,
+                             inputs);
+            profile.intervals.push_back(std::move(interval));
+            interval_first = k;
+        }
+        prev_issue = issue;
+    }
+
+    // Final interval: the remaining instructions with no trailing
+    // stall.
+    Interval last;
+    last.numInsts = warp.insts.size() - interval_first;
+    last.stallCycles = 0.0;
+    last.cause = StallCause::None;
+    annotateInterval(last, warp, interval_first, warp.insts.size() - 1,
+                     inputs);
+    profile.intervals.push_back(std::move(last));
+    return profile;
+}
+
+std::vector<IntervalProfile>
+buildAllProfiles(const KernelTrace &kernel, const CollectorResult &inputs,
+                 const HardwareConfig &config)
+{
+    std::vector<IntervalProfile> profiles;
+    profiles.reserve(kernel.numWarps());
+    for (const auto &warp : kernel.warps())
+        profiles.push_back(buildIntervalProfile(warp, inputs, config));
+    return profiles;
+}
+
+std::vector<IntervalProfile>
+buildAllProfilesParallel(const KernelTrace &kernel,
+                         const CollectorResult &inputs,
+                         const HardwareConfig &config,
+                         unsigned num_threads)
+{
+    std::uint32_t num_warps = kernel.numWarps();
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    num_threads = std::min<unsigned>(num_threads, num_warps);
+    if (num_threads <= 1)
+        return buildAllProfiles(kernel, inputs, config);
+
+    std::vector<IntervalProfile> profiles(num_warps);
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        workers.emplace_back([&, t]() {
+            // Static stride partitioning: warp w goes to thread
+            // w % num_threads; each output slot is written by exactly
+            // one thread.
+            for (std::uint32_t w = t; w < num_warps; w += num_threads) {
+                profiles[w] = buildIntervalProfile(kernel.warps()[w],
+                                                   inputs, config);
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    return profiles;
+}
+
+} // namespace gpumech

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The interval algorithm (paper Section III-B).
+ *
+ * Traverses one warp's trace assuming in-order execution at the
+ * configured issue rate and forms intervals wherever the dependence-
+ * constrained issue cycle of an instruction leaves a gap (Eq. 4):
+ *
+ *   issue(k+1) = max(issue(k) + 1, done(source of k+1) + 1)
+ *
+ * Instruction latencies come from the input collector: fixed latencies
+ * for compute PCs, AMAT for memory PCs.
+ */
+
+#ifndef GPUMECH_CORE_INTERVAL_BUILDER_HH
+#define GPUMECH_CORE_INTERVAL_BUILDER_HH
+
+#include <vector>
+
+#include "collector/input_collector.hh"
+#include "core/interval.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gpumech
+{
+
+/**
+ * Build the interval profile of one warp.
+ *
+ * @param warp the warp's dynamic trace
+ * @param inputs per-PC latencies and miss profiles from the collector
+ * @param config machine description (issue rate)
+ */
+IntervalProfile buildIntervalProfile(const WarpTrace &warp,
+                                     const CollectorResult &inputs,
+                                     const HardwareConfig &config);
+
+/** Build the interval profiles of every warp in a kernel. */
+std::vector<IntervalProfile>
+buildAllProfiles(const KernelTrace &kernel, const CollectorResult &inputs,
+                 const HardwareConfig &config);
+
+/**
+ * Parallel variant: each warp's interval algorithm is independent, so
+ * warps are profiled on multiple threads (the speedup opportunity
+ * Section VI-D notes but does not explore). Results are bit-identical
+ * to the serial version.
+ *
+ * @param num_threads worker threads; 0 uses the hardware concurrency
+ */
+std::vector<IntervalProfile>
+buildAllProfilesParallel(const KernelTrace &kernel,
+                         const CollectorResult &inputs,
+                         const HardwareConfig &config,
+                         unsigned num_threads = 0);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_INTERVAL_BUILDER_HH

@@ -1,0 +1,135 @@
+#include "core/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::uint32_t
+KmeansResult::largestCluster() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c < sizes.size(); ++c) {
+        if (sizes[c] > sizes[best])
+            best = c;
+    }
+    return best;
+}
+
+std::uint32_t
+KmeansResult::closestToCenter(const std::vector<FeatureVector> &points,
+                              std::uint32_t cluster) const
+{
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::uint32_t best = 0;
+    bool found = false;
+    for (std::uint32_t i = 0; i < points.size(); ++i) {
+        if (assignment[i] != cluster)
+            continue;
+        double d = squaredDistance(points[i], centers[cluster]);
+        if (!found || d < best_dist) {
+            best_dist = d;
+            best = i;
+            found = true;
+        }
+    }
+    if (!found)
+        panic("closestToCenter: empty cluster");
+    return best;
+}
+
+double
+squaredDistance(const FeatureVector &a, const FeatureVector &b)
+{
+    if (a.size() != b.size())
+        panic("squaredDistance: dimension mismatch");
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+KmeansResult
+kmeans(const std::vector<FeatureVector> &points, std::uint32_t k,
+       std::uint32_t max_iters)
+{
+    if (points.empty())
+        panic("kmeans: no points");
+    if (k == 0)
+        panic("kmeans: k must be positive");
+    k = std::min<std::uint32_t>(k,
+                                static_cast<std::uint32_t>(points.size()));
+
+    // Deterministic init: order points by their first feature and pick
+    // centers at evenly spaced ranks, so k=2 starts from the slowest
+    // and fastest warps.
+    std::vector<std::uint32_t> order(points.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return points[a][0] < points[b][0];
+                     });
+
+    KmeansResult result;
+    result.centers.reserve(k);
+    for (std::uint32_t c = 0; c < k; ++c) {
+        std::size_t rank = (k == 1)
+            ? 0
+            : static_cast<std::size_t>(c) * (points.size() - 1) / (k - 1);
+        result.centers.push_back(points[order[rank]]);
+    }
+
+    result.assignment.assign(points.size(), 0);
+    result.sizes.assign(k, 0);
+
+    for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+        result.iterations = iter + 1;
+        bool changed = false;
+
+        // Assignment step.
+        for (std::uint32_t i = 0; i < points.size(); ++i) {
+            std::uint32_t best = 0;
+            double best_dist = squaredDistance(points[i],
+                                               result.centers[0]);
+            for (std::uint32_t c = 1; c < k; ++c) {
+                double d = squaredDistance(points[i], result.centers[c]);
+                if (d < best_dist) {
+                    best_dist = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        std::vector<FeatureVector> sums(
+            k, FeatureVector(points[0].size(), 0.0));
+        std::vector<std::uint32_t> counts(k, 0);
+        for (std::uint32_t i = 0; i < points.size(); ++i) {
+            std::uint32_t c = result.assignment[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < points[i].size(); ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // keep the stale center; cluster may refill
+            for (std::size_t d = 0; d < sums[c].size(); ++d)
+                result.centers[c][d] = sums[c][d] / counts[c];
+        }
+        result.sizes = counts;
+
+        if (!changed && iter > 0)
+            break;
+    }
+    return result;
+}
+
+} // namespace gpumech

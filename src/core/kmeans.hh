@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small deterministic k-means for the representative-warp selection
+ * (paper Section III-C uses k = 2, but the implementation is generic
+ * so the cluster-count ablation bench can sweep k).
+ */
+
+#ifndef GPUMECH_CORE_KMEANS_HH
+#define GPUMECH_CORE_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpumech
+{
+
+/** A point in feature space. */
+using FeatureVector = std::vector<double>;
+
+/** Result of a k-means run. */
+struct KmeansResult
+{
+    /** Cluster index of each input point. */
+    std::vector<std::uint32_t> assignment;
+
+    /** Final cluster centers. */
+    std::vector<FeatureVector> centers;
+
+    /** Number of points per cluster. */
+    std::vector<std::uint32_t> sizes;
+
+    /** Iterations executed before convergence (or the cap). */
+    std::uint32_t iterations = 0;
+
+    /** Index of the largest cluster. */
+    std::uint32_t largestCluster() const;
+
+    /**
+     * Index (into the input points) of the point closest to the given
+     * cluster's center; the points must be the ones clustered.
+     */
+    std::uint32_t closestToCenter(const std::vector<FeatureVector> &points,
+                                  std::uint32_t cluster) const;
+};
+
+/** Squared Euclidean distance. */
+double squaredDistance(const FeatureVector &a, const FeatureVector &b);
+
+/**
+ * Run k-means with deterministic initialization (centers seeded from
+ * points spread across the first-feature range) and Lloyd iterations
+ * until assignments stabilize or max_iters is hit.
+ *
+ * @param points input feature vectors (all the same dimension)
+ * @param k number of clusters (clamped to the point count)
+ * @param max_iters iteration cap
+ */
+KmeansResult kmeans(const std::vector<FeatureVector> &points,
+                    std::uint32_t k, std::uint32_t max_iters = 100);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_KMEANS_HH

@@ -1,0 +1,96 @@
+#include "core/multiwarp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+double
+nonoverlappedRR(const Interval &interval, double issue_prob,
+                std::uint32_t num_warps)
+{
+    if (interval.numInsts == 0)
+        return 0.0;
+    // Eq. 10: one waiting slot between each pair of scheduled
+    // instructions of the representative warp.
+    double waiting_slots = static_cast<double>(interval.numInsts - 1);
+    // Eq. 11: every remaining warp is scheduled once per slot and
+    // issues with the uniform issue probability.
+    return issue_prob * static_cast<double>(num_warps - 1) *
+           waiting_slots;
+}
+
+double
+nonoverlappedGTO(const Interval &interval, double issue_prob,
+                 double avg_interval_insts, std::uint32_t num_warps,
+                 double issue_rate)
+{
+    // Eq. 15 (corrected): probability a remaining warp gets scheduled
+    // during this interval's stall window, capped at 1.
+    double prob_in_stall =
+        std::min(issue_prob * interval.stallCycles, 1.0);
+    // Eq. 14: expected warps issuing during the stall.
+    double issue_warps =
+        prob_in_stall * static_cast<double>(num_warps - 1);
+    // Eq. 12: each issuing warp runs one interval's worth of
+    // instructions before yielding back.
+    double issue_insts = avg_interval_insts * issue_warps;
+    // Eq. 16 (corrected): instructions beyond the stall cycles do not
+    // overlap.
+    return std::max(issue_insts - interval.stallCycles * issue_rate,
+                    0.0);
+}
+
+MultithreadingResult
+modelMultithreading(const IntervalProfile &rep, std::uint32_t num_warps,
+                    const HardwareConfig &config, SchedulingPolicy policy)
+{
+    if (num_warps == 0)
+        panic("modelMultithreading: need at least one warp");
+    if (rep.intervals.empty())
+        panic("modelMultithreading: empty interval profile");
+
+    const double rate = config.issueRate;
+    MultithreadingResult result;
+    result.issueProb = rep.warpPerf(rate); // Eq. 9
+    result.singleWarpCycles = rep.totalCycles(rate);
+
+    double total_insts = static_cast<double>(rep.totalInsts());
+    double avg_insts = rep.avgIntervalInsts();
+
+    result.perInterval.reserve(rep.intervals.size());
+    double nonoverlapped = 0.0;
+    if (num_warps > 1) {
+        for (const auto &interval : rep.intervals) {
+            double n;
+            if (policy == SchedulingPolicy::RoundRobin) {
+                n = nonoverlappedRR(interval, result.issueProb,
+                                    num_warps);
+            } else {
+                n = nonoverlappedGTO(interval, result.issueProb,
+                                     avg_insts, num_warps, rate);
+            }
+            result.perInterval.push_back(n);
+            nonoverlapped += n;
+        }
+    } else {
+        result.perInterval.assign(rep.intervals.size(), 0.0);
+    }
+    result.nonoverlappedInsts = nonoverlapped;
+
+    // Eq. 7, inverted to a true CPI, with two physical bounds: the
+    // core cannot issue faster than the issue rate, and multithreading
+    // cannot make the kernel slower than serializing all warps.
+    double cycles = result.singleWarpCycles + nonoverlapped / rate;
+    double min_cycles = num_warps * total_insts / rate;
+    double max_cycles = num_warps * result.singleWarpCycles;
+    cycles = std::clamp(cycles, min_cycles, max_cycles);
+
+    result.ipc = num_warps * total_insts / cycles;
+    result.cpi = 1.0 / result.ipc;
+    return result;
+}
+
+} // namespace gpumech

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multithreading model (paper Section IV-A).
+ *
+ * Given the representative warp's interval profile, estimates the
+ * core's CPI when #warps run concurrently without resource
+ * contention, by probabilistically counting the instructions from the
+ * remaining warps that do NOT hide the representative warp's stall
+ * cycles (Eq. 7-16) under the RR and GTO scheduling policies.
+ */
+
+#ifndef GPUMECH_CORE_MULTIWARP_HH
+#define GPUMECH_CORE_MULTIWARP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/interval.hh"
+
+namespace gpumech
+{
+
+/** Output of the multithreading model. */
+struct MultithreadingResult
+{
+    /** Predicted CPI per warp-instruction under multithreading. */
+    double cpi = 0.0;
+
+    /** IPC form of the same prediction. */
+    double ipc = 0.0;
+
+    /** Total non-overlapped instructions (Eq. 8). */
+    double nonoverlappedInsts = 0.0;
+
+    /** Issue probability of a single warp (Eq. 9). */
+    double issueProb = 0.0;
+
+    /** Single-warp total cycles of the representative warp. */
+    double singleWarpCycles = 0.0;
+
+    /** Per-interval non-overlapped instructions (for diagnostics). */
+    std::vector<double> perInterval;
+};
+
+/**
+ * Run the multithreading model.
+ *
+ * The paper's Eq. 7 is dimensionally an IPC; we return both the IPC
+ * and its reciprocal CPI, clamped so the core never exceeds the issue
+ * rate (a physical bound the probabilistic counting can otherwise
+ * violate for compute-bound kernels; see DESIGN.md).
+ *
+ * @param rep representative warp's interval profile
+ * @param num_warps warps per core
+ * @param config machine description (issue rate)
+ * @param policy scheduling policy to model
+ */
+MultithreadingResult
+modelMultithreading(const IntervalProfile &rep, std::uint32_t num_warps,
+                    const HardwareConfig &config, SchedulingPolicy policy);
+
+/**
+ * Non-overlapped instructions of one interval under round-robin
+ * (Eq. 10-11).
+ */
+double nonoverlappedRR(const Interval &interval, double issue_prob,
+                       std::uint32_t num_warps);
+
+/**
+ * Non-overlapped instructions of one interval under greedy-then-oldest
+ * (Eq. 12-16, with the min/max typo corrected per DESIGN.md).
+ */
+double nonoverlappedGTO(const Interval &interval, double issue_prob,
+                        double avg_interval_insts, std::uint32_t num_warps,
+                        double issue_rate);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_MULTIWARP_HH

@@ -1,0 +1,78 @@
+#include "core/representative.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(RepSelection sel)
+{
+    switch (sel) {
+      case RepSelection::Clustering:
+        return "Clustering";
+      case RepSelection::MaxPerf:
+        return "MAX";
+      case RepSelection::MinPerf:
+        return "MIN";
+    }
+    return "?";
+}
+
+std::vector<FeatureVector>
+warpFeatures(const std::vector<IntervalProfile> &profiles,
+             const HardwareConfig &config)
+{
+    if (profiles.empty())
+        panic("warpFeatures: no profiles");
+
+    double avg_perf = 0.0;
+    double avg_insts = 0.0;
+    for (const auto &p : profiles) {
+        avg_perf += p.warpPerf(config.issueRate);
+        avg_insts += static_cast<double>(p.totalInsts());
+    }
+    avg_perf /= static_cast<double>(profiles.size());
+    avg_insts /= static_cast<double>(profiles.size());
+    if (avg_perf == 0.0 || avg_insts == 0.0)
+        panic("warpFeatures: degenerate profiles (zero average)");
+
+    std::vector<FeatureVector> features;
+    features.reserve(profiles.size());
+    for (const auto &p : profiles) {
+        features.push_back(
+            {p.warpPerf(config.issueRate) / avg_perf,
+             static_cast<double>(p.totalInsts()) / avg_insts});
+    }
+    return features;
+}
+
+std::uint32_t
+selectRepresentative(const std::vector<IntervalProfile> &profiles,
+                     const HardwareConfig &config, RepSelection sel,
+                     std::uint32_t num_clusters)
+{
+    if (profiles.empty())
+        panic("selectRepresentative: no profiles");
+    if (profiles.size() == 1)
+        return 0;
+
+    if (sel == RepSelection::MaxPerf || sel == RepSelection::MinPerf) {
+        std::uint32_t best = 0;
+        for (std::uint32_t i = 1; i < profiles.size(); ++i) {
+            double a = profiles[i].warpPerf(config.issueRate);
+            double b = profiles[best].warpPerf(config.issueRate);
+            bool better = sel == RepSelection::MaxPerf ? a > b : a < b;
+            if (better)
+                best = i;
+        }
+        return best;
+    }
+
+    auto features = warpFeatures(profiles, config);
+    KmeansResult clusters = kmeans(features, num_clusters);
+    std::uint32_t largest = clusters.largestCluster();
+    return clusters.closestToCenter(features, largest);
+}
+
+} // namespace gpumech

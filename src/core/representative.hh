@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Representative-warp selection (paper Section III-C).
+ *
+ * Each warp is reduced to the 2-D feature vector of Eq. 6 —
+ * (warp performance, instruction count), both normalized by their
+ * averages — and 2-cluster k-means picks the warp closest to the
+ * center of the largest cluster. The MAX/MIN selectors of Figure 7
+ * are provided for the comparison bench.
+ */
+
+#ifndef GPUMECH_CORE_REPRESENTATIVE_HH
+#define GPUMECH_CORE_REPRESENTATIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/interval.hh"
+#include "core/kmeans.hh"
+
+namespace gpumech
+{
+
+/** Representative-warp selection method (Figure 7). */
+enum class RepSelection
+{
+    Clustering, //!< k-means, largest cluster's center (the paper's pick)
+    MaxPerf,    //!< warp with the maximum single-warp IPC
+    MinPerf,    //!< warp with the minimum single-warp IPC
+};
+
+/** Human-readable selection name. */
+std::string toString(RepSelection sel);
+
+/** Build the Eq. 6 feature vectors for a set of warp profiles. */
+std::vector<FeatureVector>
+warpFeatures(const std::vector<IntervalProfile> &profiles,
+             const HardwareConfig &config);
+
+/**
+ * Pick the representative warp.
+ *
+ * @param profiles interval profiles of every warp (non-empty)
+ * @param config machine description (issue rate)
+ * @param sel selection method
+ * @param num_clusters k for the Clustering method (the paper uses 2)
+ * @return index into @p profiles of the representative warp
+ */
+std::uint32_t selectRepresentative(
+    const std::vector<IntervalProfile> &profiles,
+    const HardwareConfig &config,
+    RepSelection sel = RepSelection::Clustering,
+    std::uint32_t num_clusters = 2);
+
+} // namespace gpumech
+
+#endif // GPUMECH_CORE_REPRESENTATIVE_HH

@@ -1,0 +1,144 @@
+#include "harness/experiment.hh"
+
+#include "baselines/markov_chain.hh"
+#include "baselines/naive_interval.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::NaiveInterval:
+        return "Naive_Interval";
+      case ModelKind::MarkovChain:
+        return "Markov_Chain";
+      case ModelKind::MT:
+        return "MT";
+      case ModelKind::MT_MSHR:
+        return "MT_MSHR";
+      case ModelKind::MT_MSHR_BAND:
+        return "MT_MSHR_BAND";
+    }
+    return "?";
+}
+
+const std::vector<ModelKind> &
+allModels()
+{
+    static const std::vector<ModelKind> models = {
+        ModelKind::NaiveInterval, ModelKind::MarkovChain, ModelKind::MT,
+        ModelKind::MT_MSHR, ModelKind::MT_MSHR_BAND};
+    return models;
+}
+
+double
+KernelEvaluation::error(ModelKind kind) const
+{
+    auto it = predictedIpc.find(kind);
+    if (it == predictedIpc.end())
+        panic(msg("no prediction recorded for ", toString(kind)));
+    return relativeError(it->second, oracleIpc);
+}
+
+KernelEvaluation
+evaluateKernel(const Workload &workload, const HardwareConfig &config,
+               SchedulingPolicy policy,
+               const std::vector<ModelKind> &models)
+{
+    KernelTrace kernel = workload.generate(config);
+    KernelEvaluation eval;
+    eval.kernel = workload.name;
+    eval.policy = policy;
+
+    GpuTiming oracle(kernel, config, policy);
+    TimingStats stats = oracle.run();
+    eval.oracleCpi = stats.cpi();
+    eval.oracleIpc = eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
+
+    GpuMechProfiler profiler(kernel, config);
+    const IntervalProfile &rep = profiler.repProfile();
+
+    for (ModelKind kind : models) {
+        double ipc = 0.0;
+        switch (kind) {
+          case ModelKind::NaiveInterval:
+            ipc = naiveInterval(rep, config.warpsPerCore, config).ipc;
+            break;
+          case ModelKind::MarkovChain:
+            ipc = markovChain(rep, config.warpsPerCore, config).ipc;
+            break;
+          case ModelKind::MT:
+            ipc = profiler.evaluate(policy, ModelLevel::MT).ipc;
+            break;
+          case ModelKind::MT_MSHR:
+            ipc = profiler.evaluate(policy, ModelLevel::MT_MSHR).ipc;
+            break;
+          case ModelKind::MT_MSHR_BAND:
+            ipc = profiler.evaluate(policy,
+                                    ModelLevel::MT_MSHR_BAND).ipc;
+            break;
+        }
+        eval.predictedIpc[kind] = ipc;
+    }
+    return eval;
+}
+
+std::vector<KernelEvaluation>
+evaluateSuite(const std::vector<Workload> &workloads,
+              const HardwareConfig &config, SchedulingPolicy policy,
+              const std::vector<ModelKind> &models, bool verbose)
+{
+    std::vector<KernelEvaluation> evals;
+    evals.reserve(workloads.size());
+    for (const auto &workload : workloads) {
+        if (verbose)
+            inform(msg("evaluating ", workload.name, " (",
+                       toString(policy), ")"));
+        evals.push_back(evaluateKernel(workload, config, policy,
+                                       models));
+    }
+    return evals;
+}
+
+double
+averageError(const std::vector<KernelEvaluation> &evals, ModelKind kind)
+{
+    std::vector<double> errors;
+    errors.reserve(evals.size());
+    for (const auto &eval : evals)
+        errors.push_back(eval.error(kind));
+    return mean(errors);
+}
+
+double
+fractionWithin(const std::vector<KernelEvaluation> &evals,
+               ModelKind kind, double threshold)
+{
+    std::vector<double> errors;
+    errors.reserve(evals.size());
+    for (const auto &eval : evals)
+        errors.push_back(eval.error(kind));
+    return fractionBelow(errors, threshold);
+}
+
+StackEvaluation
+evaluateStack(const Workload &workload, const HardwareConfig &config,
+              SchedulingPolicy policy)
+{
+    KernelTrace kernel = workload.generate(config);
+    StackEvaluation result;
+    GpuTiming oracle(kernel, config, policy);
+    result.oracle = oracle.run();
+    result.model = runGpuMech(kernel, config,
+                              GpuMechOptions{policy,
+                                             ModelLevel::MT_MSHR_BAND,
+                                             RepSelection::Clustering,
+                                             2});
+    return result;
+}
+
+} // namespace gpumech

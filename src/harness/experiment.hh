@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment harness: evaluates the five models of Table II against
+ * the detailed timing simulator over kernel sets and configuration
+ * sweeps, and aggregates the relative errors the paper's figures
+ * report.
+ *
+ * Error metric: relative error of predicted performance,
+ * |IPC_model - IPC_oracle| / IPC_oracle. (The paper reports errors
+ * above 100% for models that overestimate performance, which is only
+ * possible on the performance axis; see DESIGN.md.)
+ */
+
+#ifndef GPUMECH_HARNESS_EXPERIMENT_HH
+#define GPUMECH_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/gpumech.hh"
+#include "timing/gpu_timing.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+/** The evaluated models (Table II). */
+enum class ModelKind
+{
+    NaiveInterval,
+    MarkovChain,
+    MT,
+    MT_MSHR,
+    MT_MSHR_BAND, //!< full GPUMech
+};
+
+/** Table II name of a model. */
+std::string toString(ModelKind kind);
+
+/** All five models in Table II order. */
+const std::vector<ModelKind> &allModels();
+
+/** Per-kernel evaluation outcome. */
+struct KernelEvaluation
+{
+    std::string kernel;
+    SchedulingPolicy policy = SchedulingPolicy::RoundRobin;
+
+    double oracleCpi = 0.0;
+    double oracleIpc = 0.0;
+
+    /** Predicted IPC per model. */
+    std::map<ModelKind, double> predictedIpc;
+
+    /** Relative performance error of one model. */
+    double error(ModelKind kind) const;
+};
+
+/**
+ * Evaluate one kernel: run the oracle and every requested model.
+ *
+ * @param workload kernel generator
+ * @param config machine description
+ * @param policy scheduling policy for both oracle and models
+ * @param models which models to run (default: all five)
+ */
+KernelEvaluation evaluateKernel(const Workload &workload,
+                                const HardwareConfig &config,
+                                SchedulingPolicy policy,
+                                const std::vector<ModelKind> &models =
+                                    allModels());
+
+/**
+ * Evaluate a set of kernels; optionally logs per-kernel progress via
+ * inform().
+ */
+std::vector<KernelEvaluation>
+evaluateSuite(const std::vector<Workload> &workloads,
+              const HardwareConfig &config, SchedulingPolicy policy,
+              const std::vector<ModelKind> &models = allModels(),
+              bool verbose = false);
+
+/** Mean relative error of one model over a set of evaluations. */
+double averageError(const std::vector<KernelEvaluation> &evals,
+                    ModelKind kind);
+
+/** Fraction of kernels with error below a threshold for one model. */
+double fractionWithin(const std::vector<KernelEvaluation> &evals,
+                      ModelKind kind, double threshold);
+
+/**
+ * Full GPUMech result (CPI stack etc.) plus the oracle CPI for one
+ * kernel at one configuration — what the Figure 16 bench needs.
+ */
+struct StackEvaluation
+{
+    GpuMechResult model;
+    TimingStats oracle;
+};
+
+/** Run full GPUMech and the oracle on one kernel. */
+StackEvaluation evaluateStack(const Workload &workload,
+                              const HardwareConfig &config,
+                              SchedulingPolicy policy);
+
+} // namespace gpumech
+
+#endif // GPUMECH_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,62 @@
+#include "harness/sweep.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace gpumech
+{
+
+SweepResult
+runSweep(const std::vector<Workload> &workloads,
+         const std::vector<SweepPoint> &points, SchedulingPolicy policy,
+         bool verbose)
+{
+    SweepResult result;
+    for (const auto &point : points) {
+        if (verbose)
+            inform(msg("sweep point ", point.label));
+        result.labels.push_back(point.label);
+        auto evals = evaluateSuite(workloads, point.config, policy,
+                                   allModels(), verbose);
+        for (ModelKind kind : allModels())
+            result.averages[kind].push_back(averageError(evals, kind));
+    }
+    return result;
+}
+
+namespace
+{
+
+Table
+sweepTable(const SweepResult &result, bool raw)
+{
+    std::vector<std::string> header{"model"};
+    for (const auto &label : result.labels)
+        header.push_back(label);
+    Table t(header);
+    for (ModelKind kind : allModels()) {
+        std::vector<std::string> row{toString(kind)};
+        for (double err : result.averages.at(kind))
+            row.push_back(raw ? fmtDouble(err, 6) : fmtPercent(err));
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+} // namespace
+
+void
+printSweep(std::ostream &os, const SweepResult &result)
+{
+    sweepTable(result, false).print(os);
+}
+
+void
+printSweepCsv(std::ostream &os, const SweepResult &result)
+{
+    sweepTable(result, true).printCsv(os);
+}
+
+} // namespace gpumech

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Configuration-sweep helper for the Figure 13/14/15 benches: runs
+ * the full model-vs-oracle comparison at each configuration point and
+ * aggregates the average error per model.
+ */
+
+#ifndef GPUMECH_HARNESS_SWEEP_HH
+#define GPUMECH_HARNESS_SWEEP_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace gpumech
+{
+
+/** One sweep point: a labeled configuration. */
+struct SweepPoint
+{
+    std::string label;
+    HardwareConfig config;
+};
+
+/** Average error of each model at each sweep point. */
+struct SweepResult
+{
+    std::vector<std::string> labels;
+    /** averages[model][point] = mean relative error. */
+    std::map<ModelKind, std::vector<double>> averages;
+};
+
+/**
+ * Run a sweep: evaluate every workload at every point and average the
+ * per-kernel errors per model.
+ *
+ * @param workloads kernels to evaluate
+ * @param points labeled configurations
+ * @param policy scheduling policy
+ * @param verbose log progress via inform()
+ */
+SweepResult runSweep(const std::vector<Workload> &workloads,
+                     const std::vector<SweepPoint> &points,
+                     SchedulingPolicy policy, bool verbose = false);
+
+/** Render a sweep as a table (rows = models, columns = points). */
+void printSweep(std::ostream &os, const SweepResult &result);
+
+/** Render a sweep as CSV (same layout, machine readable). */
+void printSweepCsv(std::ostream &os, const SweepResult &result);
+
+} // namespace gpumech
+
+#endif // GPUMECH_HARNESS_SWEEP_HH

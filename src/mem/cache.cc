@@ -1,0 +1,190 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "LRU";
+      case ReplacementPolicy::Fifo:
+        return "FIFO";
+      case ReplacementPolicy::PseudoRandom:
+        return "Random";
+    }
+    return "?";
+}
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+             std::uint32_t assoc, std::string name,
+             ReplacementPolicy policy)
+    : lineBytes(line_bytes), ways(assoc), cacheName(std::move(name)),
+      policy(policy)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        panic("cache line size must be a power of two");
+    if (assoc == 0)
+        panic("cache associativity must be positive");
+    if (size_bytes % (line_bytes * assoc) != 0)
+        panic(msg("cache size ", size_bytes,
+                  " not divisible by line*assoc"));
+    sets = size_bytes / (line_bytes * assoc);
+    if (sets == 0)
+        panic("cache set count must be positive");
+    table.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    // Modulo indexing supports non-power-of-two set counts (the
+    // Table I L2 has 768 sets).
+    return static_cast<std::uint32_t>((line_addr / lineBytes) % sets);
+}
+
+Addr
+Cache::tagOf(Addr line_addr) const
+{
+    // The full line number doubles as the tag; simplest and correct
+    // for any set count.
+    return line_addr / lineBytes;
+}
+
+Cache::Way *
+Cache::selectVictim(Way *base)
+{
+    // Invalid ways win regardless of policy.
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+    }
+    switch (policy) {
+      case ReplacementPolicy::Lru: {
+        Way *victim = base;
+        for (std::uint32_t w = 1; w < ways; ++w) {
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        return victim;
+      }
+      case ReplacementPolicy::Fifo: {
+        Way *victim = base;
+        for (std::uint32_t w = 1; w < ways; ++w) {
+            if (base[w].fillTime < victim->fillTime)
+                victim = &base[w];
+        }
+        return victim;
+      }
+      case ReplacementPolicy::PseudoRandom: {
+        victimSeed ^= victimSeed << 13;
+        victimSeed ^= victimSeed >> 7;
+        victimSeed ^= victimSeed << 17;
+        return &base[victimSeed % ways];
+      }
+    }
+    panic("unknown replacement policy");
+}
+
+void
+Cache::insert(Addr tag, Way *base)
+{
+    Way *victim = selectVictim(base);
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    victim->fillTime = useClock;
+}
+
+bool
+Cache::access(Addr line_addr)
+{
+    ++numAccesses;
+    ++useClock;
+    Addr tag = tagOf(line_addr);
+    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
+                       ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            ++numHits;
+            return true;
+        }
+    }
+    insert(tag, base);
+    return false;
+}
+
+bool
+Cache::lookup(Addr line_addr)
+{
+    ++numAccesses;
+    ++useClock;
+    Addr tag = tagOf(line_addr);
+    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
+                       ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            ++numHits;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    Addr tag = tagOf(line_addr);
+    const Way *base =
+        &table[static_cast<std::size_t>(setIndex(line_addr)) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr line_addr)
+{
+    ++useClock;
+    Addr tag = tagOf(line_addr);
+    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
+                       ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            return;
+        }
+    }
+    insert(tag, base);
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : table)
+        way = Way{};
+    useClock = 0;
+    numAccesses = 0;
+    numHits = 0;
+    victimSeed = 0x2545f4914f6cdd1dULL;
+}
+
+double
+Cache::hitRate() const
+{
+    return numAccesses == 0
+        ? 0.0
+        : static_cast<double>(numHits) / static_cast<double>(numAccesses);
+}
+
+} // namespace gpumech

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement.
+ *
+ * Purely functional (tag state only, no timing): the input collector
+ * uses it to classify accesses, and the timing simulator uses the same
+ * structure plus an event model for latencies. Operating on
+ * line-aligned addresses only keeps the simulator honest about
+ * coalescing: callers must coalesce first.
+ */
+
+#ifndef GPUMECH_MEM_CACHE_HH
+#define GPUMECH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/coalescer.hh"
+
+namespace gpumech
+{
+
+/** Replacement policies supported by the cache model. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,          //!< true least-recently-used (default)
+    Fifo,         //!< evict the oldest fill, ignore recency
+    PseudoRandom, //!< deterministic xorshift victim choice
+};
+
+/** Policy name ("LRU" / "FIFO" / "Random"). */
+std::string toString(ReplacementPolicy policy);
+
+/** Tag-state set-associative cache with selectable replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param line_bytes line size (power of two)
+     * @param assoc ways per set
+     * @param name for diagnostics
+     * @param policy replacement policy (LRU by default)
+     */
+    Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+          std::uint32_t assoc, std::string name,
+          ReplacementPolicy policy = ReplacementPolicy::Lru);
+
+    /**
+     * Look up a line; on a miss, fill it (evicting LRU). Updates
+     * recency and hit/miss statistics.
+     *
+     * @param line_addr line-aligned byte address
+     * @return true on hit
+     */
+    bool access(Addr line_addr);
+
+    /**
+     * Look up a line without filling on a miss: a hit updates recency
+     * and statistics; a miss only records the miss. Used by the
+     * timing simulator, where fills happen when data returns.
+     */
+    bool lookup(Addr line_addr);
+
+    /** Non-mutating presence check (no recency or stats update). */
+    bool probe(Addr line_addr) const;
+
+    /** Insert a line without classifying it as an access (fill path). */
+    void fill(Addr line_addr);
+
+    /** Invalidate everything and reset statistics. */
+    void reset();
+
+    std::uint64_t accesses() const { return numAccesses; }
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numAccesses - numHits; }
+
+    /** Hit rate in [0,1]; 0 when there were no accesses. */
+    double hitRate() const;
+
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t associativity() const { return ways; }
+    std::uint32_t lineSize() const { return lineBytes; }
+    const std::string &name() const { return cacheName; }
+    ReplacementPolicy replacementPolicy() const { return policy; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;  //!< recency stamp (LRU)
+        std::uint64_t fillTime = 0; //!< insertion stamp (FIFO)
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+
+    /** Pick the victim way in a set per the replacement policy. */
+    Way *selectVictim(Way *base);
+
+    /** Insert a line into a set (used by access-miss and fill). */
+    void insert(Addr tag, Way *base);
+
+    std::uint32_t lineBytes;
+    std::uint32_t ways;
+    std::uint32_t sets;
+    std::string cacheName;
+    ReplacementPolicy policy;
+    std::vector<Way> table; //!< sets * ways entries, set-major
+    std::uint64_t useClock = 0;
+    std::uint64_t numAccesses = 0;
+    std::uint64_t numHits = 0;
+    std::uint64_t victimSeed = 0x2545f4914f6cdd1dULL;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_MEM_CACHE_HH

@@ -1,0 +1,56 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace gpumech
+{
+
+DramChannel::DramChannel(const HardwareConfig &config)
+    : serviceTime(config.dramServiceCycles()),
+      accessLatency(config.dramAccessLatency)
+{
+}
+
+DramTiming
+DramChannel::enqueue(double arrival_cycle)
+{
+    DramTiming t;
+    t.serviceStart = std::max(arrival_cycle, nextFree);
+    t.queueDelay = t.serviceStart - arrival_cycle;
+    nextFree = t.serviceStart + serviceTime;
+    t.fillCycle = t.serviceStart + serviceTime + accessLatency;
+    totalQueueDelay += t.queueDelay;
+    return t;
+}
+
+DramTiming
+DramChannel::read(double arrival_cycle)
+{
+    ++numReads;
+    return enqueue(arrival_cycle);
+}
+
+DramTiming
+DramChannel::write(double arrival_cycle)
+{
+    ++numWrites;
+    return enqueue(arrival_cycle);
+}
+
+double
+DramChannel::avgQueueDelay() const
+{
+    std::uint64_t total = numReads + numWrites;
+    return total == 0 ? 0.0 : totalQueueDelay / static_cast<double>(total);
+}
+
+void
+DramChannel::reset()
+{
+    nextFree = 0.0;
+    numReads = 0;
+    numWrites = 0;
+    totalQueueDelay = 0.0;
+}
+
+} // namespace gpumech

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM channel model for the timing simulator: a single FIFO service
+ * queue whose service time per cache line is the line transmission
+ * time on the DRAM bus (freq * L / B cycles), plus the fixed access
+ * latency. Loads and stores share the queue, which is what lets
+ * divergent write traffic delay loads (the paper's
+ * kmeans_invert_mapping discussion).
+ */
+
+#ifndef GPUMECH_MEM_DRAM_HH
+#define GPUMECH_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace gpumech
+{
+
+/** Timing outcome of one DRAM request. */
+struct DramTiming
+{
+    double serviceStart = 0.0; //!< cycle service began (after queuing)
+    double fillCycle = 0.0;    //!< cycle data is available at L2
+    double queueDelay = 0.0;   //!< serviceStart - arrival
+};
+
+/** Bandwidth-limited DRAM channel shared by all cores. */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const HardwareConfig &config);
+
+    /**
+     * Enqueue a read for one cache line.
+     *
+     * @param arrival_cycle cycle the request reaches the channel
+     * @return service start / fill timing
+     */
+    DramTiming read(double arrival_cycle);
+
+    /**
+     * Enqueue a write for one cache line. Writes consume bandwidth
+     * but nothing waits for their completion.
+     */
+    DramTiming write(double arrival_cycle);
+
+    std::uint64_t reads() const { return numReads; }
+    std::uint64_t writes() const { return numWrites; }
+
+    /** Mean queuing delay over all requests (cycles). */
+    double avgQueueDelay() const;
+
+    /** Cycle at which the channel becomes idle. */
+    double busyUntil() const { return nextFree; }
+
+    /** Service time per line in core cycles. */
+    double serviceCycles() const { return serviceTime; }
+
+    void reset();
+
+  private:
+    DramTiming enqueue(double arrival_cycle);
+
+    double serviceTime;
+    std::uint32_t accessLatency;
+    double nextFree = 0.0;
+    std::uint64_t numReads = 0;
+    std::uint64_t numWrites = 0;
+    double totalQueueDelay = 0.0;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_MEM_DRAM_HH

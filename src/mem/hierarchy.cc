@@ -1,0 +1,78 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+FunctionalHierarchy::FunctionalHierarchy(const HardwareConfig &config)
+    : l2Cache(config.l2SizeBytes, config.l2LineBytes, config.l2Assoc,
+              "L2", replacementFromConfig(config))
+{
+    l1s.reserve(config.numCores);
+    for (std::uint32_t c = 0; c < config.numCores; ++c) {
+        l1s.emplace_back(config.l1SizeBytes, config.l1LineBytes,
+                         config.l1Assoc, "L1." + std::to_string(c),
+                         replacementFromConfig(config));
+    }
+}
+
+ReplacementPolicy
+replacementFromConfig(const HardwareConfig &config)
+{
+    switch (config.replacementPolicy) {
+      case 0:
+        return ReplacementPolicy::Lru;
+      case 1:
+        return ReplacementPolicy::Fifo;
+      case 2:
+        return ReplacementPolicy::PseudoRandom;
+    }
+    fatal(msg("invalid replacementPolicy index ",
+              config.replacementPolicy));
+}
+
+MemEvent
+FunctionalHierarchy::accessLoad(std::uint32_t core, Addr line_addr)
+{
+    if (l1s.at(core).access(line_addr))
+        return MemEvent::L1Hit;
+    if (l2Cache.access(line_addr))
+        return MemEvent::L2Hit;
+    return MemEvent::L2Miss;
+}
+
+MemEvent
+FunctionalHierarchy::probeLoad(std::uint32_t core, Addr line_addr) const
+{
+    if (l1s.at(core).probe(line_addr))
+        return MemEvent::L1Hit;
+    if (l2Cache.probe(line_addr))
+        return MemEvent::L2Hit;
+    return MemEvent::L2Miss;
+}
+
+void
+FunctionalHierarchy::reset()
+{
+    for (auto &l1 : l1s)
+        l1.reset();
+    l2Cache.reset();
+}
+
+std::uint32_t
+FunctionalHierarchy::eventLatency(MemEvent event,
+                                  const HardwareConfig &config)
+{
+    switch (event) {
+      case MemEvent::L1Hit:
+        return config.l1HitLatency;
+      case MemEvent::L2Hit:
+        return config.l2HitLatency;
+      case MemEvent::L2Miss:
+        return config.l2MissLatency();
+    }
+    return 0;
+}
+
+} // namespace gpumech

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Two-level functional cache hierarchy: one L1 per core, one shared
+ * L2. This is the "cache simulator" of the paper's input collector
+ * (Section V): no timing, just hit/miss classification of every
+ * coalesced load request.
+ */
+
+#ifndef GPUMECH_MEM_HIERARCHY_HH
+#define GPUMECH_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+
+namespace gpumech
+{
+
+/** Deepest level a request had to travel to. */
+enum class MemEvent : std::uint8_t
+{
+    L1Hit,  //!< serviced by the core's L1
+    L2Hit,  //!< L1 miss, serviced by the shared L2
+    L2Miss, //!< went to DRAM
+};
+
+/** Map HardwareConfig::replacementPolicy to the cache policy enum. */
+ReplacementPolicy replacementFromConfig(const HardwareConfig &config);
+
+/** Functional L1-per-core + shared-L2 hierarchy. */
+class FunctionalHierarchy
+{
+  public:
+    explicit FunctionalHierarchy(const HardwareConfig &config);
+
+    /**
+     * Classify one load line request from a core, updating tag state
+     * at both levels (misses allocate).
+     *
+     * @param core issuing core id
+     * @param line_addr line-aligned address
+     */
+    MemEvent accessLoad(std::uint32_t core, Addr line_addr);
+
+    /**
+     * Classify the level a load request would hit without changing
+     * state (used by the timing simulator's issue probe).
+     */
+    MemEvent probeLoad(std::uint32_t core, Addr line_addr) const;
+
+    /** Per-core L1 (for stats inspection). */
+    const Cache &l1(std::uint32_t core) const { return l1s.at(core); }
+    Cache &l1(std::uint32_t core) { return l1s.at(core); }
+
+    const Cache &l2() const { return l2Cache; }
+    Cache &l2() { return l2Cache; }
+
+    /** Invalidate all levels and reset statistics. */
+    void reset();
+
+    /**
+     * Latency in cycles implied by an event under the configuration
+     * (L1Hit -> l1HitLatency, L2Hit -> l2HitLatency,
+     * L2Miss -> l2HitLatency + dramAccessLatency).
+     */
+    static std::uint32_t eventLatency(MemEvent event,
+                                      const HardwareConfig &config);
+
+  private:
+    std::vector<Cache> l1s;
+    Cache l2Cache;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_MEM_HIERARCHY_HH

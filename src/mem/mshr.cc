@@ -1,0 +1,61 @@
+#include "mem/mshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+MshrFile::MshrFile(std::uint32_t num_entries)
+    : capacity(num_entries)
+{
+    if (num_entries == 0)
+        panic("MSHR file needs at least one entry");
+}
+
+std::uint32_t
+MshrFile::freshMissCount(const std::vector<Addr> &lines) const
+{
+    std::uint32_t n = 0;
+    for (Addr line : lines) {
+        if (!outstanding(line))
+            ++n;
+    }
+    return n;
+}
+
+void
+MshrFile::allocate(Addr line_addr, MshrWaiter waiter)
+{
+    if (outstanding(line_addr))
+        panic("MSHR allocate on an already-outstanding line");
+    if (full())
+        panic("MSHR allocate on a full file");
+    entries[line_addr].push_back(waiter);
+    ++numAllocs;
+    peak = std::max(peak, static_cast<std::uint32_t>(entries.size()));
+}
+
+void
+MshrFile::merge(Addr line_addr, MshrWaiter waiter)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        panic("MSHR merge on a line with no entry");
+    it->second.push_back(waiter);
+    ++numMerges;
+}
+
+std::vector<MshrWaiter>
+MshrFile::retire(Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    if (it == entries.end())
+        panic("MSHR retire on a line with no entry");
+    std::vector<MshrWaiter> waiters = std::move(it->second);
+    entries.erase(it);
+    return waiters;
+}
+
+} // namespace gpumech

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * One entry tracks one outstanding missing line. Requests to a line
+ * that already has an entry merge into it (secondary misses) without
+ * consuming a new entry. Following the paper (Section VI-B), only load
+ * misses allocate entries; stores bypass the MSHRs entirely.
+ */
+
+#ifndef GPUMECH_MEM_MSHR_HH
+#define GPUMECH_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/coalescer.hh"
+
+namespace gpumech
+{
+
+/**
+ * Identifies a load instruction waiting on a fill: (warp slot on the
+ * core, index into the warp's trace).
+ */
+struct MshrWaiter
+{
+    std::uint32_t warpSlot = 0;
+    std::uint64_t instIdx = 0;
+};
+
+/** Fixed-capacity MSHR file with secondary-miss merging. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t num_entries);
+
+    /** True when a new (non-merging) allocation would fail. */
+    bool full() const { return entries.size() >= capacity; }
+
+    /** Number of live entries. */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    std::uint32_t numEntries() const { return capacity; }
+
+    /** True when the line already has an outstanding entry. */
+    bool outstanding(Addr line_addr) const
+    {
+        return entries.find(line_addr) != entries.end();
+    }
+
+    /**
+     * Count how many of the given lines would need fresh entries
+     * (i.e. are not already outstanding). Used by the issue probe.
+     */
+    std::uint32_t freshMissCount(const std::vector<Addr> &lines) const;
+
+    /** Free entries currently available. */
+    std::uint32_t
+    freeEntries() const
+    {
+        return capacity - static_cast<std::uint32_t>(entries.size());
+    }
+
+    /**
+     * Allocate an entry for a line (must not be outstanding and the
+     * file must not be full) and register the first waiter.
+     */
+    void allocate(Addr line_addr, MshrWaiter waiter);
+
+    /** Merge a secondary miss into an existing entry. */
+    void merge(Addr line_addr, MshrWaiter waiter);
+
+    /**
+     * Retire the entry on fill and return its waiters.
+     *
+     * @param line_addr the filled line (must be outstanding)
+     */
+    std::vector<MshrWaiter> retire(Addr line_addr);
+
+    /** Peak occupancy seen since construction. */
+    std::uint32_t peakOccupancy() const { return peak; }
+
+    /** Total allocations (primary misses). */
+    std::uint64_t allocations() const { return numAllocs; }
+
+    /** Total merges (secondary misses). */
+    std::uint64_t merges() const { return numMerges; }
+
+  private:
+    std::uint32_t capacity;
+    std::unordered_map<Addr, std::vector<MshrWaiter>> entries;
+    std::uint32_t peak = 0;
+    std::uint64_t numAllocs = 0;
+    std::uint64_t numMerges = 0;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_MEM_MSHR_HH

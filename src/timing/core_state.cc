@@ -1,0 +1,65 @@
+#include "timing/core_state.hh"
+
+namespace gpumech
+{
+
+bool
+CoreState::allIssued() const
+{
+    for (const auto &w : warps) {
+        if (!w.finishedIssuing())
+            return false;
+    }
+    return true;
+}
+
+std::int32_t
+CoreState::pick(SchedulingPolicy policy, std::uint64_t cycle,
+                const std::function<bool(std::uint32_t)> &can_issue)
+{
+    (void)cycle;
+    auto num = static_cast<std::int32_t>(warps.size());
+    if (num == 0)
+        return -1;
+
+    if (policy == SchedulingPolicy::RoundRobin) {
+        // Scan starting after the last issuer; skipping stalled warps
+        // in the same cycle models the "schedule until a warp that can
+        // issue is found" behaviour of Section IV-A.
+        for (std::int32_t i = 1; i <= num; ++i) {
+            std::int32_t slot = (lastIssuedSlot + i) % num;
+            if (can_issue(static_cast<std::uint32_t>(slot)))
+                return slot;
+        }
+        return -1;
+    }
+
+    // Greedy-then-oldest: stay on the greedy warp while it can issue.
+    if (greedySlot >= 0 && greedySlot < num &&
+        can_issue(static_cast<std::uint32_t>(greedySlot))) {
+        return greedySlot;
+    }
+    // Otherwise the oldest warp (lowest slot: all warps launch
+    // together, so slot order is age order) that can issue becomes the
+    // new greedy warp.
+    for (std::int32_t slot = 0; slot < num; ++slot) {
+        if (slot == greedySlot)
+            continue;
+        if (can_issue(static_cast<std::uint32_t>(slot)))
+            return slot;
+    }
+    return -1;
+}
+
+void
+CoreState::issued(std::uint32_t slot, std::uint64_t cycle,
+                  bool count_inst)
+{
+    lastIssuedSlot = static_cast<std::int32_t>(slot);
+    greedySlot = static_cast<std::int32_t>(slot);
+    warps[slot].lastIssueCycle = cycle;
+    if (count_inst)
+        ++instsIssued;
+}
+
+} // namespace gpumech

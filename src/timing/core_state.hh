@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-core state and warp scheduling for the timing simulator.
+ *
+ * Implements the two scheduling policies the paper models
+ * (Section IV-A): round-robin (RR) issues one instruction per warp in
+ * turn; greedy-then-oldest (GTO) keeps issuing from the current warp
+ * until it stalls, then switches to the oldest ready warp.
+ */
+
+#ifndef GPUMECH_TIMING_CORE_STATE_HH
+#define GPUMECH_TIMING_CORE_STATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/mshr.hh"
+#include "timing/warp_context.hh"
+
+namespace gpumech
+{
+
+/** All per-core mutable state. */
+class CoreState
+{
+  public:
+    CoreState(std::uint32_t core_id, std::uint32_t num_mshrs)
+        : mshrs(num_mshrs), coreId(core_id)
+    {}
+
+    /** Warps resident on this core (index = warp slot). */
+    std::vector<WarpContext> warps;
+
+    /** L1 MSHR file. */
+    MshrFile mshrs;
+
+    /**
+     * Bumped every time an MSHR entry is retired; lets blocked warps
+     * avoid re-probing until an entry could actually be free.
+     */
+    std::uint64_t mshrFreeEpoch = 1;
+
+    /**
+     * Earliest cycle this core could possibly issue again; the main
+     * loop skips scheduling attempts before it. Reset by fills and by
+     * successful issues.
+     */
+    std::uint64_t sleepUntil = 0;
+
+    /**
+     * Cycle until which the special function unit is occupied; an
+     * SFU warp-instruction holds it for sfuOccupancyCycles().
+     */
+    std::uint64_t sfuBusyUntil = 0;
+
+    std::uint32_t id() const { return coreId; }
+
+    /** Slots with unfinished traces remaining. */
+    bool allIssued() const;
+
+    /**
+     * Pick the warp slot to issue this cycle, or -1.
+     *
+     * @param policy scheduling policy
+     * @param cycle current cycle
+     * @param can_issue predicate: true when the slot can issue now
+     *        (dependency- and resource-wise)
+     */
+    std::int32_t pick(SchedulingPolicy policy, std::uint64_t cycle,
+                      const std::function<bool(std::uint32_t)> &can_issue);
+
+    /**
+     * Record that a slot issued (updates RR/GTO bookkeeping).
+     *
+     * @param count_inst false for replay waves of a partially
+     *        dispatched load, which occupy an issue slot but are not
+     *        a new instruction
+     */
+    void issued(std::uint32_t slot, std::uint64_t cycle,
+                bool count_inst = true);
+
+    /** Total instructions issued by this core. */
+    std::uint64_t instsIssued = 0;
+
+    /** Total active thread-instructions issued (SIMD efficiency). */
+    std::uint64_t threadInstsIssued = 0;
+
+    // --- measured stall accounting (cycles the core did not issue,
+    //     classified by the blocking reason; see
+    //     GpuTiming::classifyStall) ---
+    std::uint64_t stallMemCycles = 0;     //!< waiting on loads
+    std::uint64_t stallComputeCycles = 0; //!< waiting on fixed latency
+    std::uint64_t stallMshrCycles = 0;    //!< blocked on MSHR entries
+    std::uint64_t stallSfuCycles = 0;     //!< blocked on the SFU
+
+  private:
+    std::uint32_t coreId;
+
+    /** RR pointer: last slot that issued. */
+    std::int32_t lastIssuedSlot = -1;
+
+    /** GTO: current greedy slot (-1 before first issue). */
+    std::int32_t greedySlot = -1;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_TIMING_CORE_STATE_HH

@@ -1,0 +1,479 @@
+#include "timing/gpu_timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+double
+TimingStats::cpi() const
+{
+    if (totalInsts == 0 || coresUsed == 0)
+        return 0.0;
+    double insts_per_core =
+        static_cast<double>(totalInsts) / coresUsed;
+    return static_cast<double>(totalCycles) / insts_per_core;
+}
+
+double
+TimingStats::ipc() const
+{
+    return totalCycles == 0
+        ? 0.0
+        : static_cast<double>(totalInsts) /
+              static_cast<double>(totalCycles);
+}
+
+namespace
+{
+
+double
+perInstShare(std::uint64_t cycles, std::uint64_t insts)
+{
+    return insts == 0
+        ? 0.0
+        : static_cast<double>(cycles) / static_cast<double>(insts);
+}
+
+} // namespace
+
+double
+TimingStats::simdEfficiency() const
+{
+    if (totalInsts == 0 || warpSize == 0)
+        return 0.0;
+    return static_cast<double>(threadInsts) /
+           (static_cast<double>(totalInsts) * warpSize);
+}
+
+double
+TimingStats::memStallCpi() const
+{
+    return perInstShare(stallMemCycles, totalInsts);
+}
+
+double
+TimingStats::computeStallCpi() const
+{
+    return perInstShare(stallComputeCycles, totalInsts);
+}
+
+double
+TimingStats::mshrStallCpi() const
+{
+    return perInstShare(stallMshrCycles, totalInsts);
+}
+
+double
+TimingStats::sfuStallCpi() const
+{
+    return perInstShare(stallSfuCycles, totalInsts);
+}
+
+GpuTiming::GpuTiming(const KernelTrace &kernel,
+                     const HardwareConfig &config, SchedulingPolicy policy)
+    : kernel(kernel), config(config), policy(policy), hierarchy(config),
+      dram(config)
+{
+    cores.reserve(config.numCores);
+    for (std::uint32_t c = 0; c < config.numCores; ++c)
+        cores.emplace_back(c, config.numMshrs);
+
+    for (const auto &warp : kernel.warps()) {
+        auto core_id = kernel.coreOf(warp, config);
+        WarpContext ctx;
+        ctx.trace = &warp;
+        ctx.doneCycle.assign(warp.insts.size(), cycleUnknown);
+        ctx.pendingFills.assign(warp.insts.size(), 0);
+        ctx.fillHighWater.assign(warp.insts.size(), 0);
+        cores[core_id].warps.push_back(std::move(ctx));
+    }
+}
+
+bool
+GpuTiming::canIssue(CoreState &core, std::uint32_t slot,
+                    std::uint64_t cycle)
+{
+    WarpContext &warp = core.warps[slot];
+    if (warp.finishedIssuing())
+        return false;
+    if (warp.numWaiting > 0)
+        return false;
+    if (warp.readyCycle > cycle)
+        return false;
+
+    const WarpInst &inst = warp.nextInst();
+    if (inst.op == Opcode::Sfu)
+        return cycle >= core.sfuBusyUntil;
+    if (inst.op != Opcode::GlobalLoad)
+        return true;
+
+    // Loads dispatch their line requests in order, in waves when the
+    // MSHR file runs dry (hardware replay). The warp can be scheduled
+    // when its first pending line can make progress: it merges, hits
+    // L1, or a free MSHR entry exists. Skip the probe when nothing
+    // was freed since the last failed attempt.
+    if (warp.blockedOnMshr &&
+        warp.mshrBlockEpoch == core.mshrFreeEpoch) {
+        return false;
+    }
+
+    Addr line = inst.lines[warp.lineCursor];
+    if (core.mshrs.outstanding(line) ||
+        hierarchy.l1(core.id()).probe(line) || !core.mshrs.full()) {
+        warp.blockedOnMshr = false;
+        return true;
+    }
+    warp.blockedOnMshr = true;
+    warp.mshrBlockEpoch = core.mshrFreeEpoch;
+    return false;
+}
+
+void
+GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
+                   std::uint64_t cycle)
+{
+    WarpContext &warp = core.warps[slot];
+    std::uint64_t idx = warp.nextIdx;
+    const WarpInst &inst = warp.nextInst();
+
+    if (inst.op == Opcode::GlobalLoad) {
+        std::uint64_t hit_done = cycle + config.l1HitLatency;
+        if (warp.lineCursor == 0) {
+            warp.fillHighWater[idx] = hit_done;
+        } else {
+            // Replay wave: hits in this wave complete later than the
+            // first wave's.
+            warp.fillHighWater[idx] =
+                std::max(warp.fillHighWater[idx], hit_done);
+        }
+
+        std::uint32_t added = 0;
+        std::uint32_t i = warp.lineCursor;
+        for (; i < inst.lines.size(); ++i) {
+            Addr line = inst.lines[i];
+            if (core.mshrs.outstanding(line)) {
+                core.mshrs.merge(line, MshrWaiter{slot, idx});
+                ++added;
+                continue;
+            }
+            if (hierarchy.l1(core.id()).lookup(line)) {
+                continue; // L1 hit: covered by fillHighWater
+            }
+            if (core.mshrs.full())
+                break; // continue in a later wave
+            // Fresh L1 miss: allocate an entry and send to L2/DRAM.
+            // The L1 tag is installed when the fill returns
+            // (handleFill), so the issue probe and this loop agree.
+            core.mshrs.allocate(line, MshrWaiter{slot, idx});
+            ++added;
+            std::uint64_t fill;
+            if (hierarchy.l2().access(line)) {
+                fill = cycle + config.l2HitLatency;
+            } else {
+                DramTiming t = dram.read(
+                    static_cast<double>(cycle) + config.l2HitLatency);
+                fill = static_cast<std::uint64_t>(
+                    std::ceil(t.fillCycle));
+            }
+            events.push(FillEvent{fill, core.id(), line});
+        }
+        warp.pendingFills[idx] = static_cast<std::uint8_t>(
+            warp.pendingFills[idx] + added);
+
+        if (i < inst.lines.size()) {
+            // MSHRs ran dry mid-instruction: hold the warp on this
+            // instruction and resume when entries free up.
+            bool first_wave = warp.lineCursor == 0;
+            if (first_wave)
+                core.threadInstsIssued += inst.activeThreads;
+            warp.lineCursor = i;
+            warp.blockedOnMshr = true;
+            warp.mshrBlockEpoch = core.mshrFreeEpoch;
+            warp.readyCycle = cycle + 1;
+            core.issued(slot, cycle, first_wave);
+            return;
+        }
+
+        bool first_wave = warp.lineCursor == 0;
+        if (first_wave) {
+            // Replay waves re-issue the same instruction; count its
+            // active lanes once.
+            core.threadInstsIssued += inst.activeThreads;
+        }
+        warp.lineCursor = 0;
+        if (warp.pendingFills[idx] == 0) {
+            complete(core, slot, idx, warp.fillHighWater[idx]);
+        } else {
+            ++outstandingLoads;
+        }
+        ++warp.nextIdx;
+        updateReadiness(warp, cycle);
+        core.issued(slot, cycle, first_wave);
+        return;
+    }
+
+    if (inst.op == Opcode::GlobalStore) {
+        // Write-through, no-allocate: each coalesced request consumes
+        // DRAM bandwidth; the warp does not wait.
+        for (std::size_t i = 0; i < inst.lines.size(); ++i) {
+            dram.write(static_cast<double>(cycle) +
+                       config.l2HitLatency);
+        }
+        complete(core, slot, idx, cycle + 1);
+    } else {
+        if (inst.op == Opcode::Sfu) {
+            // Occupy the SFU for warpSize / sfuLanes cycles.
+            core.sfuBusyUntil = cycle + config.sfuOccupancyCycles();
+        }
+        complete(core, slot, idx,
+                 cycle + fixedLatency(inst.op, config.latency));
+    }
+
+    core.threadInstsIssued += inst.activeThreads;
+    ++warp.nextIdx;
+    updateReadiness(warp, cycle);
+    core.issued(slot, cycle);
+}
+
+void
+GpuTiming::updateReadiness(WarpContext &warp, std::uint64_t cycle)
+{
+    warp.numWaiting = 0;
+    if (warp.finishedIssuing())
+        return;
+    const WarpInst &next = warp.nextInst();
+    std::uint64_t ready = cycle + 1;
+    for (std::int32_t dep : next.deps) {
+        if (dep == noDep)
+            continue;
+        std::uint64_t done = warp.doneCycle[static_cast<std::size_t>(dep)];
+        if (done == cycleUnknown) {
+            warp.waitingOn[warp.numWaiting++] = dep;
+        } else {
+            ready = std::max(ready, done + 1);
+        }
+    }
+    warp.readyCycle = ready;
+}
+
+void
+GpuTiming::complete(CoreState &core, std::uint32_t slot,
+                    std::uint64_t inst_idx, std::uint64_t done)
+{
+    WarpContext &warp = core.warps[slot];
+    warp.doneCycle[inst_idx] = done;
+    maxDone = std::max(maxDone, done);
+
+    // Wake the warp if its next instruction was waiting on this one.
+    if (warp.numWaiting > 0) {
+        std::uint32_t remaining = 0;
+        for (std::uint32_t i = 0; i < warp.numWaiting; ++i) {
+            if (warp.waitingOn[i] ==
+                static_cast<std::int64_t>(inst_idx)) {
+                warp.readyCycle = std::max(warp.readyCycle, done + 1);
+            } else {
+                warp.waitingOn[remaining++] = warp.waitingOn[i];
+            }
+        }
+        warp.numWaiting = remaining;
+    }
+}
+
+void
+GpuTiming::handleFill(const FillEvent &event)
+{
+    CoreState &core = cores[event.core];
+    hierarchy.l1(core.id()).fill(event.line);
+    auto waiters = core.mshrs.retire(event.line);
+    ++core.mshrFreeEpoch;
+    // A freed MSHR entry or a completed load can unblock the core.
+    core.sleepUntil = std::min(core.sleepUntil, event.cycle + 1);
+    for (const auto &w : waiters) {
+        WarpContext &warp = core.warps[w.warpSlot];
+        warp.fillHighWater[w.instIdx] =
+            std::max(warp.fillHighWater[w.instIdx], event.cycle);
+        if (--warp.pendingFills[w.instIdx] == 0) {
+            // A load still mid-dispatch (instIdx == nextIdx) is not
+            // complete; its final dispatch wave resolves it.
+            if (w.instIdx < warp.nextIdx) {
+                --outstandingLoads;
+                complete(core, w.warpSlot, w.instIdx,
+                         warp.fillHighWater[w.instIdx]);
+            }
+        }
+    }
+}
+
+void
+GpuTiming::chargeStall(CoreState &core, std::uint64_t cycle,
+                       std::uint64_t cycles)
+{
+    bool any_mshr = false;
+    bool any_mem = false;
+    bool any_sfu = false;
+    for (const auto &warp : core.warps) {
+        if (warp.finishedIssuing())
+            continue;
+        if (warp.blockedOnMshr) {
+            any_mshr = true;
+            break; // highest priority
+        }
+        if (warp.numWaiting > 0) {
+            any_mem = true;
+            continue;
+        }
+        if (warp.readyCycle <= cycle &&
+            warp.nextInst().op == Opcode::Sfu &&
+            core.sfuBusyUntil > cycle) {
+            any_sfu = true;
+        }
+    }
+    if (any_mshr)
+        core.stallMshrCycles += cycles;
+    else if (any_sfu)
+        core.stallSfuCycles += cycles;
+    else if (any_mem)
+        core.stallMemCycles += cycles;
+    else
+        core.stallComputeCycles += cycles;
+}
+
+std::uint64_t
+GpuTiming::nextInterestingCycle(std::uint64_t cycle) const
+{
+    std::uint64_t next = cycleUnknown;
+    if (!events.empty())
+        next = events.top().cycle;
+    for (const auto &core : cores) {
+        if (core.allIssued())
+            continue;
+        next = std::min(next, std::max(core.sleepUntil, cycle + 1));
+    }
+    return next;
+}
+
+TimingStats
+GpuTiming::run()
+{
+    std::uint64_t cycle = 0;
+    auto can_issue_total = [this]() {
+        std::uint64_t remaining = 0;
+        for (const auto &core : cores) {
+            for (const auto &warp : core.warps)
+                remaining += warp.trace->insts.size() - warp.nextIdx;
+        }
+        return remaining;
+    };
+
+    std::vector<char> core_issued(cores.size(), 0);
+    while (true) {
+        while (!events.empty() && events.top().cycle <= cycle) {
+            FillEvent e = events.top();
+            events.pop();
+            handleFill(e);
+        }
+
+        bool all_issued = true;
+        bool any_issued = false;
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            CoreState &core = cores[c];
+            core_issued[c] = 0;
+            if (core.allIssued())
+                continue;
+            all_issued = false;
+            if (core.sleepUntil > cycle)
+                continue;
+            auto pred = [&](std::uint32_t slot) {
+                return canIssue(core, slot, cycle);
+            };
+            // Issue up to issueWidth warp-instructions per cycle
+            // (Table I uses width 1; wider configs are a supported
+            // design-space axis).
+            std::uint32_t issued_n = 0;
+            while (issued_n < config.issueWidth) {
+                std::int32_t slot = core.pick(policy, cycle, pred);
+                if (slot < 0)
+                    break;
+                doIssue(core, static_cast<std::uint32_t>(slot), cycle);
+                ++issued_n;
+            }
+            if (issued_n > 0) {
+                core.sleepUntil = cycle + 1;
+                core_issued[c] = 1;
+                any_issued = true;
+            } else {
+                // Nothing issuable: sleep until the earliest resolved
+                // readiness; fills reset this via handleFill.
+                std::uint64_t next = cycleUnknown;
+                for (const auto &warp : core.warps) {
+                    if (warp.finishedIssuing() || warp.numWaiting > 0 ||
+                        warp.blockedOnMshr) {
+                        continue;
+                    }
+                    std::uint64_t ready = warp.readyCycle;
+                    if (warp.nextInst().op == Opcode::Sfu)
+                        ready = std::max(ready, core.sfuBusyUntil);
+                    next = std::min(next, ready);
+                }
+                core.sleepUntil = next;
+            }
+        }
+
+        if (all_issued && events.empty() && outstandingLoads == 0)
+            break;
+
+        // Advance time and attribute the non-issue cycles of every
+        // unfinished core to its dominant blocking reason.
+        std::uint64_t next_cycle;
+        if (any_issued) {
+            next_cycle = cycle + 1;
+        } else {
+            std::uint64_t next = nextInterestingCycle(cycle);
+            if (next == cycleUnknown) {
+                panic(msg("timing simulator deadlock at cycle ", cycle,
+                          " with ", can_issue_total(),
+                          " instructions remaining"));
+            }
+            next_cycle = std::max(cycle + 1, next);
+        }
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            if (!core_issued[c] && !cores[c].allIssued())
+                chargeStall(cores[c], cycle, next_cycle - cycle);
+        }
+        cycle = next_cycle;
+    }
+
+    TimingStats stats;
+    stats.totalCycles = maxDone;
+    stats.warpSize = config.warpSize;
+    for (const auto &core : cores) {
+        stats.totalInsts += core.instsIssued;
+        stats.threadInsts += core.threadInstsIssued;
+        if (!core.warps.empty())
+            ++stats.coresUsed;
+        stats.mshrPeak = std::max(stats.mshrPeak,
+                                  core.mshrs.peakOccupancy());
+        stats.mshrAllocs += core.mshrs.allocations();
+        stats.mshrMerges += core.mshrs.merges();
+        stats.stallMemCycles += core.stallMemCycles;
+        stats.stallComputeCycles += core.stallComputeCycles;
+        stats.stallMshrCycles += core.stallMshrCycles;
+        stats.stallSfuCycles += core.stallSfuCycles;
+    }
+    for (std::uint32_t c = 0; c < config.numCores; ++c) {
+        stats.l1Accesses += hierarchy.l1(c).accesses();
+        stats.l1Hits += hierarchy.l1(c).hits();
+    }
+    stats.l2Accesses = hierarchy.l2().accesses();
+    stats.l2Hits = hierarchy.l2().hits();
+    stats.dramReads = dram.reads();
+    stats.dramWrites = dram.writes();
+    stats.avgDramQueueDelay = dram.avgQueueDelay();
+    return stats;
+}
+
+} // namespace gpumech

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-warp execution state in the timing simulator.
+ */
+
+#ifndef GPUMECH_TIMING_WARP_CONTEXT_HH
+#define GPUMECH_TIMING_WARP_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/warp_trace.hh"
+
+namespace gpumech
+{
+
+/** doneCycle value for an instruction whose completion is not known. */
+constexpr std::uint64_t cycleUnknown =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Execution state of one warp resident on a core.
+ *
+ * The warp issues its trace in order. readyCycle is the earliest cycle
+ * the next instruction may issue given its already-resolved
+ * dependencies; unresolved dependencies (outstanding loads) are listed
+ * in waitingOn and cleared as fills arrive.
+ */
+struct WarpContext
+{
+    const WarpTrace *trace = nullptr;
+
+    /** Index of the next instruction to issue. */
+    std::uint64_t nextIdx = 0;
+
+    /** Completion cycle of each issued instruction. */
+    std::vector<std::uint64_t> doneCycle;
+
+    /** Outstanding fill count per issued load (0 when complete). */
+    std::vector<std::uint8_t> pendingFills;
+
+    /** Latest fill cycle observed so far per in-flight load. */
+    std::vector<std::uint64_t> fillHighWater;
+
+    /**
+     * Earliest issue cycle of the next instruction from resolved
+     * dependencies (issue-after-done+1 rule, Eq. 4 semantics).
+     */
+    std::uint64_t readyCycle = 0;
+
+    /** Trace indices of unresolved (in-flight) dependencies. */
+    std::array<std::int64_t, 3> waitingOn = {-1, -1, -1};
+    std::uint32_t numWaiting = 0;
+
+    /**
+     * MSHR-free epoch at which this warp last failed to issue a
+     * memory instruction; it is not re-probed until the epoch moves.
+     */
+    std::uint64_t mshrBlockEpoch = 0;
+    bool blockedOnMshr = false;
+
+    /**
+     * Dispatch progress of the current (partially issued) load: index
+     * of the first line request not yet sent to the memory system.
+     * Divergent loads whose fresh misses exceed the free MSHRs are
+     * replayed in waves, like real hardware.
+     */
+    std::uint32_t lineCursor = 0;
+
+    /** Cycle the warp last issued (used by GTO age bookkeeping). */
+    std::uint64_t lastIssueCycle = 0;
+
+    bool
+    finishedIssuing() const
+    {
+        return trace != nullptr && nextIdx >= trace->insts.size();
+    }
+
+    const WarpInst &
+    nextInst() const
+    {
+        return trace->insts[nextIdx];
+    }
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_TIMING_WARP_CONTEXT_HH

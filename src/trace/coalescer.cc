@@ -1,0 +1,31 @@
+#include "trace/coalescer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::vector<Addr>
+coalesce(const std::vector<Addr> &addrs, std::uint32_t line_bytes)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        panic("coalesce: line size must be a power of two");
+    std::vector<Addr> lines;
+    lines.reserve(addrs.size());
+    Addr mask = ~static_cast<Addr>(line_bytes - 1);
+    for (Addr a : addrs)
+        lines.push_back(a & mask);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+std::uint32_t
+coalescedCount(const std::vector<Addr> &addrs, std::uint32_t line_bytes)
+{
+    return static_cast<std::uint32_t>(coalesce(addrs, line_bytes).size());
+}
+
+} // namespace gpumech

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Memory-access coalescer.
+ *
+ * A SIMT memory instruction issues one memory request per distinct
+ * cache line touched by its active threads (Section II-B: the degree
+ * of memory divergence is the number of uncoalesced requests, 1..32).
+ */
+
+#ifndef GPUMECH_TRACE_COALESCER_HH
+#define GPUMECH_TRACE_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpumech
+{
+
+/** Byte address in the flat global address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Coalesce per-thread byte addresses into the sorted list of distinct
+ * line-aligned addresses for a given line size.
+ *
+ * @param addrs per-active-thread byte addresses
+ * @param line_bytes cache line size (must be a power of two)
+ * @return sorted, deduplicated line base addresses
+ */
+std::vector<Addr> coalesce(const std::vector<Addr> &addrs,
+                           std::uint32_t line_bytes);
+
+/** Number of requests coalesce() would produce, without materializing. */
+std::uint32_t coalescedCount(const std::vector<Addr> &addrs,
+                             std::uint32_t line_bytes);
+
+} // namespace gpumech
+
+#endif // GPUMECH_TRACE_COALESCER_HH

@@ -1,0 +1,84 @@
+#include "trace/kernel_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::uint32_t
+KernelTrace::addStatic(Opcode op, std::string label)
+{
+    program.push_back(StaticInst{op, std::move(label)});
+    return static_cast<std::uint32_t>(program.size() - 1);
+}
+
+Opcode
+KernelTrace::opcodeOf(std::uint32_t pc) const
+{
+    if (pc >= program.size())
+        panic(msg("opcodeOf: pc ", pc, " out of range"));
+    return program[pc].op;
+}
+
+void
+KernelTrace::addWarp(WarpTrace warp)
+{
+    warps_.push_back(std::move(warp));
+}
+
+std::uint32_t
+KernelTrace::numBlocks() const
+{
+    std::uint32_t max_block = 0;
+    for (const auto &w : warps_)
+        max_block = std::max(max_block, w.blockId);
+    return warps_.empty() ? 0 : max_block + 1;
+}
+
+std::uint64_t
+KernelTrace::totalInsts() const
+{
+    std::uint64_t total = 0;
+    for (const auto &w : warps_)
+        total += w.insts.size();
+    return total;
+}
+
+std::uint32_t
+KernelTrace::coreOf(const WarpTrace &warp,
+                    const HardwareConfig &config) const
+{
+    return warp.blockId % config.numCores;
+}
+
+std::vector<std::uint32_t>
+KernelTrace::warpsOnCore(std::uint32_t core,
+                         const HardwareConfig &config) const
+{
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < warps_.size(); ++i) {
+        if (coreOf(warps_[i], config) == core)
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+bool
+KernelTrace::validate() const
+{
+    for (const auto &warp : warps_) {
+        if (!warp.validate())
+            return false;
+        for (const auto &inst : warp.insts) {
+            if (inst.pc >= program.size())
+                return false;
+            if (program[inst.pc].op != inst.op)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace gpumech

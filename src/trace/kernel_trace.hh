@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Whole-kernel trace: the static program, every warp's dynamic trace,
+ * and the block-to-core assignment used by both the timing simulator
+ * and the input collector.
+ */
+
+#ifndef GPUMECH_TRACE_KERNEL_TRACE_HH
+#define GPUMECH_TRACE_KERNEL_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "trace/warp_trace.hh"
+
+namespace gpumech
+{
+
+/** One static instruction (PC) of a kernel. */
+struct StaticInst
+{
+    Opcode op = Opcode::IntAlu;
+    std::string label; //!< optional human-readable tag
+};
+
+/**
+ * A complete kernel trace.
+ *
+ * Thread blocks are assigned to cores round-robin by blockId; all
+ * warps of a block land on the same core, mirroring how real GPUs
+ * schedule CTAs onto SMs.
+ */
+class KernelTrace
+{
+  public:
+    KernelTrace() = default;
+    explicit KernelTrace(std::string kernel_name)
+        : name_(std::move(kernel_name))
+    {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Register a static instruction; returns its PC. */
+    std::uint32_t addStatic(Opcode op, std::string label = "");
+
+    const std::vector<StaticInst> &staticInsts() const { return program; }
+    std::uint32_t numStaticInsts() const
+    {
+        return static_cast<std::uint32_t>(program.size());
+    }
+    Opcode opcodeOf(std::uint32_t pc) const;
+
+    /** Append a warp trace (takes ownership). */
+    void addWarp(WarpTrace warp);
+
+    const std::vector<WarpTrace> &warps() const { return warps_; }
+    std::uint32_t numWarps() const
+    {
+        return static_cast<std::uint32_t>(warps_.size());
+    }
+    std::uint32_t numBlocks() const;
+
+    /** Total dynamic warp-instructions across all warps. */
+    std::uint64_t totalInsts() const;
+
+    /** Core a given warp executes on under round-robin block placement. */
+    std::uint32_t coreOf(const WarpTrace &warp,
+                         const HardwareConfig &config) const;
+
+    /** Indices (into warps()) of the warps assigned to one core. */
+    std::vector<std::uint32_t> warpsOnCore(std::uint32_t core,
+                                           const HardwareConfig &config)
+        const;
+
+    /**
+     * Validate every warp trace and that PCs reference the static
+     * program with matching opcodes.
+     */
+    bool validate() const;
+
+  private:
+    std::string name_;
+    std::vector<StaticInst> program;
+    std::vector<WarpTrace> warps_;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_TRACE_KERNEL_TRACE_HH

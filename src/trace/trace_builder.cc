@@ -1,0 +1,121 @@
+#include "trace/trace_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/coalescer.hh"
+
+namespace gpumech
+{
+
+TraceBuilder::TraceBuilder(KernelTrace &kernel, std::uint32_t warp_id,
+                           std::uint32_t block_id,
+                           const HardwareConfig &config)
+    : kernel(kernel), config(config)
+{
+    trace.warpId = warp_id;
+    trace.blockId = block_id;
+}
+
+Reg
+TraceBuilder::compute(std::uint32_t pc, std::vector<Reg> srcs,
+                      std::uint32_t active_threads)
+{
+    Opcode op = kernel.opcodeOf(pc);
+    if (isGlobalMemory(op))
+        panic("compute() emitted with a global-memory pc");
+    if (active_threads == 0)
+        active_threads = config.warpSize;
+    return append(pc, op, srcs, active_threads, {}, !isStore(op));
+}
+
+Reg
+TraceBuilder::globalLoad(std::uint32_t pc,
+                         const std::vector<Addr> &thread_addrs,
+                         std::vector<Reg> srcs)
+{
+    Opcode op = kernel.opcodeOf(pc);
+    if (op != Opcode::GlobalLoad)
+        panic("globalLoad() emitted with a non-GlobalLoad pc");
+    if (thread_addrs.empty())
+        panic("globalLoad() needs at least one thread address");
+    auto lines = coalesce(thread_addrs, config.l1LineBytes);
+    return append(pc, op, srcs,
+                  static_cast<std::uint32_t>(thread_addrs.size()),
+                  std::move(lines), true);
+}
+
+void
+TraceBuilder::globalStore(std::uint32_t pc,
+                          const std::vector<Addr> &thread_addrs,
+                          std::vector<Reg> srcs)
+{
+    Opcode op = kernel.opcodeOf(pc);
+    if (op != Opcode::GlobalStore)
+        panic("globalStore() emitted with a non-GlobalStore pc");
+    if (thread_addrs.empty())
+        panic("globalStore() needs at least one thread address");
+    auto lines = coalesce(thread_addrs, config.l1LineBytes);
+    append(pc, op, srcs, static_cast<std::uint32_t>(thread_addrs.size()),
+           std::move(lines), false);
+}
+
+Reg
+TraceBuilder::append(std::uint32_t pc, Opcode op,
+                     const std::vector<Reg> &srcs,
+                     std::uint32_t active_threads, std::vector<Addr> lines,
+                     bool produces)
+{
+    if (finished)
+        panic("TraceBuilder used after finish()");
+
+    WarpInst inst;
+    inst.pc = pc;
+    inst.op = op;
+    inst.activeThreads = active_threads;
+    inst.lines = std::move(lines);
+
+    // Resolve register sources to distinct producer trace indices;
+    // keep the youngest producers if there are more than fit, since
+    // older ones have almost certainly completed already.
+    std::vector<std::int32_t> dep_idx;
+    for (Reg r : srcs) {
+        if (r == regNone)
+            continue;
+        auto it = producer.find(r);
+        if (it == producer.end())
+            panic(msg("source register ", r, " has no producer"));
+        if (std::find(dep_idx.begin(), dep_idx.end(), it->second) ==
+            dep_idx.end()) {
+            dep_idx.push_back(it->second);
+        }
+    }
+    std::sort(dep_idx.begin(), dep_idx.end(),
+              std::greater<std::int32_t>());
+    for (std::size_t i = 0; i < inst.deps.size() && i < dep_idx.size();
+         ++i) {
+        inst.deps[i] = dep_idx[i];
+    }
+
+    auto idx = static_cast<std::int32_t>(trace.insts.size());
+    trace.insts.push_back(std::move(inst));
+
+    if (!produces)
+        return regNone;
+    Reg dest = nextReg++;
+    producer[dest] = idx;
+    return dest;
+}
+
+void
+TraceBuilder::finish()
+{
+    if (finished)
+        panic("TraceBuilder::finish() called twice");
+    finished = true;
+    if (trace.insts.empty())
+        panic("finish() on an empty warp trace");
+    kernel.addWarp(std::move(trace));
+}
+
+} // namespace gpumech

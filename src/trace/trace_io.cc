@@ -1,0 +1,147 @@
+#include "trace/trace_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+namespace
+{
+
+/**
+ * Read one whitespace-delimited token, failing loudly with context if
+ * the stream is exhausted.
+ */
+std::string
+expectToken(std::istream &is, const char *context)
+{
+    std::string tok;
+    if (!(is >> tok))
+        fatal(msg("trace parse error: unexpected end of input in ",
+                  context));
+    return tok;
+}
+
+template <typename T>
+T
+expectNumber(std::istream &is, const char *context)
+{
+    std::string tok = expectToken(is, context);
+    std::istringstream ss(tok);
+    T value;
+    if (!(ss >> value))
+        fatal(msg("trace parse error: expected number in ", context,
+                  ", got '", tok, "'"));
+    return value;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const KernelTrace &kernel)
+{
+    os << "kernel " << kernel.name() << "\n";
+    os << "static " << kernel.numStaticInsts() << "\n";
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc) {
+        const auto &si = kernel.staticInsts()[pc];
+        os << pc << " " << toString(si.op) << " "
+           << (si.label.empty() ? "-" : si.label) << "\n";
+    }
+    os << "warps " << kernel.numWarps() << "\n";
+    for (const auto &warp : kernel.warps()) {
+        os << "warp " << warp.warpId << " " << warp.blockId << " "
+           << warp.insts.size() << "\n";
+        for (const auto &inst : warp.insts) {
+            os << inst.pc << " " << inst.activeThreads;
+            for (std::int32_t d : inst.deps)
+                os << " " << d;
+            os << " " << inst.lines.size();
+            for (Addr a : inst.lines)
+                os << " " << a;
+            os << "\n";
+        }
+    }
+    os << "end\n";
+}
+
+KernelTrace
+readTrace(std::istream &is)
+{
+    std::string tok = expectToken(is, "header");
+    if (tok != "kernel")
+        fatal("trace parse error: missing 'kernel' header");
+    KernelTrace kernel(expectToken(is, "kernel name"));
+
+    tok = expectToken(is, "static header");
+    if (tok != "static")
+        fatal("trace parse error: missing 'static' section");
+    auto num_static = expectNumber<std::uint32_t>(is, "static count");
+    for (std::uint32_t i = 0; i < num_static; ++i) {
+        auto pc = expectNumber<std::uint32_t>(is, "static pc");
+        if (pc != i)
+            fatal("trace parse error: static pcs must be sequential");
+        Opcode op = opcodeFromString(expectToken(is, "static opcode"));
+        std::string label = expectToken(is, "static label");
+        kernel.addStatic(op, label == "-" ? "" : label);
+    }
+
+    tok = expectToken(is, "warps header");
+    if (tok != "warps")
+        fatal("trace parse error: missing 'warps' section");
+    auto num_warps = expectNumber<std::uint32_t>(is, "warp count");
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        tok = expectToken(is, "warp header");
+        if (tok != "warp")
+            fatal("trace parse error: missing 'warp' record");
+        WarpTrace warp;
+        warp.warpId = expectNumber<std::uint32_t>(is, "warp id");
+        warp.blockId = expectNumber<std::uint32_t>(is, "block id");
+        auto n = expectNumber<std::uint64_t>(is, "inst count");
+        warp.insts.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            WarpInst inst;
+            inst.pc = expectNumber<std::uint32_t>(is, "inst pc");
+            if (inst.pc >= kernel.numStaticInsts())
+                fatal("trace parse error: inst pc out of range");
+            inst.op = kernel.opcodeOf(inst.pc);
+            inst.activeThreads =
+                expectNumber<std::uint32_t>(is, "active threads");
+            for (auto &d : inst.deps)
+                d = expectNumber<std::int32_t>(is, "dep index");
+            auto num_lines = expectNumber<std::uint32_t>(is, "line count");
+            inst.lines.reserve(num_lines);
+            for (std::uint32_t l = 0; l < num_lines; ++l)
+                inst.lines.push_back(expectNumber<Addr>(is, "line addr"));
+            warp.insts.push_back(std::move(inst));
+        }
+        kernel.addWarp(std::move(warp));
+    }
+
+    tok = expectToken(is, "trailer");
+    if (tok != "end")
+        fatal("trace parse error: missing 'end' trailer");
+    if (!kernel.validate())
+        fatal("trace parse error: trace failed validation");
+    return kernel;
+}
+
+std::string
+traceToString(const KernelTrace &kernel)
+{
+    std::ostringstream os;
+    writeTrace(os, kernel);
+    return os.str();
+}
+
+KernelTrace
+traceFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return readTrace(is);
+}
+
+} // namespace gpumech

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text kernel trace serialization.
+ *
+ * The on-disk format lets traces be produced once (the paper's
+ * "per-input-basis" profiling) and re-consumed across hardware
+ * configuration sweeps, and makes traces inspectable in tests.
+ */
+
+#ifndef GPUMECH_TRACE_TRACE_IO_HH
+#define GPUMECH_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/kernel_trace.hh"
+
+namespace gpumech
+{
+
+/** Write a kernel trace in the text format. */
+void writeTrace(std::ostream &os, const KernelTrace &kernel);
+
+/**
+ * Parse a kernel trace from the text format.
+ *
+ * Calls fatal() on malformed input.
+ */
+KernelTrace readTrace(std::istream &is);
+
+/** Convenience: serialize to a string. */
+std::string traceToString(const KernelTrace &kernel);
+
+/** Convenience: parse from a string. */
+KernelTrace traceFromString(const std::string &text);
+
+} // namespace gpumech
+
+#endif // GPUMECH_TRACE_TRACE_IO_HH

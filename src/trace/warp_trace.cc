@@ -1,0 +1,51 @@
+#include "trace/warp_trace.hh"
+
+namespace gpumech
+{
+
+std::size_t
+WarpTrace::numGlobalMemInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : insts) {
+        if (isGlobalMemory(inst.op))
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+WarpTrace::numGlobalMemRequests() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : insts) {
+        if (isGlobalMemory(inst.op))
+            n += inst.lines.size();
+    }
+    return n;
+}
+
+bool
+WarpTrace::validate() const
+{
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const auto &inst = insts[i];
+        for (std::int32_t dep : inst.deps) {
+            if (dep == noDep)
+                continue;
+            if (dep < 0 || static_cast<std::size_t>(dep) >= i)
+                return false;
+        }
+        if (isGlobalMemory(inst.op)) {
+            if (inst.lines.empty())
+                return false;
+        } else if (!inst.lines.empty()) {
+            return false;
+        }
+        if (inst.activeThreads == 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace gpumech

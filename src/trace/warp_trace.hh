@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-warp dynamic instruction trace.
+ *
+ * This is the unit of input the paper's input collector produces per
+ * warp: the sequence of executed warp-instructions tagged with
+ * dependency information (Section V-A) and, for global-memory
+ * instructions, the coalesced line requests.
+ */
+
+#ifndef GPUMECH_TRACE_WARP_TRACE_HH
+#define GPUMECH_TRACE_WARP_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/coalescer.hh"
+#include "trace/isa.hh"
+
+namespace gpumech
+{
+
+/** Sentinel for an absent dependency slot. */
+constexpr std::int32_t noDep = -1;
+
+/**
+ * One dynamic warp-instruction.
+ *
+ * Dependencies point backwards into the owning warp's trace (index of
+ * the producing instruction). Only intra-warp register dependencies
+ * exist in the SIMT model; memory ordering is not a dependence.
+ */
+struct WarpInst
+{
+    /** Static-instruction (PC) identifier within the kernel. */
+    std::uint32_t pc = 0;
+
+    /** Opcode class. */
+    Opcode op = Opcode::IntAlu;
+
+    /** Number of active threads executing this instruction. */
+    std::uint32_t activeThreads = 0;
+
+    /**
+     * Up to three register dependencies (enough for FMA-style
+     * three-source instructions): indices of the producing
+     * instructions in the same warp trace, or noDep.
+     */
+    std::array<std::int32_t, 3> deps = {noDep, noDep, noDep};
+
+    /**
+     * Coalesced line requests (global-memory instructions only). The
+     * size of this vector is the instruction's memory divergence
+     * degree (1 = fully coalesced, up to warpSize).
+     */
+    std::vector<Addr> lines;
+
+    /** Number of memory requests this instruction issues. */
+    std::uint32_t
+    numRequests() const
+    {
+        return static_cast<std::uint32_t>(lines.size());
+    }
+};
+
+/** Dynamic trace of one warp plus its CTA (thread block) identity. */
+struct WarpTrace
+{
+    std::uint32_t warpId = 0;  //!< kernel-global warp index
+    std::uint32_t blockId = 0; //!< owning thread block
+    std::vector<WarpInst> insts;
+
+    std::size_t numInsts() const { return insts.size(); }
+
+    /** Count of global-memory instructions. */
+    std::size_t numGlobalMemInsts() const;
+
+    /** Total global-memory requests over the whole trace. */
+    std::size_t numGlobalMemRequests() const;
+
+    /**
+     * Check structural invariants: dependency indices point strictly
+     * backwards, global-memory instructions have at least one line
+     * request and non-memory instructions have none.
+     *
+     * @return true when the trace is well formed
+     */
+    bool validate() const;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_TRACE_WARP_TRACE_HH

@@ -1,0 +1,460 @@
+#include "workloads/archetypes.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/patterns.hh"
+
+namespace gpumech
+{
+
+namespace
+{
+
+// Disjoint base addresses of the synthetic address space.
+constexpr Addr streamBase = 0x100000000ULL; //!< per-warp input slices
+constexpr Addr hotBase = 0x200000000ULL;    //!< kernel-wide hot set
+constexpr Addr sharedBase = 0x300000000ULL; //!< kernel-shared region
+constexpr Addr outBase = 0x400000000ULL;    //!< per-warp output slices
+constexpr Addr chaseBase = 0x500000000ULL;  //!< pointer pool
+constexpr Addr binsBase = 0x600000000ULL;   //!< histogram bins
+
+/** Generous per-warp slice so streams never alias. */
+constexpr Addr warpSlice = 8ULL << 20;
+
+/** Deterministic per-warp RNG derived from the kernel name. */
+Rng
+warpRng(const std::string &name, std::uint32_t warp_id)
+{
+    Rng seed_rng = Rng::fromString(name);
+    return Rng(seed_rng.next() ^
+               (0x9e3779b97f4a7c15ULL * (warp_id + 1)));
+}
+
+/** Compute opcode for slot i under an FP share. */
+Opcode
+computeOp(std::uint32_t i, double fp_fraction)
+{
+    double position = (static_cast<double>(i % 8) + 0.5) / 8.0;
+    return position < fp_fraction ? Opcode::FpAlu : Opcode::IntAlu;
+}
+
+} // namespace
+
+std::uint32_t
+totalWarps(const HardwareConfig &config)
+{
+    return config.numCores * config.warpsPerCore;
+}
+
+KernelTrace
+loopKernel(const std::string &name, const LoopKernelParams &params,
+           const HardwareConfig &config)
+{
+    if (params.iterations == 0)
+        panic("loopKernel: iterations must be positive");
+
+    KernelTrace kernel(name);
+
+    // ---- static program ----
+    std::vector<std::uint32_t> pc_indep;
+    for (std::uint32_t i = 0; i < params.independentCompute; ++i) {
+        pc_indep.push_back(kernel.addStatic(
+            computeOp(i, params.fpFraction), "indep" + std::to_string(i)));
+    }
+    std::vector<std::uint32_t> pc_load;
+    std::vector<std::vector<std::uint32_t>> pc_chain(params.loadsPerIter);
+    for (std::uint32_t l = 0; l < params.loadsPerIter; ++l) {
+        pc_load.push_back(kernel.addStatic(Opcode::GlobalLoad,
+                                           "load" + std::to_string(l)));
+        for (std::uint32_t c = 0; c < params.computePerLoad; ++c) {
+            pc_chain[l].push_back(kernel.addStatic(
+                computeOp(c + l, params.fpFraction),
+                "chain" + std::to_string(l) + "_" + std::to_string(c)));
+        }
+    }
+    std::vector<std::uint32_t> pc_sfu;
+    for (std::uint32_t i = 0; i < params.sfuPerIter; ++i)
+        pc_sfu.push_back(kernel.addStatic(Opcode::Sfu));
+    std::vector<std::uint32_t> pc_shared;
+    for (std::uint32_t i = 0; i < params.sharedPerIter; ++i) {
+        pc_shared.push_back(kernel.addStatic(
+            i % 2 ? Opcode::SharedLoad : Opcode::SharedStore));
+    }
+    std::vector<std::uint32_t> pc_store;
+    for (std::uint32_t i = 0; i < params.storesPerIter; ++i)
+        pc_store.push_back(kernel.addStatic(Opcode::GlobalStore));
+    std::vector<std::uint32_t> pc_extra;
+    for (std::uint32_t i = 0; i < params.extraPathCompute; ++i) {
+        pc_extra.push_back(kernel.addStatic(
+            computeOp(i, params.fpFraction), "extra"));
+    }
+    std::uint32_t pc_branch = kernel.addStatic(Opcode::Branch, "loop");
+
+    // ---- per-warp traces ----
+    std::uint32_t num_warps = totalWarps(config);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        Rng rng = warpRng(name, w);
+        std::uint32_t block = w / params.warpsPerBlock;
+        TraceBuilder b(kernel, w, block, config);
+
+        std::uint32_t iters = params.iterations;
+        if (params.iterationVariance > 0.0) {
+            double u = rng.nextDouble() * 2.0 - 1.0;
+            double scaled = static_cast<double>(params.iterations) *
+                            (1.0 + params.iterationVariance * u);
+            iters = std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(std::lround(scaled)));
+        }
+        bool heavy_path = params.extraPathFraction > 0.0 &&
+                          rng.nextBool(params.extraPathFraction);
+
+        Addr stream_cursor = streamBase + static_cast<Addr>(w) * warpSlice;
+        Addr out_cursor = outBase + static_cast<Addr>(w) * warpSlice;
+
+        Reg carry = regNone;
+        for (std::uint32_t it = 0; it < iters; ++it) {
+            // Independent compute (address arithmetic etc.).
+            Reg indep = carry;
+            for (std::uint32_t i = 0; i < params.independentCompute;
+                 ++i) {
+                indep = b.compute(pc_indep[i],
+                                  indep == regNone
+                                      ? std::vector<Reg>{}
+                                      : std::vector<Reg>{indep});
+            }
+
+            // Loads first (memory-level parallelism within the
+            // iteration), then the dependent compute chains.
+            std::vector<Reg> loaded;
+            for (std::uint32_t l = 0; l < params.loadsPerIter; ++l) {
+                std::vector<Addr> addrs;
+                if (params.hotFraction > 0.0 &&
+                    rng.nextBool(params.hotFraction)) {
+                    addrs = randomDivergentPattern(
+                        rng, hotBase, params.hotBytes, config.warpSize,
+                        params.loadDivergence, config.l1LineBytes);
+                } else if (params.sharedRegion) {
+                    addrs = randomDivergentPattern(
+                        rng, sharedBase, params.sharedRegionBytes,
+                        config.warpSize, params.loadDivergence,
+                        config.l1LineBytes);
+                } else {
+                    addrs = divergentPattern(stream_cursor,
+                                             config.warpSize,
+                                             params.loadDivergence,
+                                             config.l1LineBytes);
+                    stream_cursor += static_cast<Addr>(
+                                         params.loadDivergence) *
+                                     config.l1LineBytes;
+                }
+                loaded.push_back(b.globalLoad(pc_load[l], addrs));
+            }
+
+            Reg chain_last = regNone;
+            for (std::uint32_t l = 0; l < params.loadsPerIter; ++l) {
+                Reg c = loaded[l];
+                for (std::uint32_t k = 0; k < params.computePerLoad;
+                     ++k) {
+                    std::vector<Reg> srcs{c};
+                    if (params.serialChain && carry != regNone)
+                        srcs.push_back(carry);
+                    c = b.compute(pc_chain[l][k], srcs);
+                }
+                chain_last = c;
+                if (params.serialChain)
+                    carry = c;
+            }
+            if (!params.serialChain)
+                carry = chain_last != regNone ? chain_last : indep;
+
+            for (std::uint32_t i = 0; i < params.sfuPerIter; ++i) {
+                carry = b.compute(pc_sfu[i],
+                                  carry == regNone
+                                      ? std::vector<Reg>{}
+                                      : std::vector<Reg>{carry});
+            }
+            for (std::uint32_t i = 0; i < params.sharedPerIter; ++i) {
+                Reg r = b.compute(pc_shared[i],
+                                  carry == regNone
+                                      ? std::vector<Reg>{}
+                                      : std::vector<Reg>{carry});
+                if (r != regNone)
+                    carry = r;
+            }
+
+            for (std::uint32_t i = 0; i < params.storesPerIter; ++i) {
+                auto addrs = divergentPattern(out_cursor,
+                                              config.warpSize,
+                                              params.storeDivergence,
+                                              config.l1LineBytes);
+                out_cursor += static_cast<Addr>(params.storeDivergence) *
+                              config.l1LineBytes;
+                std::vector<Reg> srcs;
+                if (carry != regNone)
+                    srcs.push_back(carry);
+                b.globalStore(pc_store[i], addrs, srcs);
+            }
+
+            if (heavy_path) {
+                Reg e = carry;
+                for (std::uint32_t i = 0; i < params.extraPathCompute;
+                     ++i) {
+                    e = b.compute(pc_extra[i],
+                                  e == regNone ? std::vector<Reg>{}
+                                               : std::vector<Reg>{e});
+                }
+                carry = e;
+            }
+
+            b.compute(pc_branch, {});
+        }
+        b.finish();
+    }
+    return kernel;
+}
+
+KernelTrace
+pointerChaseKernel(const std::string &name,
+                   const PointerChaseParams &params,
+                   const HardwareConfig &config)
+{
+    KernelTrace kernel(name);
+    std::uint32_t pc_load = kernel.addStatic(Opcode::GlobalLoad, "hop");
+    std::vector<std::uint32_t> pc_comp;
+    for (std::uint32_t i = 0; i < params.computeBetween; ++i)
+        pc_comp.push_back(kernel.addStatic(Opcode::IntAlu));
+
+    std::uint32_t num_warps = totalWarps(config);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        Rng rng = warpRng(name, w);
+        TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+
+        Reg ptr = regNone;
+        for (std::uint32_t hop = 0; hop < params.chainLength; ++hop) {
+            auto addrs = randomDivergentPattern(
+                rng, chaseBase, params.regionBytes, config.warpSize,
+                params.divergence, config.l1LineBytes);
+            std::vector<Reg> srcs;
+            if (ptr != regNone)
+                srcs.push_back(ptr);
+            ptr = b.globalLoad(pc_load, addrs, srcs);
+            for (std::uint32_t i = 0; i < params.computeBetween; ++i)
+                ptr = b.compute(pc_comp[i], {ptr});
+        }
+        b.finish();
+    }
+    return kernel;
+}
+
+KernelTrace
+reductionKernel(const std::string &name, const ReductionParams &params,
+                const HardwareConfig &config)
+{
+    KernelTrace kernel(name);
+    std::uint32_t pc_load = kernel.addStatic(Opcode::GlobalLoad, "elem");
+    std::uint32_t pc_add = kernel.addStatic(Opcode::FpAlu, "acc");
+    std::uint32_t pc_sst = kernel.addStatic(Opcode::SharedStore);
+    std::uint32_t pc_sld = kernel.addStatic(Opcode::SharedLoad);
+    std::uint32_t pc_lvl = kernel.addStatic(Opcode::FpAlu, "lvl");
+    std::uint32_t pc_fin_ld = kernel.addStatic(Opcode::GlobalLoad, "fin");
+    std::uint32_t pc_fin_add = kernel.addStatic(Opcode::FpAlu);
+    std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore);
+
+    std::uint32_t num_warps = totalWarps(config);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        Addr cursor = streamBase + static_cast<Addr>(w) * warpSlice;
+
+        // Phase 1: accumulate coalesced elements.
+        Reg acc = regNone;
+        for (std::uint32_t i = 0; i < params.loadsPerWarp; ++i) {
+            auto addrs = coalescedPattern(cursor, config.warpSize);
+            cursor += config.l1LineBytes;
+            Reg v = b.globalLoad(pc_load, addrs);
+            acc = acc == regNone ? v : b.compute(pc_add, {acc, v});
+        }
+
+        // Phase 2: tree reduction with a shrinking active mask.
+        if (params.useShared) {
+            std::uint32_t active = config.warpSize;
+            for (std::uint32_t level = 0; level < params.levels;
+                 ++level) {
+                active = std::max<std::uint32_t>(active / 2, 1);
+                b.compute(pc_sst, {acc}, active);
+                Reg other = b.compute(pc_sld, {}, active);
+                acc = b.compute(pc_lvl, {acc, other}, active);
+            }
+        }
+
+        // Warp 0 of each block reduces the block partials: a distinct
+        // (heavier) control path for a subset of warps.
+        if (w % params.warpsPerBlock == 0) {
+            for (std::uint32_t i = 0; i + 1 < params.warpsPerBlock;
+                 ++i) {
+                auto addrs = coalescedPattern(
+                    sharedBase + static_cast<Addr>(w) * 4096, 1);
+                Reg part = b.globalLoad(pc_fin_ld, addrs);
+                acc = b.compute(pc_fin_add, {acc, part}, 1);
+            }
+        }
+        b.globalStore(pc_st,
+                      coalescedPattern(outBase +
+                                           static_cast<Addr>(w) * 128,
+                                       1),
+                      {acc});
+        b.finish();
+    }
+    return kernel;
+}
+
+KernelTrace
+tiledMatmulKernel(const std::string &name,
+                  const TiledMatmulParams &params,
+                  const HardwareConfig &config)
+{
+    KernelTrace kernel(name);
+    std::uint32_t pc_ld_a = kernel.addStatic(Opcode::GlobalLoad, "tileA");
+    std::uint32_t pc_ld_b = kernel.addStatic(Opcode::GlobalLoad, "tileB");
+    std::uint32_t pc_sst = kernel.addStatic(Opcode::SharedStore);
+    std::uint32_t pc_sld = kernel.addStatic(Opcode::SharedLoad);
+    std::uint32_t pc_fma = kernel.addStatic(Opcode::FpAlu, "fma");
+    std::uint32_t pc_idx = kernel.addStatic(Opcode::IntAlu, "idx");
+    std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore, "out");
+
+    std::uint32_t num_warps = totalWarps(config);
+    // Tiles live in a region sized to enjoy L2 (but not L1) reuse.
+    constexpr std::uint64_t matrix_bytes = 8ULL << 20;
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        Rng rng = warpRng(name, w);
+        TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+
+        Reg acc = regNone;
+        for (std::uint32_t t = 0; t < params.tiles; ++t) {
+            Reg i0 = b.compute(pc_idx, {});
+            Addr tile_a = sharedBase +
+                          rng.nextBelow(matrix_bytes / 4096) * 4096;
+            Addr tile_b = sharedBase + matrix_bytes +
+                          rng.nextBelow(matrix_bytes / 4096) * 4096;
+            Reg a = b.globalLoad(pc_ld_a,
+                                 coalescedPattern(tile_a,
+                                                  config.warpSize),
+                                 {i0});
+            Reg bb = b.globalLoad(pc_ld_b,
+                                  coalescedPattern(tile_b,
+                                                   config.warpSize),
+                                  {i0});
+            for (std::uint32_t s = 0; s < params.sharedPerTile; ++s) {
+                Reg r = b.compute(s % 2 ? pc_sld : pc_sst,
+                                  {s % 2 == 0 && s == 0 ? a : bb});
+                if (r != regNone)
+                    bb = r;
+            }
+            Reg c = acc == regNone ? b.compute(pc_fma, {a, bb})
+                                   : b.compute(pc_fma, {a, bb, acc});
+            for (std::uint32_t f = 1; f < params.fmaPerTile; ++f)
+                c = b.compute(pc_fma, {c, bb});
+            acc = c;
+        }
+        b.globalStore(pc_st,
+                      coalescedPattern(outBase +
+                                           static_cast<Addr>(w) * 128,
+                                       config.warpSize),
+                      {acc});
+        b.finish();
+    }
+    return kernel;
+}
+
+KernelTrace
+transposeKernel(const std::string &name, const TransposeParams &params,
+                const HardwareConfig &config)
+{
+    KernelTrace kernel(name);
+    std::uint32_t pc_ld = kernel.addStatic(Opcode::GlobalLoad, "row");
+    std::uint32_t pc_idx = kernel.addStatic(Opcode::IntAlu);
+    std::uint32_t pc_idx2 = kernel.addStatic(Opcode::IntAlu);
+    std::uint32_t pc_sst = kernel.addStatic(Opcode::SharedStore);
+    std::uint32_t pc_sld = kernel.addStatic(Opcode::SharedLoad);
+    std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore, "col");
+
+    std::uint32_t num_warps = totalWarps(config);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        Addr in_cursor = streamBase + static_cast<Addr>(w) * warpSlice;
+        Addr out_cursor = outBase + static_cast<Addr>(w) * warpSlice;
+
+        for (std::uint32_t t = 0; t < params.tilesPerWarp; ++t) {
+            Reg v = b.globalLoad(pc_ld,
+                                 coalescedPattern(in_cursor,
+                                                  config.warpSize));
+            in_cursor += config.l1LineBytes;
+            Reg i = b.compute(pc_idx, {v});
+            i = b.compute(pc_idx2, {i});
+            if (params.viaShared) {
+                b.compute(pc_sst, {i});
+                Reg s = b.compute(pc_sld, {});
+                b.globalStore(pc_st,
+                              coalescedPattern(out_cursor,
+                                               config.warpSize),
+                              {s});
+                out_cursor += config.l1LineBytes;
+            } else {
+                // Column-order store: one line per thread.
+                auto addrs = stridedPattern(out_cursor, config.warpSize,
+                                            config.l1LineBytes);
+                b.globalStore(pc_st, addrs, {i});
+                out_cursor += static_cast<Addr>(config.warpSize) *
+                              config.l1LineBytes;
+            }
+        }
+        b.finish();
+    }
+    return kernel;
+}
+
+KernelTrace
+histogramKernel(const std::string &name, const HistogramParams &params,
+                const HardwareConfig &config)
+{
+    KernelTrace kernel(name);
+    std::uint32_t pc_data = kernel.addStatic(Opcode::GlobalLoad, "data");
+    std::uint32_t pc_hash = kernel.addStatic(Opcode::IntAlu);
+    std::uint32_t pc_hash2 = kernel.addStatic(Opcode::IntAlu);
+    std::uint32_t pc_bin_ld = kernel.addStatic(Opcode::GlobalLoad, "bin");
+    std::uint32_t pc_inc = kernel.addStatic(Opcode::IntAlu);
+    std::uint32_t pc_bin_st = kernel.addStatic(Opcode::GlobalStore,
+                                               "bin");
+
+    std::uint32_t num_warps = totalWarps(config);
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        Rng rng = warpRng(name, w);
+        TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        Addr cursor = streamBase + static_cast<Addr>(w) * warpSlice;
+
+        for (std::uint32_t it = 0; it < params.iterations; ++it) {
+            Reg v = b.globalLoad(pc_data,
+                                 coalescedPattern(cursor,
+                                                  config.warpSize));
+            cursor += config.l1LineBytes;
+            Reg h = b.compute(pc_hash, {v});
+            h = b.compute(pc_hash2, {h});
+            for (std::uint32_t u = 0; u < params.updatesPerIter; ++u) {
+                auto bins = randomDivergentPattern(
+                    rng, binsBase, params.binBytes, config.warpSize,
+                    params.degree, config.l1LineBytes);
+                Reg old = b.globalLoad(pc_bin_ld, bins, {h});
+                Reg inc = b.compute(pc_inc, {old});
+                b.globalStore(pc_bin_st, bins, {inc});
+            }
+        }
+        b.finish();
+    }
+    return kernel;
+}
+
+} // namespace gpumech

@@ -1,0 +1,72 @@
+#include "workloads/patterns.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::vector<Addr>
+coalescedPattern(Addr base, std::uint32_t threads,
+                 std::uint32_t elem_bytes)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+        addrs.push_back(base + static_cast<Addr>(t) * elem_bytes);
+    return addrs;
+}
+
+std::vector<Addr>
+stridedPattern(Addr base, std::uint32_t threads,
+               std::uint32_t stride_bytes)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+        addrs.push_back(base + static_cast<Addr>(t) * stride_bytes);
+    return addrs;
+}
+
+std::vector<Addr>
+divergentPattern(Addr base, std::uint32_t threads, std::uint32_t degree,
+                 std::uint32_t line_bytes)
+{
+    if (degree == 0)
+        panic("divergentPattern: degree must be positive");
+    degree = std::min(degree, threads);
+    std::vector<Addr> addrs;
+    addrs.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        addrs.push_back(base +
+                        static_cast<Addr>(t % degree) * line_bytes);
+    }
+    return addrs;
+}
+
+std::vector<Addr>
+randomDivergentPattern(Rng &rng, Addr region_base,
+                       std::uint64_t region_bytes, std::uint32_t threads,
+                       std::uint32_t degree, std::uint32_t line_bytes)
+{
+    if (degree == 0)
+        panic("randomDivergentPattern: degree must be positive");
+    degree = std::min(degree, threads);
+    std::uint64_t lines_in_region =
+        std::max<std::uint64_t>(region_bytes / line_bytes, 1);
+
+    std::vector<Addr> lines;
+    lines.reserve(degree);
+    for (std::uint32_t d = 0; d < degree; ++d) {
+        lines.push_back(region_base +
+                        rng.nextBelow(lines_in_region) * line_bytes);
+    }
+    std::vector<Addr> addrs;
+    addrs.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+        addrs.push_back(lines[t % degree]);
+    return addrs;
+}
+
+} // namespace gpumech

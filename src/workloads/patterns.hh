@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-thread address pattern generators.
+ *
+ * Every memory-behaviour knob the evaluation needs — coalescing
+ * degree, hot-set reuse, streaming — reduces to how a warp's 32
+ * threads spread their addresses over cache lines. These helpers
+ * build the per-thread address vectors the TraceBuilder coalesces.
+ */
+
+#ifndef GPUMECH_WORKLOADS_PATTERNS_HH
+#define GPUMECH_WORKLOADS_PATTERNS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/coalescer.hh"
+
+namespace gpumech
+{
+
+/**
+ * Fully coalesced access: thread t reads base + t*elem_bytes; one or
+ * two lines per warp depending on alignment and element size.
+ */
+std::vector<Addr> coalescedPattern(Addr base, std::uint32_t threads,
+                                   std::uint32_t elem_bytes = 4);
+
+/**
+ * Strided access: thread t reads base + t*stride_bytes. A stride of
+ * a line size or more gives one line per thread (degree = threads).
+ */
+std::vector<Addr> stridedPattern(Addr base, std::uint32_t threads,
+                                 std::uint32_t stride_bytes);
+
+/**
+ * Divergent access with an exact divergence degree: the warp's
+ * threads spread round-robin over @p degree distinct lines starting
+ * at @p base.
+ */
+std::vector<Addr> divergentPattern(Addr base, std::uint32_t threads,
+                                   std::uint32_t degree,
+                                   std::uint32_t line_bytes = 128);
+
+/**
+ * Random divergent access: @p degree distinct random lines inside
+ * [region_base, region_base + region_bytes).
+ */
+std::vector<Addr> randomDivergentPattern(Rng &rng, Addr region_base,
+                                         std::uint64_t region_bytes,
+                                         std::uint32_t threads,
+                                         std::uint32_t degree,
+                                         std::uint32_t line_bytes = 128);
+
+} // namespace gpumech
+
+#endif // GPUMECH_WORKLOADS_PATTERNS_HH

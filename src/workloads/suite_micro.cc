@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Microbenchmark kernels with precisely known behaviour, used by the
+ * unit tests and the ablation benches.
+ */
+
+#include "workloads/archetypes.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+std::vector<Workload>
+makeMicroSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&suite](std::string name, std::string desc,
+                        bool control_div, bool mem_div, auto generator) {
+        suite.push_back(Workload{std::move(name), "micro",
+                                 std::move(desc), control_div, mem_div,
+                                 std::move(generator)});
+    };
+
+    add("micro_compute_chain", "pure serial FP dependency chain",
+        false, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 80;
+            p.loadsPerIter = 0;
+            p.independentCompute = 6;
+            p.serialChain = false;
+            p.fpFraction = 1.0;
+            return loopKernel("micro_compute_chain", p, c);
+        });
+
+    add("micro_stream", "one coalesced load per iteration", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 80;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            return loopKernel("micro_stream", p, c);
+        });
+
+    add("micro_divergent8", "8-way divergent streaming loads", false,
+        true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 8;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            return loopKernel("micro_divergent8", p, c);
+        });
+
+    add("micro_divergent32", "fully divergent streaming loads", false,
+        true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 50;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 32;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            return loopKernel("micro_divergent32", p, c);
+        });
+
+    add("micro_pointer_chase", "serial dependent loads", false, false,
+        [](const HardwareConfig &c) {
+            PointerChaseParams p;
+            p.chainLength = 120;
+            p.computeBetween = 2;
+            return pointerChaseKernel("micro_pointer_chase", p, c);
+        });
+
+    add("micro_write_burst", "divergent store bursts", false, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.8;
+            p.computePerLoad = 2;
+            p.storesPerIter = 3;
+            p.storeDivergence = 16;
+            return loopKernel("micro_write_burst", p, c);
+        });
+
+    add("micro_control_divergent",
+        "warps with widely varying trace lengths", true, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.iterationVariance = 0.8;
+            p.extraPathFraction = 0.4;
+            p.extraPathCompute = 10;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 2;
+            p.computePerLoad = 3;
+            return loopKernel("micro_control_divergent", p, c);
+        });
+
+    add("micro_sfu_heavy", "back-to-back independent SFU operations",
+        false, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.loadsPerIter = 0;
+            p.independentCompute = 2;
+            p.sfuPerIter = 4;
+            return loopKernel("micro_sfu_heavy", p, c);
+        });
+
+    add("micro_l1_resident", "all loads hit a tiny hot set", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 80;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 1.0;
+            p.hotBytes = 2 * 1024;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            return loopKernel("micro_l1_resident", p, c);
+        });
+
+    return suite;
+}
+
+} // namespace gpumech

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Parboil-2.5-like kernels (paper Section VI-A).
+ */
+
+#include "workloads/archetypes.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+std::vector<Workload>
+makeParboilSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&suite](std::string name, std::string desc,
+                        bool control_div, bool mem_div, auto generator) {
+        suite.push_back(Workload{std::move(name), "parboil",
+                                 std::move(desc), control_div, mem_div,
+                                 std::move(generator)});
+    };
+
+    add("sgemm_tiled", "compute-bound tiled matrix multiply", false,
+        false, [](const HardwareConfig &c) {
+            TiledMatmulParams p;
+            p.tiles = 26;
+            p.fmaPerTile = 18;
+            p.sharedPerTile = 6;
+            return tiledMatmulKernel("sgemm_tiled", p, c);
+        });
+
+    add("spmv_jds", "irregular sparse loads, low compute", false, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 65;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 12;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 8 << 20;
+            p.computePerLoad = 2;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("spmv_jds", p, c);
+        });
+
+    add("stencil_block2d", "7-point stencil, L2-friendly", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 3;
+            p.loadDivergence = 1;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 1 << 20;
+            p.computePerLoad = 4;
+            p.independentCompute = 3;
+            p.storesPerIter = 1;
+            return loopKernel("stencil_block2d", p, c);
+        });
+
+    add("sad_calc_8",
+        "write-dominated: divergent stores flood DRAM (Fig. 13)",
+        false, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.7;
+            p.hotBytes = 8 * 1024;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            p.storesPerIter = 3;
+            p.storeDivergence = 8;
+            return loopKernel("sad_calc_8", p, c);
+        });
+
+    add("sad_calc_16", "write-heavy with coalesced wide stores", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.6;
+            p.hotBytes = 8 * 1024;
+            p.computePerLoad = 2;
+            p.independentCompute = 2;
+            p.storesPerIter = 4;
+            p.storeDivergence = 2;
+            return loopKernel("sad_calc_16", p, c);
+        });
+
+    add("histo_main", "random scatter read-modify-write histogram",
+        false, true, [](const HardwareConfig &c) {
+            HistogramParams p;
+            p.iterations = 60;
+            p.updatesPerIter = 1;
+            p.binBytes = 256 * 1024;
+            p.degree = 16;
+            return histogramKernel("histo_main", p, c);
+        });
+
+    add("lbm_stream_collide",
+        "many-array streaming, bandwidth bound", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 45;
+            p.loadsPerIter = 5;
+            p.loadDivergence = 1;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            p.storesPerIter = 3;
+            return loopKernel("lbm_stream_collide", p, c);
+        });
+
+    add("mri_q_computeQ", "SFU-heavy compute bound", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.85;
+            p.hotBytes = 6 * 1024;
+            p.computePerLoad = 6;
+            p.independentCompute = 2;
+            p.sfuPerIter = 3;
+            return loopKernel("mri_q_computeQ", p, c);
+        });
+
+    add("cutcp_lattice",
+        "medium divergence with light control divergence", true, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.iterationVariance = 0.25;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 6;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 2 << 20;
+            p.computePerLoad = 5;
+            p.independentCompute = 2;
+            p.sfuPerIter = 1;
+            p.storesPerIter = 1;
+            return loopKernel("cutcp_lattice", p, c);
+        });
+
+    add("tpacf_gen_hists",
+        "divergent loads + SFU + histogram stores, control divergent",
+        true, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 50;
+            p.iterationVariance = 0.35;
+            p.extraPathFraction = 0.2;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 8;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 4 << 20;
+            p.computePerLoad = 3;
+            p.sfuPerIter = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 8;
+            return loopKernel("tpacf_gen_hists", p, c);
+        });
+
+    add("mm_shared", "shared-memory blocked matrix multiply", false,
+        false, [](const HardwareConfig &c) {
+            TiledMatmulParams p;
+            p.tiles = 22;
+            p.fmaPerTile = 12;
+            p.sharedPerTile = 10;
+            return tiledMatmulKernel("mm_shared", p, c);
+        });
+
+    add("bfs_parboil", "queue-based BFS, strongly control divergent",
+        true, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.iterationVariance = 0.65;
+            p.extraPathFraction = 0.35;
+            p.extraPathCompute = 8;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 6;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 8 << 20;
+            p.computePerLoad = 2;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 2;
+            return loopKernel("bfs_parboil", p, c);
+        });
+
+    return suite;
+}
+
+} // namespace gpumech

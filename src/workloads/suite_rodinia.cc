@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Rodinia-2.1-like kernels (paper Section VI-A).
+ *
+ * Each generator is tuned to reproduce the documented trace behaviour
+ * of its namesake: divergence degree, cache locality, write traffic,
+ * compute intensity, and control divergence.
+ */
+
+#include "workloads/archetypes.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+std::vector<Workload>
+makeRodiniaSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&suite](std::string name, std::string desc,
+                        bool control_div, bool mem_div, auto generator) {
+        suite.push_back(Workload{std::move(name), "rodinia",
+                                 std::move(desc), control_div, mem_div,
+                                 std::move(generator)});
+    };
+
+    add("srad_kernel1",
+        "divergent loads+stores, streaming (Fig. 4 case study)", false,
+        true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 8;
+            p.computePerLoad = 5;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 8;
+            return loopKernel("srad_kernel1", p, c);
+        });
+
+    add("srad_kernel2", "coalesced streaming with FP chains", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 80;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 1;
+            p.computePerLoad = 6;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("srad_kernel2", p, c);
+        });
+
+    add("kmeans_invert_mapping",
+        "32-way divergent loads with hot L1 set, divergent writes "
+        "(Fig. 16)",
+        false, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 32;
+            p.hotFraction = 0.92;
+            p.hotBytes = 12 * 1024;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 32;
+            return loopKernel("kmeans_invert_mapping", p, c);
+        });
+
+    add("kmeans_kernel_c", "coalesced centroid distance compute", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 75;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.6;
+            p.hotBytes = 8 * 1024;
+            p.computePerLoad = 8;
+            p.independentCompute = 2;
+            return loopKernel("kmeans_kernel_c", p, c);
+        });
+
+    add("cfd_step_factor",
+        "fully coalesced streaming, good scaling (Fig. 16)", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 3;
+            p.loadDivergence = 1;
+            p.computePerLoad = 5;
+            p.independentCompute = 3;
+            p.storesPerIter = 1;
+            return loopKernel("cfd_step_factor", p, c);
+        });
+
+    add("cfd_compute_flux",
+        "16-way divergent loads, L2-friendly working set (Fig. 16)",
+        false, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 45;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 16;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 1536 * 1024;
+            p.computePerLoad = 6;
+            p.independentCompute = 3;
+            p.storesPerIter = 1;
+            p.storeDivergence = 4;
+            return loopKernel("cfd_compute_flux", p, c);
+        });
+
+    add("bfs_kernel1",
+        "frontier expansion: control divergent, scattered loads", true,
+        true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.iterationVariance = 0.5;
+            p.extraPathFraction = 0.3;
+            p.extraPathCompute = 10;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 8;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 4 << 20;
+            p.computePerLoad = 2;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 4;
+            return loopKernel("bfs_kernel1", p, c);
+        });
+
+    add("bfs_kernel2", "frontier update: control divergent, light",
+        true, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.iterationVariance = 0.6;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 2;
+            p.computePerLoad = 2;
+            p.independentCompute = 3;
+            p.storesPerIter = 1;
+            return loopKernel("bfs_kernel2", p, c);
+        });
+
+    add("hotspot_calculate_temp",
+        "stencil with neighbour reuse, compute heavy", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 3;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.45;
+            p.hotBytes = 16 * 1024;
+            p.computePerLoad = 7;
+            p.independentCompute = 3;
+            p.storesPerIter = 1;
+            return loopKernel("hotspot_calculate_temp", p, c);
+        });
+
+    add("pathfinder_dynproc", "shared-memory dynamic programming",
+        false, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.computePerLoad = 3;
+            p.independentCompute = 2;
+            p.sharedPerIter = 4;
+            p.storesPerIter = 1;
+            return loopKernel("pathfinder_dynproc", p, c);
+        });
+
+    add("lud_diagonal",
+        "triangular work: strongly control divergent, shared memory",
+        true, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 50;
+            p.iterationVariance = 0.7;
+            p.extraPathFraction = 0.25;
+            p.extraPathCompute = 12;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 2;
+            p.computePerLoad = 4;
+            p.sharedPerIter = 3;
+            p.serialChain = true;
+            return loopKernel("lud_diagonal", p, c);
+        });
+
+    add("nw_needle1",
+        "wavefront alignment: diagonal access, control divergent",
+        true, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.iterationVariance = 0.4;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 4;
+            p.computePerLoad = 3;
+            p.sharedPerIter = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 4;
+            return loopKernel("nw_needle1", p, c);
+        });
+
+    add("gaussian_fan1", "column-strided access, fully divergent",
+        false, true, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 40;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 32;
+            p.computePerLoad = 2;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 32;
+            return loopKernel("gaussian_fan1", p, c);
+        });
+
+    add("backprop_layerforward",
+        "coalesced loads with shared-memory reduction", false, false,
+        [](const HardwareConfig &c) {
+            ReductionParams p;
+            p.loadsPerWarp = 70;
+            p.levels = 5;
+            p.useShared = true;
+            return reductionKernel("backprop_layerforward", p, c);
+        });
+
+    add("streamcluster_compute_cost",
+        "8-way divergent loads over a large working set", false, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 8;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 16 << 20;
+            p.computePerLoad = 4;
+            p.independentCompute = 2;
+            return loopKernel("streamcluster_compute_cost", p, c);
+        });
+
+    add("leukocyte_dilate", "coalesced with strong L1 reuse", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 75;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.8;
+            p.hotBytes = 10 * 1024;
+            p.computePerLoad = 4;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("leukocyte_dilate", p, c);
+        });
+
+    return suite;
+}
+
+} // namespace gpumech

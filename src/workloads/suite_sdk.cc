@@ -1,0 +1,170 @@
+/**
+ * @file
+ * NVIDIA-SDK-like kernels (paper Section VI-A).
+ */
+
+#include "workloads/archetypes.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+std::vector<Workload>
+makeSdkSuite()
+{
+    std::vector<Workload> suite;
+    auto add = [&suite](std::string name, std::string desc,
+                        bool control_div, bool mem_div, auto generator) {
+        suite.push_back(Workload{std::move(name), "sdk",
+                                 std::move(desc), control_div, mem_div,
+                                 std::move(generator)});
+    };
+
+    add("vectorAdd", "minimal coalesced streaming", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 90;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 1;
+            p.computePerLoad = 1;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("vectorAdd", p, c);
+        });
+
+    add("matrixMul", "tiled compute-bound multiply", false, false,
+        [](const HardwareConfig &c) {
+            TiledMatmulParams p;
+            p.tiles = 24;
+            p.fmaPerTile = 16;
+            p.sharedPerTile = 8;
+            return tiledMatmulKernel("matrixMul", p, c);
+        });
+
+    add("transpose_naive",
+        "coalesced loads, fully divergent column stores", false, true,
+        [](const HardwareConfig &c) {
+            TransposeParams p;
+            p.tilesPerWarp = 55;
+            p.viaShared = false;
+            return transposeKernel("transpose_naive", p, c);
+        });
+
+    add("transpose_coalesced",
+        "shared-memory staged transpose, coalesced stores", false,
+        false, [](const HardwareConfig &c) {
+            TransposeParams p;
+            p.tilesPerWarp = 55;
+            p.viaShared = true;
+            return transposeKernel("transpose_coalesced", p, c);
+        });
+
+    add("reduction_kernel",
+        "tree reduction, shrinking mask, divergent final pass", true,
+        false, [](const HardwareConfig &c) {
+            ReductionParams p;
+            p.loadsPerWarp = 75;
+            p.levels = 5;
+            p.useShared = true;
+            return reductionKernel("reduction_kernel", p, c);
+        });
+
+    add("scalarProd", "coalesced dot products with accumulation",
+        false, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 75;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 1;
+            p.computePerLoad = 2;
+            p.independentCompute = 1;
+            p.serialChain = true;
+            return loopKernel("scalarProd", p, c);
+        });
+
+    add("blackscholes", "coalesced loads, SFU-heavy pricing math",
+        false, false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 1;
+            p.computePerLoad = 6;
+            p.independentCompute = 2;
+            p.sfuPerIter = 4;
+            p.storesPerIter = 2;
+            return loopKernel("blackscholes", p, c);
+        });
+
+    add("bitonic_sort",
+        "stride-varying exchanges, mildly divergent", true, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.iterationVariance = 0.3;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 4;
+            p.computePerLoad = 2;
+            p.sharedPerIter = 2;
+            p.storesPerIter = 1;
+            p.storeDivergence = 4;
+            return loopKernel("bitonic_sort", p, c);
+        });
+
+    add("convolutionRows", "coalesced with L1 halo reuse", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 65;
+            p.loadsPerIter = 3;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.55;
+            p.hotBytes = 12 * 1024;
+            p.computePerLoad = 4;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("convolutionRows", p, c);
+        });
+
+    add("convolutionCols", "column access with L2 reuse", false, true,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 55;
+            p.loadsPerIter = 3;
+            p.loadDivergence = 8;
+            p.sharedRegion = true;
+            p.sharedRegionBytes = 1 << 20;
+            p.computePerLoad = 4;
+            p.independentCompute = 2;
+            p.storesPerIter = 1;
+            return loopKernel("convolutionCols", p, c);
+        });
+
+    add("montecarlo", "SFU-bound with L1-resident option data", false,
+        false, [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 70;
+            p.loadsPerIter = 1;
+            p.loadDivergence = 1;
+            p.hotFraction = 0.9;
+            p.hotBytes = 8 * 1024;
+            p.computePerLoad = 5;
+            p.sfuPerIter = 3;
+            p.serialChain = true;
+            return loopKernel("montecarlo", p, c);
+        });
+
+    add("dct8x8", "block DCT through shared memory", false, false,
+        [](const HardwareConfig &c) {
+            LoopKernelParams p;
+            p.iterations = 60;
+            p.loadsPerIter = 2;
+            p.loadDivergence = 2;
+            p.computePerLoad = 5;
+            p.sharedPerIter = 4;
+            p.storesPerIter = 1;
+            p.storeDivergence = 2;
+            return loopKernel("dct8x8", p, c);
+        });
+
+    return suite;
+}
+
+} // namespace gpumech

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/args.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Args, PositionalsInOrder)
+{
+    ArgParser a({"model", "srad_kernel1"});
+    EXPECT_EQ(a.numPositional(), 2u);
+    EXPECT_EQ(a.positional(0), "model");
+    EXPECT_EQ(a.positional(1), "srad_kernel1");
+    EXPECT_EQ(a.positional(2, "fallback"), "fallback");
+}
+
+TEST(Args, KeyValueWithSpace)
+{
+    ArgParser a({"--warps", "16"});
+    EXPECT_TRUE(a.has("warps"));
+    EXPECT_EQ(a.get("warps"), "16");
+    EXPECT_EQ(a.getUint("warps", 0), 16u);
+}
+
+TEST(Args, KeyValueWithEquals)
+{
+    ArgParser a({"--bw=96.5"});
+    EXPECT_DOUBLE_EQ(a.getDouble("bw", 0.0), 96.5);
+}
+
+TEST(Args, BareFlagBeforeAnotherOption)
+{
+    ArgParser a({"--model-sfu", "--warps", "8"});
+    EXPECT_TRUE(a.has("model-sfu"));
+    EXPECT_EQ(a.get("model-sfu", "unset"), "unset"); // valueless
+    EXPECT_EQ(a.getUint("warps", 0), 8u);
+}
+
+TEST(Args, TrailingBareFlag)
+{
+    ArgParser a({"compare", "--model-sfu"});
+    EXPECT_TRUE(a.has("model-sfu"));
+    EXPECT_EQ(a.positional(0), "compare");
+}
+
+TEST(Args, MixedPositionalsAndOptions)
+{
+    ArgParser a({"dump-trace", "--warps=4", "vectorAdd", "/tmp/x",
+                 "--policy", "gto"});
+    EXPECT_EQ(a.positional(0), "dump-trace");
+    EXPECT_EQ(a.positional(1), "vectorAdd");
+    EXPECT_EQ(a.positional(2), "/tmp/x");
+    EXPECT_EQ(a.getUint("warps", 0), 4u);
+    EXPECT_EQ(a.get("policy"), "gto");
+}
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    ArgParser a({});
+    EXPECT_FALSE(a.has("warps"));
+    EXPECT_EQ(a.getUint("warps", 32), 32u);
+    EXPECT_DOUBLE_EQ(a.getDouble("bw", 192.0), 192.0);
+    EXPECT_EQ(a.get("policy", "rr"), "rr");
+}
+
+TEST(Args, ArgcArgvConstructorSkipsProgramName)
+{
+    const char *argv[] = {"gpumech", "list", "--warps", "8"};
+    ArgParser a(4, argv);
+    EXPECT_EQ(a.positional(0), "list");
+    EXPECT_EQ(a.getUint("warps", 0), 8u);
+}
+
+TEST(ArgsDeath, NonNumericValueIsFatal)
+{
+    ArgParser a({"--warps", "eight"});
+    EXPECT_DEATH(
+        { [[maybe_unused]] auto v = a.getUint("warps", 0); },
+        "expects an integer");
+}
+
+} // namespace
+} // namespace gpumech

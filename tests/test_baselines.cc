@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the baseline models: Naive_Interval (Eq. 1) and the
+ * Chen & Aamodt Markov-chain model (Section VIII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/markov_chain.hh"
+#include "baselines/naive_interval.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+IntervalProfile
+profileWith(std::uint64_t insts, double stalls)
+{
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{insts, stalls, StallCause::Memory, 0, 0, 0, 0});
+    return p;
+}
+
+TEST(Naive, Eq1MultipliesSingleWarpIpc)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(1, 10.0); // single-warp IPC 1/11
+    BaselinePrediction r = naiveInterval(p, 3, config);
+    EXPECT_NEAR(r.ipc, 3.0 / 11.0, 1e-12); // the paper's example
+    EXPECT_NEAR(r.cpi, 11.0 / 3.0, 1e-12);
+}
+
+TEST(Naive, CappedAtIssueRate)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(1, 10.0);
+    BaselinePrediction r = naiveInterval(p, 100, config);
+    EXPECT_DOUBLE_EQ(r.ipc, config.issueRate);
+}
+
+TEST(Naive, SingleWarpIsExactSingleWarpPerf)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(4, 36.0); // IPC 0.1
+    BaselinePrediction r = naiveInterval(p, 1, config);
+    EXPECT_NEAR(r.ipc, 0.1, 1e-12);
+}
+
+TEST(Markov, ParameterDerivation)
+{
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{4, 20.0, StallCause::Memory, 0, 0, 0, 0});
+    p.intervals.push_back(
+        Interval{6, 40.0, StallCause::Compute, 0, 0, 0, 0});
+    MarkovParams params = markovParams(p);
+    // 2 stalling intervals over 10 instructions.
+    EXPECT_DOUBLE_EQ(params.p, 0.2);
+    EXPECT_DOUBLE_EQ(params.m, 30.0);
+    EXPECT_NEAR(params.piActive, 1.0 / (1.0 + 0.2 * 30.0), 1e-12);
+}
+
+TEST(Markov, StallFreeIntervalsDoNotCount)
+{
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{10, 0.0, StallCause::None, 0, 0, 0, 0});
+    MarkovParams params = markovParams(p);
+    EXPECT_DOUBLE_EQ(params.p, 0.0);
+    EXPECT_DOUBLE_EQ(params.piActive, 1.0);
+}
+
+TEST(Markov, ManyWarpsSaturateTheCore)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(1, 10.0);
+    BaselinePrediction r = markovChain(p, 1024, config);
+    EXPECT_NEAR(r.ipc, config.issueRate, 1e-6);
+}
+
+TEST(Markov, SingleWarpMatchesSteadyState)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(1, 10.0);
+    // One warp: utilization = pi_active = 1/(1+p*M) = 1/11.
+    BaselinePrediction r = markovChain(p, 1, config);
+    EXPECT_NEAR(r.ipc, 1.0 / 11.0, 1e-12);
+}
+
+TEST(Markov, MonotoneInWarps)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(2, 30.0);
+    double prev = 0.0;
+    for (std::uint32_t warps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        BaselinePrediction r = markovChain(p, warps, config);
+        EXPECT_GE(r.ipc, prev);
+        prev = r.ipc;
+    }
+}
+
+TEST(Markov, MoreOptimisticThanNothingButBounded)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile p = profileWith(4, 36.0);
+    for (std::uint32_t warps : {2u, 8u, 32u}) {
+        BaselinePrediction r = markovChain(p, warps, config);
+        EXPECT_GT(r.ipc, 0.0);
+        EXPECT_LE(r.ipc, config.issueRate);
+    }
+}
+
+TEST(Markov, IgnoresContentionByDesign)
+{
+    // Two profiles identical except for request annotations must give
+    // the same prediction: the Markov model is blind to divergence —
+    // the paper's stated limitation.
+    HardwareConfig config = HardwareConfig::baseline();
+    IntervalProfile a = profileWith(4, 36.0);
+    IntervalProfile b = profileWith(4, 36.0);
+    b.intervals[0].mshrReqs = 32.0;
+    b.intervals[0].dramReqs = 64.0;
+    EXPECT_DOUBLE_EQ(markovChain(a, 16, config).ipc,
+                     markovChain(b, 16, config).ipc);
+}
+
+} // namespace
+} // namespace gpumech

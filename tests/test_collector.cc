@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the input collector (Section V): per-PC miss-event
+ * distributions, request-level miss rates, AMAT latencies (including
+ * the paper's worked example), and avg_miss_latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collector/input_collector.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+oneCore()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 1;
+    c.warpsPerCore = 4;
+    return c;
+}
+
+TEST(Collector, ComputePcGetsFixedLatency)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_i = kernel.addStatic(Opcode::IntAlu);
+    auto pc_f = kernel.addStatic(Opcode::FpAlu);
+    auto pc_s = kernel.addStatic(Opcode::Sfu);
+    TraceBuilder b(kernel, 0, 0, config);
+    b.compute(pc_i);
+    b.compute(pc_f);
+    b.compute(pc_s);
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_DOUBLE_EQ(r.latencyOf(pc_i), 20.0);
+    EXPECT_DOUBLE_EQ(r.latencyOf(pc_f), 25.0);
+    EXPECT_DOUBLE_EQ(r.latencyOf(pc_s), 40.0);
+}
+
+TEST(Collector, ColdStreamingLoadIsAllL2Miss)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    TraceBuilder b(kernel, 0, 0, config);
+    for (int i = 0; i < 10; ++i)
+        b.globalLoad(pc_ld, {0x10000 + i * 128ull});
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    const PcProfile &p = r.pcs[pc_ld];
+    EXPECT_EQ(p.instCount, 10u);
+    EXPECT_DOUBLE_EQ(p.fracL2Miss(), 1.0);
+    EXPECT_DOUBLE_EQ(p.reqL1MissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(p.reqL2MissRate(), 1.0);
+    // AMAT = l2MissLatency = 420.
+    EXPECT_DOUBLE_EQ(r.latencyOf(pc_ld), 420.0);
+    EXPECT_DOUBLE_EQ(r.avgMissLatency, 420.0);
+}
+
+TEST(Collector, RepeatedLineBecomesL1Hit)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    TraceBuilder b(kernel, 0, 0, config);
+    for (int i = 0; i < 10; ++i)
+        b.globalLoad(pc_ld, {0x10000});
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    const PcProfile &p = r.pcs[pc_ld];
+    EXPECT_DOUBLE_EQ(p.fracL1Hit(), 0.9); // 1 cold miss, 9 hits
+    EXPECT_DOUBLE_EQ(p.fracL2Miss(), 0.1);
+}
+
+TEST(Collector, PaperAmatExample)
+{
+    // Section V-B: 90% L2 hits (120) + 10% L2 misses (420) -> 150.
+    PcProfile p;
+    p.op = Opcode::GlobalLoad;
+    p.instL2Hit = 90;
+    p.instL2Miss = 10;
+    EXPECT_DOUBLE_EQ(p.amat(HardwareConfig::baseline()), 150.0);
+}
+
+TEST(Collector, DivergentInstClassifiedByWorstRequest)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_warm = kernel.addStatic(Opcode::GlobalLoad);
+    auto pc_mixed = kernel.addStatic(Opcode::GlobalLoad);
+    TraceBuilder b(kernel, 0, 0, config);
+    b.globalLoad(pc_warm, {0x10000});          // warm line A
+    b.globalLoad(pc_mixed, {0x10000, 0x90000}); // A hits L1, B misses
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    const PcProfile &p = r.pcs[pc_mixed];
+    // Instruction-level event: the slowest request (L2 miss).
+    EXPECT_DOUBLE_EQ(p.fracL2Miss(), 1.0);
+    // Request-level: one of two requests missed L1.
+    EXPECT_DOUBLE_EQ(p.reqL1MissRate(), 0.5);
+}
+
+TEST(Collector, StoresAreAllDramBoundAndDoNotTouchCaches)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_st = kernel.addStatic(Opcode::GlobalStore);
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    TraceBuilder b(kernel, 0, 0, config);
+    b.globalStore(pc_st, {0x10000});
+    b.globalLoad(pc_ld, {0x10000}); // store must not have filled it
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_DOUBLE_EQ(r.pcs[pc_st].reqL2MissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(r.pcs[pc_st].reqL1MissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(r.pcs[pc_ld].fracL2Miss(), 1.0);
+    // Stores never stall dependents: unit latency.
+    EXPECT_DOUBLE_EQ(r.latencyOf(pc_st), 1.0);
+}
+
+TEST(Collector, AvgMissLatencyMixesL2AndDram)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_a = kernel.addStatic(Opcode::GlobalLoad);
+    auto pc_b = kernel.addStatic(Opcode::GlobalLoad);
+    // Warp 0 warms L2 (via L1 of core 0)... single core: use lines
+    // that conflict in L1 but fit in L2: L1 is 32KB (256 lines,
+    // 32 sets x 8 ways); 16 lines mapping to one set thrash L1 but
+    // stay L2-resident.
+    TraceBuilder b(kernel, 0, 0, config);
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 16; ++i) {
+            Addr line = 0x10000 + i * (32ull * 128); // same L1 set
+            b.globalLoad(rep == 0 ? pc_a : pc_b, {line});
+        }
+    }
+    b.finish();
+
+    CollectorResult r = collectInputs(kernel, config);
+    // Second pass misses L1 (thrashed set) but hits L2.
+    EXPECT_GT(r.pcs[pc_b].fracL2Hit(), 0.5);
+    // avg_miss_latency therefore sits between L2 hit and miss
+    // latency.
+    EXPECT_GT(r.avgMissLatency, 120.0);
+    EXPECT_LT(r.avgMissLatency, 420.0);
+}
+
+TEST(Collector, NoL1MissesFallsBackToL2Latency)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    b.compute(pc);
+    b.finish();
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_DOUBLE_EQ(r.avgMissLatency, 120.0);
+}
+
+TEST(Collector, InstCountsCoverAllOpcodes)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_c = kernel.addStatic(Opcode::IntAlu);
+    auto pc_l = kernel.addStatic(Opcode::GlobalLoad);
+    for (std::uint32_t w = 0; w < 3; ++w) {
+        TraceBuilder b(kernel, w, 0, config);
+        b.compute(pc_c);
+        b.compute(pc_c);
+        b.globalLoad(pc_l, {0x1000 + w * 4096ull});
+        b.finish();
+    }
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_EQ(r.pcs[pc_c].instCount, 6u);
+    EXPECT_EQ(r.pcs[pc_l].instCount, 3u);
+    EXPECT_EQ(r.pcs[pc_l].reqCount, 3u);
+}
+
+TEST(Collector, RoundRobinInterleavingSharesL1AcrossWarps)
+{
+    // Two warps on the same core loading the same line: the collector
+    // interleaves them, so the second warp's access hits L1.
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::GlobalLoad);
+    for (std::uint32_t w = 0; w < 2; ++w) {
+        TraceBuilder b(kernel, w, 0, config);
+        b.globalLoad(pc, {0x10000});
+        b.finish();
+    }
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_EQ(r.pcs[pc].instL1Hit, 1u);
+    EXPECT_EQ(r.pcs[pc].instL2Miss, 1u);
+}
+
+TEST(Collector, Deterministic)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 4;
+    KernelTrace kernel =
+        workloadByName("micro_divergent8").generate(config);
+    CollectorResult a = collectInputs(kernel, config);
+    CollectorResult b = collectInputs(kernel, config);
+    ASSERT_EQ(a.pcLatency.size(), b.pcLatency.size());
+    for (std::size_t i = 0; i < a.pcLatency.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.pcLatency[i], b.pcLatency[i]);
+    EXPECT_DOUBLE_EQ(a.avgMissLatency, b.avgMissLatency);
+}
+
+TEST(Collector, HitRatesReported)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 4;
+    KernelTrace kernel =
+        workloadByName("micro_l1_resident").generate(config);
+    CollectorResult r = collectInputs(kernel, config);
+    EXPECT_GT(r.l1HitRate, 0.8); // hot 2KB set: nearly all hits
+}
+
+} // namespace
+} // namespace gpumech

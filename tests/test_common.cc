@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the common library: statistics helpers, RNG
+ * determinism, table rendering, and the hardware configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 100.0), 10.0);
+}
+
+TEST(Stats, RelativeError)
+{
+    EXPECT_NEAR(relativeError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_NEAR(relativeError(0.9, 1.0), 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(relativeError(1.0, 0.0)));
+}
+
+TEST(Stats, SignedRelativeError)
+{
+    EXPECT_DOUBLE_EQ(signedRelativeError(0.5, 1.0), -0.5);
+    EXPECT_DOUBLE_EQ(signedRelativeError(2.0, 1.0), 1.0);
+}
+
+TEST(Stats, FractionBelow)
+{
+    EXPECT_DOUBLE_EQ(fractionBelow({0.1, 0.3, 0.5, 0.7}, 0.4), 0.5);
+    EXPECT_DOUBLE_EQ(fractionBelow({}, 0.4), 0.0);
+}
+
+TEST(Stats, SummaryTracksMinMaxMean)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, FromStringDiffersByName)
+{
+    Rng a = Rng::fromString("kernel_a");
+    Rng b = Rng::fromString("kernel_b");
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.132, 1), "13.2%");
+}
+
+TEST(Table, BarChartScalesToMax)
+{
+    std::ostringstream os;
+    printBarChart(os, "title", {"a", "b"}, {1.0, 2.0}, 10);
+    std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    // b gets the full width, a half of it.
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("##### 1.000"), std::string::npos);
+}
+
+TEST(Table, BarChartHandlesAllZeroValues)
+{
+    std::ostringstream os;
+    printBarChart(os, "zeros", {"a"}, {0.0}, 10);
+    EXPECT_NE(os.str().find("0.000"), std::string::npos);
+}
+
+TEST(Table, GroupedBarChartRendersAllSeries)
+{
+    std::ostringstream os;
+    printGroupedBarChart(os, "grouped", {"g1", "g2"}, {"s1", "s2"},
+                         {{1.0, 2.0}, {3.0, 4.0}}, 8);
+    std::string out = os.str();
+    for (const char *needle : {"g1", "g2", "s1", "s2"})
+        EXPECT_NE(out.find(needle), std::string::npos);
+}
+
+TEST(Logging, MsgConcatenatesPieces)
+{
+    EXPECT_EQ(msg("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(msg(), "");
+}
+
+TEST(Config, BaselineMatchesTableI)
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    EXPECT_EQ(c.numCores, 16u);
+    EXPECT_EQ(c.warpsPerCore, 32u);
+    EXPECT_EQ(c.warpSize, 32u);
+    EXPECT_EQ(c.l1SizeBytes, 32u * 1024);
+    EXPECT_EQ(c.numMshrs, 32u);
+    EXPECT_EQ(c.l2SizeBytes, 768u * 1024);
+    EXPECT_EQ(c.l1HitLatency, 25u);
+    EXPECT_EQ(c.l2HitLatency, 120u);
+    EXPECT_EQ(c.dramAccessLatency, 300u);
+    EXPECT_DOUBLE_EQ(c.dramBandwidthGBs, 192.0);
+    EXPECT_EQ(c.latency.fpAlu, 25u);
+}
+
+TEST(Config, DerivedLatencies)
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    EXPECT_EQ(c.l2MissLatency(), 420u);
+    EXPECT_NEAR(c.dramServiceCycles(), 128.0 / 192.0, 1e-12);
+}
+
+TEST(Config, DramServiceScalesWithBandwidth)
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    double base = c.dramServiceCycles();
+    c.dramBandwidthGBs = 96.0;
+    EXPECT_NEAR(c.dramServiceCycles(), base * 2.0, 1e-12);
+}
+
+TEST(Config, PolicyNames)
+{
+    EXPECT_EQ(toString(SchedulingPolicy::RoundRobin), "RR");
+    EXPECT_EQ(toString(SchedulingPolicy::GreedyThenOldest), "GTO");
+}
+
+TEST(Config, SummaryMentionsKeyParameters)
+{
+    std::string s = HardwareConfig::baseline().summary();
+    EXPECT_NE(s.find("16 cores"), std::string::npos);
+    EXPECT_NE(s.find("192"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpumech

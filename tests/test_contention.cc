@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the resource-contention model (Section IV-B): the Eq. 19
+ * expected MSHR queuing delay (validated against a brute-force sum),
+ * the Eq. 21 M/D/1 waiting time with its cap, and the steady-state
+ * aggregation over a profile.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/contention.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+/** Brute-force Eq. 19 for integer request counts. */
+double
+bruteForceMshrDelay(std::uint64_t n, std::uint32_t m, double miss)
+{
+    if (n == 0)
+        return 0.0;
+    double total = 0.0;
+    for (std::uint64_t j = 1; j <= n; ++j)
+        total += miss * std::ceil(static_cast<double>(j) / m);
+    return std::max(total / static_cast<double>(n) - miss, 0.0);
+}
+
+TEST(Contention, MshrDelayMatchesBruteForce)
+{
+    for (std::uint64_t n : {1ull, 31ull, 32ull, 33ull, 64ull, 100ull,
+                            512ull, 1000ull}) {
+        for (std::uint32_t m : {1u, 8u, 32u, 64u}) {
+            EXPECT_NEAR(expectedMshrQueuingDelay(
+                            static_cast<double>(n), m, 420.0),
+                        bruteForceMshrDelay(n, m, 420.0), 1e-6)
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(Contention, MshrDelayZeroWithinCapacity)
+{
+    // Requests that fit in one batch have no queuing delay.
+    EXPECT_DOUBLE_EQ(expectedMshrQueuingDelay(32.0, 32, 420.0), 0.0);
+    EXPECT_DOUBLE_EQ(expectedMshrQueuingDelay(0.0, 32, 420.0), 0.0);
+}
+
+TEST(Contention, MshrDelayPaperExampleShape)
+{
+    // Figure 9: 6 MSHRs, 8 requests -> the last two wait one full
+    // miss latency; expected delay = (2/8) * miss.
+    double d = expectedMshrQueuingDelay(8.0, 6, 400.0);
+    EXPECT_NEAR(d, 2.0 / 8.0 * 400.0, 1e-9);
+}
+
+TEST(Contention, MshrDelayGrowsWithRequests)
+{
+    double prev = 0.0;
+    for (double n : {32.0, 64.0, 128.0, 512.0, 1024.0}) {
+        double d = expectedMshrQueuingDelay(n, 32, 420.0);
+        EXPECT_GE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Contention, MshrDelayShrinksWithMoreEntries)
+{
+    double prev = 1e100;
+    for (std::uint32_t m : {8u, 16u, 32u, 64u, 128u}) {
+        double d = expectedMshrQueuingDelay(256.0, m, 420.0);
+        EXPECT_LE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Contention, MD1WaitingTimeFormula)
+{
+    // rho = 0.5: Wq = lambda s^2 / (2 (1 - rho)).
+    double s = 2.0 / 3.0;
+    double lambda = 0.75; // rho = 0.5
+    double wq = bandwidthQueuingDelay(lambda, s, 1e9);
+    EXPECT_NEAR(wq, lambda * s * s / (2.0 * 0.5), 1e-12);
+}
+
+TEST(Contention, MD1WqGrowsWithUtilization)
+{
+    double s = 0.5;
+    double prev = 0.0;
+    for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+        double wq = bandwidthQueuingDelay(rho / s, s, 1e12);
+        EXPECT_GT(wq, prev);
+        prev = wq;
+    }
+}
+
+TEST(Contention, MD1CappedAtHalfQueue)
+{
+    // Near saturation Wq explodes; the Eq. 21 cap limits it to
+    // s * total / 2.
+    double s = 0.5;
+    double total = 100.0;
+    double wq = bandwidthQueuingDelay(0.9999 / s, s, total);
+    EXPECT_LE(wq, s * total / 2.0 + 1e-9);
+}
+
+TEST(Contention, SaturationDeficitBeyondRhoOne)
+{
+    // rho = 2: the channel needs twice the interval span; the delay
+    // is at least the service deficit.
+    double s = 1.0;
+    double total = 100.0;
+    double lambda = 2.0; // interval span = total/lambda = 50
+    double d = bandwidthQueuingDelay(lambda, s, total);
+    EXPECT_GE(d, 100.0 * s - 50.0 - 1e-9);
+}
+
+TEST(Contention, ZeroForNoRequests)
+{
+    EXPECT_DOUBLE_EQ(bandwidthQueuingDelay(0.0, 0.5, 0.0), 0.0);
+}
+
+// --- profile-level model ---
+
+IntervalProfile
+profileWith(std::uint64_t insts, double stalls, double mshr_reqs,
+            double dram_reqs, double mem_insts)
+{
+    IntervalProfile p;
+    p.intervals.push_back(Interval{insts, stalls, StallCause::Memory, 0,
+                                   mshr_reqs, dram_reqs, mem_insts});
+    return p;
+}
+
+MultithreadingResult
+mtWith(double cpi, std::uint64_t total_insts)
+{
+    MultithreadingResult r;
+    r.cpi = cpi;
+    r.ipc = 1.0 / cpi;
+    (void)total_insts;
+    return r;
+}
+
+TEST(Contention, ComputeOnlyProfileHasNoContention)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(100, 50.0, 0.0, 0.0, 0.0);
+    ContentionResult r = modelContention(p, mtWith(1.0, 100), inputs,
+                                         config, true, true);
+    EXPECT_DOUBLE_EQ(r.cpi, 0.0);
+    EXPECT_DOUBLE_EQ(r.mshrDelay, 0.0);
+    EXPECT_DOUBLE_EQ(r.bandwidthDelay, 0.0);
+}
+
+TEST(Contention, MshrSteadyStateDeficit)
+{
+    // 16 L1-missing requests per warp, 32 warps -> 512 requests per
+    // core; MSHR drain time = 512 * 420 / 32 = 6720 cycles vs a
+    // multithreaded span of 16 insts * 32 warps * CPI 1 = 512 cycles.
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(16, 420.0, 16.0, 0.0, 2.0);
+    ContentionResult r = modelContention(p, mtWith(1.0, 16), inputs,
+                                         config, true, false);
+    EXPECT_NEAR(r.mshrServiceNeeded, 6720.0, 1e-9);
+    EXPECT_NEAR(r.mshrDelay, 6720.0 - 512.0, 1e-9);
+    EXPECT_NEAR(r.mshrCpi, (6720.0 - 512.0) / 512.0, 1e-9);
+}
+
+TEST(Contention, MshrNotChargedWhenDemandFitsSpan)
+{
+    // A slow kernel (high MT CPI) drains its misses within its own
+    // span: no deficit.
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(16, 420.0, 1.0, 0.0, 1.0);
+    // needed = 1*32*420/32 = 420 < span = 16*32*10 = 5120.
+    ContentionResult r = modelContention(p, mtWith(10.0, 16), inputs,
+                                         config, true, false);
+    EXPECT_DOUBLE_EQ(r.mshrDelay, 0.0);
+}
+
+TEST(Contention, BandwidthSaturationDeficit)
+{
+    // 32 store requests per warp-interval, 32 warps, 16 cores:
+    // 16384 requests * (2/3) = 10922.7 DRAM cycles vs a span of
+    // 10 insts * 32 * CPI 1 = 320 cycles.
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(10, 25.0, 0.0, 32.0, 0.0);
+    ContentionResult r = modelContention(p, mtWith(1.0, 10), inputs,
+                                         config, false, true);
+    EXPECT_GT(r.dramUtilization, 1.0);
+    EXPECT_NEAR(r.bandwidthDelay,
+                16384.0 * config.dramServiceCycles() - 320.0, 1e-6);
+}
+
+TEST(Contention, BandwidthSubSaturationUsesWq)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    // 1 DRAM request per warp-interval: 512 GPU requests over a span
+    // of 100*32*2 = 6400 cycles -> rho = 512*(2/3)/6400 = 0.053.
+    IntervalProfile p = profileWith(100, 420.0, 0.0, 1.0, 1.0);
+    ContentionResult r = modelContention(p, mtWith(2.0, 100), inputs,
+                                         config, false, true);
+    EXPECT_LT(r.dramUtilization, 1.0);
+    EXPECT_GT(r.bandwidthDelay, 0.0);
+    EXPECT_LT(r.queueCpi, 0.1); // negligible, as it should be
+}
+
+TEST(Contention, DisablingModelsZeroesTheirTerms)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(16, 420.0, 16.0, 24.0, 2.0);
+    ContentionResult none = modelContention(p, mtWith(1.0, 16), inputs,
+                                            config, false, false);
+    EXPECT_DOUBLE_EQ(none.cpi, 0.0);
+    ContentionResult only_mshr = modelContention(
+        p, mtWith(1.0, 16), inputs, config, true, false);
+    EXPECT_GT(only_mshr.mshrDelay, 0.0);
+    EXPECT_DOUBLE_EQ(only_mshr.bandwidthDelay, 0.0);
+}
+
+TEST(Contention, MoreBandwidthNeverIncreasesQueueCpi)
+{
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(10, 25.0, 0.0, 16.0, 0.0);
+    double prev = 1e100;
+    for (double bw : {64.0, 128.0, 192.0, 256.0, 512.0}) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.dramBandwidthGBs = bw;
+        ContentionResult r = modelContention(p, mtWith(1.0, 10), inputs,
+                                             config, false, true);
+        EXPECT_LE(r.queueCpi, prev + 1e-9) << bw;
+        prev = r.queueCpi;
+    }
+}
+
+TEST(Contention, MoreMshrsNeverIncreaseMshrCpi)
+{
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    IntervalProfile p = profileWith(16, 420.0, 16.0, 0.0, 2.0);
+    double prev = 1e100;
+    for (std::uint32_t m : {16u, 32u, 64u, 128u, 256u}) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.numMshrs = m;
+        ContentionResult r = modelContention(p, mtWith(1.0, 16), inputs,
+                                             config, true, false);
+        EXPECT_LE(r.mshrCpi, prev + 1e-9) << m;
+        prev = r.mshrCpi;
+    }
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the CPI stack construction (Section VII, Table III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cpi_stack.hh"
+#include "core/gpumech.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+oneCore()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 1;
+    c.warpsPerCore = 4;
+    return c;
+}
+
+TEST(CpiStack, CategoryNamesMatchTableIII)
+{
+    EXPECT_EQ(toString(StallType::Base), "BASE");
+    EXPECT_EQ(toString(StallType::Dep), "DEP");
+    EXPECT_EQ(toString(StallType::L1), "L1");
+    EXPECT_EQ(toString(StallType::L2), "L2");
+    EXPECT_EQ(toString(StallType::Dram), "DRAM");
+    EXPECT_EQ(toString(StallType::Mshr), "MSHR");
+    EXPECT_EQ(toString(StallType::Queue), "QUEUE");
+}
+
+TEST(CpiStack, TotalSumsCategories)
+{
+    CpiStack s;
+    s[StallType::Base] = 1.0;
+    s[StallType::Dep] = 0.5;
+    s[StallType::Queue] = 2.0;
+    EXPECT_DOUBLE_EQ(s.total(), 3.5);
+}
+
+TEST(CpiStack, ToLineContainsAllCategories)
+{
+    CpiStack s;
+    std::string line = s.toLine();
+    for (std::size_t i = 0; i < numStallTypes; ++i) {
+        EXPECT_NE(line.find(toString(static_cast<StallType>(i))),
+                  std::string::npos);
+    }
+}
+
+TEST(CpiStack, SingleWarpComputeKernelIsBasePlusDep)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg r = b.compute(pc);
+    r = b.compute(pc, {r});
+    b.finish();
+
+    CollectorResult inputs = collectInputs(kernel, config);
+    IntervalProfile p =
+        buildIntervalProfile(kernel.warps()[0], inputs, config);
+    CpiStack s = buildSingleWarpStack(p, inputs, config);
+
+    EXPECT_DOUBLE_EQ(s[StallType::Base], 1.0);
+    // One 20-cycle stall over 2 instructions.
+    EXPECT_DOUBLE_EQ(s[StallType::Dep], 10.0);
+    EXPECT_DOUBLE_EQ(s[StallType::L1], 0.0);
+    EXPECT_DOUBLE_EQ(s[StallType::Dram], 0.0);
+    // The single-warp stack totals the single-warp CPI.
+    EXPECT_DOUBLE_EQ(s.total(),
+                     p.totalCycles(1.0) /
+                         static_cast<double>(p.totalInsts()));
+}
+
+TEST(CpiStack, MemoryStallSplitsByMissDistribution)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    auto pc_add = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    // Execute the same load PC 4 times on one line: 1 cold L2 miss +
+    // 3 L1 hits -> distribution 75% L1 / 25% L2 miss. Serialize with
+    // dependent adds so every load stalls its consumer.
+    Reg r = regNone;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<Reg> srcs;
+        if (r != regNone)
+            srcs.push_back(r);
+        Reg v = b.globalLoad(pc_ld, {0x10000}, srcs);
+        r = b.compute(pc_add, {v});
+    }
+    b.finish();
+
+    CollectorResult inputs = collectInputs(kernel, config);
+    IntervalProfile p =
+        buildIntervalProfile(kernel.warps()[0], inputs, config);
+    CpiStack s = buildSingleWarpStack(p, inputs, config);
+
+    // All memory stall cycles split 0.75 / 0.25 between L1 and DRAM.
+    EXPECT_GT(s[StallType::L1], 0.0);
+    EXPECT_GT(s[StallType::Dram], 0.0);
+    EXPECT_DOUBLE_EQ(s[StallType::L2], 0.0);
+    EXPECT_NEAR(s[StallType::L1] / (s[StallType::L1] +
+                                    s[StallType::Dram]),
+                0.75, 1e-9);
+}
+
+TEST(CpiStack, MultithreadedStackTotalsEqualFinalCpi)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    for (const char *name :
+         {"micro_stream", "micro_divergent8", "micro_compute_chain",
+          "micro_write_burst"}) {
+        KernelTrace kernel = workloadByName(name).generate(config);
+        GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+        EXPECT_NEAR(r.stack.total(), r.cpi, 1e-6) << name;
+    }
+}
+
+TEST(CpiStack, BaseStaysConstantUnderMultithreading)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    KernelTrace kernel =
+        workloadByName("micro_divergent8").generate(config);
+    GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+    EXPECT_DOUBLE_EQ(r.stack[StallType::Base],
+                     1.0 / config.issueRate);
+}
+
+TEST(CpiStack, AllCategoriesNonNegative)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    for (const auto &workload : microWorkloads()) {
+        KernelTrace kernel = workload.generate(config);
+        GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+        for (std::size_t i = 0; i < numStallTypes; ++i) {
+            EXPECT_GE(r.stack.cpi[i], 0.0)
+                << workload.name << " "
+                << toString(static_cast<StallType>(i));
+        }
+    }
+}
+
+TEST(CpiStack, WriteBurstKernelIsQueueDominated)
+{
+    // The kmeans_invert_mapping story (Section VII): divergent writes
+    // load the QUEUE category, not DRAM.
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    KernelTrace kernel =
+        workloadByName("micro_write_burst").generate(config);
+    GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+    EXPECT_GT(r.stack[StallType::Queue], r.stack[StallType::Dram]);
+    EXPECT_GT(r.stack[StallType::Queue], 1.0);
+}
+
+TEST(CpiStack, ComputeChainKernelIsBaseOnlyWhenSaturated)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 32;
+    KernelTrace kernel =
+        workloadByName("micro_compute_chain").generate(config);
+    GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+    // 32 warps fully hide 20-25 cycle compute stalls.
+    EXPECT_NEAR(r.stack.total(), 1.0, 0.05);
+    EXPECT_LT(r.stack[StallType::Dep], 0.05);
+}
+
+} // namespace
+} // namespace gpumech

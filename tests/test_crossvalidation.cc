@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cross-validation between the analytical side (collector + interval
+ * algorithm + models) and the timing simulator. For a single warp on
+ * a single core the interval algorithm is an exact analytic twin of
+ * the in-order pipeline, so the two must agree tightly; these tests
+ * pin that relationship and the shared cache statistics.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/gpumech.hh"
+#include "core/interval_builder.hh"
+#include "timing/gpu_timing.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+singleWarpConfig()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 1;
+    c.warpsPerCore = 1;
+    return c;
+}
+
+TEST(CrossValidation, SingleWarpComputeCyclesExact)
+{
+    // timing total = profile cycles + latency(last) - 1 exactly for
+    // compute-only traces (the profile counts issue slots, the
+    // simulator counts to the last completion).
+    HardwareConfig config = singleWarpConfig();
+    KernelTrace kernel("t");
+    auto pc_i = kernel.addStatic(Opcode::IntAlu);
+    auto pc_f = kernel.addStatic(Opcode::FpAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg r = b.compute(pc_i);
+    r = b.compute(pc_f, {r});
+    b.compute(pc_i);
+    r = b.compute(pc_i, {r});
+    b.compute(pc_f, {r});
+    b.finish();
+
+    CollectorResult inputs = collectInputs(kernel, config);
+    IntervalProfile profile =
+        buildIntervalProfile(kernel.warps()[0], inputs, config);
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats stats = sim.run();
+
+    double last_latency = config.latency.fpAlu;
+    EXPECT_DOUBLE_EQ(profile.totalCycles(1.0) + last_latency - 1.0,
+                     static_cast<double>(stats.totalCycles));
+}
+
+class SingleWarpAgreement
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SingleWarpAgreement, ModelTracksOracleWithinFivePercent)
+{
+    // With one warp there is no multithreading or contention to
+    // model: the entire prediction is the interval profile, whose
+    // only systematic deviations from the simulator are the +-1 cycle
+    // DRAM service rounding per load and the trailing latency.
+    HardwareConfig config = singleWarpConfig();
+    KernelTrace kernel = workloadByName(GetParam()).generate(config);
+    ASSERT_EQ(kernel.numWarps(), 1u);
+
+    GpuMechResult model = runGpuMech(kernel, config, GpuMechOptions{});
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats stats = sim.run();
+
+    double err = std::abs(model.cpi - stats.cpi()) / stats.cpi();
+    EXPECT_LT(err, 0.05) << GetParam() << ": model " << model.cpi
+                         << " vs oracle " << stats.cpi();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MicroKernels, SingleWarpAgreement,
+    ::testing::Values("micro_compute_chain", "micro_stream",
+                      "micro_divergent8", "micro_divergent32",
+                      "micro_pointer_chase", "micro_l1_resident",
+                      "micro_sfu_heavy"));
+
+TEST(CrossValidation, CollectorAndTimingAgreeOnL1Counts)
+{
+    // Distinct-line streaming loads: no MSHR merging, so the
+    // functional collector and the timing simulator perform the same
+    // L1 lookups and must count identical hits.
+    HardwareConfig config = singleWarpConfig();
+    KernelTrace kernel =
+        workloadByName("micro_stream").generate(config);
+
+    CollectorResult inputs = collectInputs(kernel, config);
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats stats = sim.run();
+
+    std::uint64_t collector_accesses = 0;
+    std::uint64_t collector_l1_misses = 0;
+    for (const auto &pc : inputs.pcs) {
+        if (pc.op != Opcode::GlobalLoad)
+            continue;
+        collector_accesses += pc.reqCount;
+        collector_l1_misses += pc.reqL1Miss;
+    }
+    EXPECT_EQ(stats.l1Accesses, collector_accesses);
+    EXPECT_EQ(stats.l1Accesses - stats.l1Hits, collector_l1_misses);
+}
+
+TEST(CrossValidation, PointerChaseIsLatencyBoundBothWays)
+{
+    // Serial loads: both sides must predict roughly
+    // chain_length * miss_latency cycles.
+    HardwareConfig config = singleWarpConfig();
+    KernelTrace kernel =
+        workloadByName("micro_pointer_chase").generate(config);
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats stats = sim.run();
+
+    // 120 hops, mostly L2 misses at ~421 cycles per hop.
+    EXPECT_GT(stats.totalCycles, 120u * 350u);
+    GpuMechResult model = runGpuMech(kernel, config, GpuMechOptions{});
+    EXPECT_NEAR(model.cpi, stats.cpi(), 0.05 * stats.cpi());
+}
+
+TEST(CrossValidation, ModelAndOracleRankKernelsConsistently)
+{
+    // The model must preserve the oracle's performance ordering for
+    // clearly separated kernels (compute-bound vs latency-bound vs
+    // bandwidth-bound).
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    const char *names[] = {"micro_compute_chain", "micro_stream",
+                           "micro_divergent32"};
+    std::vector<double> model_cpi, oracle_cpi;
+    for (const char *name : names) {
+        KernelTrace kernel = workloadByName(name).generate(config);
+        model_cpi.push_back(
+            runGpuMech(kernel, config, GpuMechOptions{}).cpi);
+        GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+        oracle_cpi.push_back(sim.run().cpi());
+    }
+    // compute_chain < stream < divergent32 on both sides.
+    EXPECT_LT(oracle_cpi[0], oracle_cpi[1]);
+    EXPECT_LT(oracle_cpi[1], oracle_cpi[2]);
+    EXPECT_LT(model_cpi[0], model_cpi[1]);
+    EXPECT_LT(model_cpi[1], model_cpi[2]);
+}
+
+TEST(CrossValidation, WarpScalingDirectionMatches)
+{
+    // Going from 4 to 16 warps must improve (or hold) per-core IPC in
+    // both the oracle and the model for a latency-bound kernel.
+    auto run_at = [](std::uint32_t warps, double &model_ipc,
+                     double &oracle_ipc) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.numCores = 2;
+        config.warpsPerCore = warps;
+        KernelTrace kernel =
+            workloadByName("micro_stream").generate(config);
+        model_ipc = runGpuMech(kernel, config, GpuMechOptions{}).ipc;
+        GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+        oracle_ipc = 1.0 / sim.run().cpi();
+    };
+    double m4, o4, m16, o16;
+    run_at(4, m4, o4);
+    run_at(16, m16, o16);
+    EXPECT_GT(o16, o4);
+    EXPECT_GT(m16, m4);
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the DRAM channel model: service timing, queuing
+ * accumulation, read/write sharing, and bandwidth scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+baseConfig()
+{
+    return HardwareConfig::baseline(); // s = 128/192 = 2/3 cycle
+}
+
+TEST(Dram, UncontendedReadLatency)
+{
+    DramChannel d(baseConfig());
+    DramTiming t = d.read(100.0);
+    EXPECT_DOUBLE_EQ(t.serviceStart, 100.0);
+    EXPECT_DOUBLE_EQ(t.queueDelay, 0.0);
+    EXPECT_NEAR(t.fillCycle, 100.0 + 2.0 / 3.0 + 300.0, 1e-9);
+}
+
+TEST(Dram, BackToBackRequestsQueue)
+{
+    DramChannel d(baseConfig());
+    d.read(100.0);
+    DramTiming t = d.read(100.0);
+    EXPECT_NEAR(t.queueDelay, 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(t.serviceStart, 100.0 + 2.0 / 3.0, 1e-9);
+}
+
+TEST(Dram, QueueDrainsWhenIdle)
+{
+    DramChannel d(baseConfig());
+    d.read(100.0);
+    DramTiming t = d.read(200.0); // long after the first finished
+    EXPECT_DOUBLE_EQ(t.queueDelay, 0.0);
+}
+
+TEST(Dram, WritesShareTheChannelWithReads)
+{
+    DramChannel d(baseConfig());
+    for (int i = 0; i < 30; ++i)
+        d.write(100.0);
+    DramTiming t = d.read(100.0);
+    EXPECT_NEAR(t.queueDelay, 30.0 * 2.0 / 3.0, 1e-6);
+}
+
+TEST(Dram, NthRequestWaitsNMinusOneServices)
+{
+    DramChannel d(baseConfig());
+    double s = d.serviceCycles();
+    for (int i = 0; i < 10; ++i) {
+        DramTiming t = d.read(0.0);
+        EXPECT_NEAR(t.queueDelay, i * s, 1e-9) << "request " << i;
+    }
+}
+
+TEST(Dram, CountsReadsAndWrites)
+{
+    DramChannel d(baseConfig());
+    d.read(0.0);
+    d.read(0.0);
+    d.write(0.0);
+    EXPECT_EQ(d.reads(), 2u);
+    EXPECT_EQ(d.writes(), 1u);
+}
+
+TEST(Dram, AvgQueueDelay)
+{
+    DramChannel d(baseConfig());
+    d.read(0.0); // delay 0
+    d.read(0.0); // delay s
+    EXPECT_NEAR(d.avgQueueDelay(), d.serviceCycles() / 2.0, 1e-9);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    DramChannel d(baseConfig());
+    d.read(0.0);
+    d.reset();
+    EXPECT_EQ(d.reads(), 0u);
+    EXPECT_DOUBLE_EQ(d.busyUntil(), 0.0);
+    DramTiming t = d.read(0.0);
+    EXPECT_DOUBLE_EQ(t.queueDelay, 0.0);
+}
+
+class DramBandwidth : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramBandwidth, ServiceTimeInverselyProportional)
+{
+    HardwareConfig config = baseConfig();
+    config.dramBandwidthGBs = GetParam();
+    DramChannel d(config);
+    EXPECT_NEAR(d.serviceCycles(), 128.0 / GetParam(), 1e-9);
+
+    // Throughput check: N back-to-back requests take N*s channel
+    // time.
+    const int n = 100;
+    DramTiming last{};
+    for (int i = 0; i < n; ++i)
+        last = d.read(0.0);
+    EXPECT_NEAR(last.serviceStart + d.serviceCycles(),
+                n * d.serviceCycles(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, DramBandwidth,
+                         ::testing::Values(64.0, 128.0, 192.0, 256.0));
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Json, EmptyObject)
+{
+    JsonWriter w;
+    EXPECT_EQ(w.finish(), "{}");
+}
+
+TEST(Json, ScalarFields)
+{
+    JsonWriter w;
+    w.field("name", "srad");
+    w.field("cpi", 2.5);
+    w.field("insts", static_cast<std::uint64_t>(42));
+    w.field("ok", true);
+    EXPECT_EQ(w.finish(),
+              "{\"name\":\"srad\",\"cpi\":2.5,\"insts\":42,"
+              "\"ok\":true}");
+}
+
+TEST(Json, NestedObjects)
+{
+    JsonWriter w;
+    w.field("a", static_cast<std::uint64_t>(1));
+    w.beginObject("inner");
+    w.field("b", static_cast<std::uint64_t>(2));
+    w.endObject();
+    w.field("c", static_cast<std::uint64_t>(3));
+    EXPECT_EQ(w.finish(), "{\"a\":1,\"inner\":{\"b\":2},\"c\":3}");
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    JsonWriter w;
+    w.field("s", "a\"b\\c\nd");
+    EXPECT_EQ(w.finish(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, DoubleFormattingIsCompact)
+{
+    JsonWriter w;
+    w.field("x", 0.5);
+    w.field("y", 13.2);
+    std::string out = w.finish();
+    EXPECT_NE(out.find("\"x\":0.5"), std::string::npos);
+    EXPECT_NE(out.find("\"y\":13.2"), std::string::npos);
+}
+
+TEST(JsonDeath, UnbalancedEndObject)
+{
+    JsonWriter w;
+    EXPECT_DEATH(w.endObject(), "no open nested object");
+}
+
+TEST(JsonDeath, FinishWithOpenObject)
+{
+    JsonWriter w;
+    w.beginObject("x");
+    EXPECT_DEATH(
+        { [[maybe_unused]] auto s = w.finish(); },
+        "open nested objects");
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the k-means clustering used by representative-warp
+ * selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/kmeans.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Kmeans, SquaredDistance)
+{
+    EXPECT_DOUBLE_EQ(squaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+    EXPECT_DOUBLE_EQ(squaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(Kmeans, SeparatesTwoObviousClusters)
+{
+    std::vector<FeatureVector> points = {
+        {0.0, 0.0}, {0.1, 0.1}, {0.2, 0.0},        // cluster A
+        {10.0, 10.0}, {10.1, 9.9}, {9.9, 10.1},    // cluster B
+        {10.2, 10.0},
+    };
+    KmeansResult r = kmeans(points, 2);
+    // The first three points share a cluster; the rest share the
+    // other.
+    EXPECT_EQ(r.assignment[0], r.assignment[1]);
+    EXPECT_EQ(r.assignment[1], r.assignment[2]);
+    EXPECT_EQ(r.assignment[3], r.assignment[4]);
+    EXPECT_EQ(r.assignment[4], r.assignment[5]);
+    EXPECT_NE(r.assignment[0], r.assignment[3]);
+    // B is the larger cluster (4 points).
+    EXPECT_EQ(r.sizes[r.largestCluster()], 4u);
+}
+
+TEST(Kmeans, ClosestToCenterPicksMedianPoint)
+{
+    std::vector<FeatureVector> points = {
+        {0.0}, {1.0}, {2.0},   // center 1.0 -> closest is {1.0}
+        {100.0},
+    };
+    KmeansResult r = kmeans(points, 2);
+    std::uint32_t largest = r.largestCluster();
+    EXPECT_EQ(r.closestToCenter(points, largest), 1u);
+}
+
+TEST(Kmeans, SinglePoint)
+{
+    std::vector<FeatureVector> points = {{1.0, 2.0}};
+    KmeansResult r = kmeans(points, 2); // k clamped to 1
+    EXPECT_EQ(r.assignment[0], 0u);
+    EXPECT_EQ(r.sizes[0], 1u);
+}
+
+TEST(Kmeans, IdenticalPointsStaySane)
+{
+    std::vector<FeatureVector> points(5, FeatureVector{1.0, 1.0});
+    KmeansResult r = kmeans(points, 2);
+    std::uint32_t largest = r.largestCluster();
+    EXPECT_GE(r.sizes[largest], 3u);
+    // closestToCenter must still return a valid index.
+    EXPECT_LT(r.closestToCenter(points, largest), points.size());
+}
+
+TEST(Kmeans, Deterministic)
+{
+    std::vector<FeatureVector> points;
+    for (int i = 0; i < 50; ++i) {
+        points.push_back({static_cast<double>(i % 7),
+                          static_cast<double>((i * 3) % 11)});
+    }
+    KmeansResult a = kmeans(points, 3);
+    KmeansResult b = kmeans(points, 3);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Kmeans, KOneGroupsEverything)
+{
+    std::vector<FeatureVector> points = {{0.0}, {5.0}, {10.0}};
+    KmeansResult r = kmeans(points, 1);
+    EXPECT_EQ(r.sizes[0], 3u);
+    EXPECT_DOUBLE_EQ(r.centers[0][0], 5.0);
+}
+
+TEST(Kmeans, Converges)
+{
+    std::vector<FeatureVector> points;
+    for (int i = 0; i < 100; ++i)
+        points.push_back({static_cast<double>(i)});
+    KmeansResult r = kmeans(points, 4, 1000);
+    EXPECT_LT(r.iterations, 1000u); // stabilized before the cap
+    std::uint32_t total = 0;
+    for (auto s : r.sizes)
+        total += s;
+    EXPECT_EQ(total, 100u);
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: allocation, secondary-miss merging,
+ * retirement, capacity accounting and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Mshr, StartsEmpty)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.freeEntries(), 4u);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.numEntries(), 4u);
+}
+
+TEST(Mshr, AllocateTracksOutstanding)
+{
+    MshrFile m(4);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    EXPECT_TRUE(m.outstanding(0x100));
+    EXPECT_FALSE(m.outstanding(0x200));
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.freeEntries(), 3u);
+}
+
+TEST(Mshr, FullAtCapacity)
+{
+    MshrFile m(2);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    m.allocate(0x200, MshrWaiter{0, 1});
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.freeEntries(), 0u);
+}
+
+TEST(Mshr, MergeDoesNotConsumeEntry)
+{
+    MshrFile m(2);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    m.merge(0x100, MshrWaiter{1, 5});
+    m.merge(0x100, MshrWaiter{2, 7});
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.merges(), 2u);
+    EXPECT_EQ(m.allocations(), 1u);
+}
+
+TEST(Mshr, RetireReturnsAllWaitersInOrder)
+{
+    MshrFile m(2);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    m.merge(0x100, MshrWaiter{1, 5});
+    auto waiters = m.retire(0x100);
+    ASSERT_EQ(waiters.size(), 2u);
+    EXPECT_EQ(waiters[0].warpSlot, 0u);
+    EXPECT_EQ(waiters[0].instIdx, 0u);
+    EXPECT_EQ(waiters[1].warpSlot, 1u);
+    EXPECT_EQ(waiters[1].instIdx, 5u);
+    EXPECT_FALSE(m.outstanding(0x100));
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mshr, ReallocateAfterRetire)
+{
+    MshrFile m(1);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    m.retire(0x100);
+    m.allocate(0x100, MshrWaiter{0, 1});
+    EXPECT_TRUE(m.outstanding(0x100));
+}
+
+TEST(Mshr, FreshMissCountIgnoresOutstanding)
+{
+    MshrFile m(4);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    std::vector<Addr> lines{0x100, 0x200, 0x300};
+    EXPECT_EQ(m.freshMissCount(lines), 2u);
+    EXPECT_EQ(m.freshMissCount({0x100}), 0u);
+    EXPECT_EQ(m.freshMissCount({}), 0u);
+}
+
+TEST(Mshr, PeakOccupancyTracksHighWater)
+{
+    MshrFile m(4);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    m.allocate(0x200, MshrWaiter{0, 1});
+    m.retire(0x100);
+    m.allocate(0x300, MshrWaiter{0, 2});
+    EXPECT_EQ(m.peakOccupancy(), 2u);
+}
+
+TEST(MshrDeath, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    EXPECT_DEATH(m.allocate(0x200, MshrWaiter{0, 1}), "full");
+}
+
+TEST(MshrDeath, DoubleAllocatePanics)
+{
+    MshrFile m(2);
+    m.allocate(0x100, MshrWaiter{0, 0});
+    EXPECT_DEATH(m.allocate(0x100, MshrWaiter{0, 1}),
+                 "already-outstanding");
+}
+
+TEST(MshrDeath, MergeWithoutEntryPanics)
+{
+    MshrFile m(2);
+    EXPECT_DEATH(m.merge(0x100, MshrWaiter{0, 0}), "no entry");
+}
+
+TEST(MshrDeath, RetireWithoutEntryPanics)
+{
+    MshrFile m(2);
+    EXPECT_DEATH(m.retire(0x100), "no entry");
+}
+
+} // namespace
+} // namespace gpumech

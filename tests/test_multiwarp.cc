@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the multithreading model (Section IV-A): the
+ * non-overlapped instruction counts of Eq. 10-16 (including the
+ * paper's Figure 8 worked example) and the CPI assembly of Eq. 7-8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multiwarp.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+baseConfig()
+{
+    return HardwareConfig::baseline(); // issueRate 1.0
+}
+
+/** The paper's Figure 8 interval: 3 instructions, 6 stall cycles. */
+IntervalProfile
+figure8Profile()
+{
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{3, 6.0, StallCause::Memory, 0, 0, 0, 0});
+    return p;
+}
+
+TEST(Multiwarp, IssueProbabilityEq9)
+{
+    IntervalProfile p = figure8Profile();
+    // 3 insts / (3 + 6) cycles.
+    EXPECT_NEAR(p.warpPerf(1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Multiwarp, RRNonoverlappedFigure8)
+{
+    // Eq. 10-11 on the Figure 8 interval with 4 warps:
+    // waiting slots = 2, issue prob = 1/3, remaining warps = 3
+    // -> 1/3 * 3 * 2 = 2 non-overlapped instructions.
+    Interval interval{3, 6.0, StallCause::Memory, 0, 0, 0, 0};
+    EXPECT_NEAR(nonoverlappedRR(interval, 1.0 / 3.0, 4), 2.0, 1e-12);
+}
+
+TEST(Multiwarp, RRSingleInstIntervalHasNoWaitingSlots)
+{
+    Interval interval{1, 10.0, StallCause::Memory, 0, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(nonoverlappedRR(interval, 0.5, 8), 0.0);
+}
+
+TEST(Multiwarp, GTONonoverlappedFigure8)
+{
+    // Eq. 12-16 on the Figure 8 interval with 4 warps:
+    // prob_in_stall = min(1/3 * 6, 1) = 1; issue warps = 3;
+    // issue insts = 3 (avg interval insts) * 3 = 9;
+    // non-overlapped = max(9 - 6, 0) = 3 (the paper's W3 case).
+    Interval interval{3, 6.0, StallCause::Memory, 0, 0, 0, 0};
+    EXPECT_NEAR(nonoverlappedGTO(interval, 1.0 / 3.0, 3.0, 4, 1.0),
+                3.0, 1e-12);
+}
+
+TEST(Multiwarp, GTOShortStallScalesByProbability)
+{
+    // prob_in_stall = min(0.1 * 2, 1) = 0.2; issue warps = 0.2 * 3;
+    // issue insts = 5 * 0.6 = 3; non-overlapped = max(3 - 2, 0) = 1.
+    Interval interval{5, 2.0, StallCause::Compute, 0, 0, 0, 0};
+    EXPECT_NEAR(nonoverlappedGTO(interval, 0.1, 5.0, 4, 1.0), 1.0,
+                1e-12);
+}
+
+TEST(Multiwarp, GTOFullyHiddenWhenFewInsts)
+{
+    // Issue insts below the stall length: everything overlaps.
+    Interval interval{2, 100.0, StallCause::Memory, 0, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(nonoverlappedGTO(interval, 0.02, 2.0, 4, 1.0),
+                     0.0);
+}
+
+TEST(Multiwarp, SingleWarpCpiIsSingleWarpCycles)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p = figure8Profile();
+    MultithreadingResult r =
+        modelMultithreading(p, 1, config, SchedulingPolicy::RoundRobin);
+    // One warp: 9 cycles for 3 insts.
+    EXPECT_NEAR(r.cpi, 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(r.nonoverlappedInsts, 0.0);
+}
+
+TEST(Multiwarp, RRFigure8FourWarps)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p = figure8Profile();
+    MultithreadingResult r =
+        modelMultithreading(p, 4, config, SchedulingPolicy::RoundRobin);
+    // cycles = 9 + 2 = 11 for 12 instructions, clamped to the issue
+    // bound of 12 cycles -> CPI exactly 1.
+    EXPECT_NEAR(r.cpi, 1.0, 1e-12);
+    EXPECT_NEAR(r.nonoverlappedInsts, 2.0, 1e-12);
+}
+
+TEST(Multiwarp, CpiNeverBelowIssueBound)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p = figure8Profile();
+    for (std::uint32_t warps : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (auto policy : {SchedulingPolicy::RoundRobin,
+                            SchedulingPolicy::GreedyThenOldest}) {
+            MultithreadingResult r =
+                modelMultithreading(p, warps, config, policy);
+            EXPECT_GE(r.cpi, 1.0 / config.issueRate - 1e-12)
+                << warps << " " << toString(policy);
+        }
+    }
+}
+
+TEST(Multiwarp, CpiNeverAboveSerialization)
+{
+    // Multithreading cannot be slower than running warps one after
+    // another.
+    HardwareConfig config = baseConfig();
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{1, 1000.0, StallCause::Memory, 0, 0, 0, 0});
+    for (std::uint32_t warps : {2u, 4u, 32u}) {
+        MultithreadingResult r = modelMultithreading(
+            p, warps, config, SchedulingPolicy::RoundRobin);
+        double serial_cpi = p.totalCycles(1.0); // per-inst, per warp
+        EXPECT_LE(r.cpi, serial_cpi + 1e-9);
+    }
+}
+
+TEST(Multiwarp, MoreWarpsNeverSlowerUnderRR)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{4, 40.0, StallCause::Memory, 0, 0, 0, 0});
+    p.intervals.push_back(
+        Interval{2, 25.0, StallCause::Compute, 0, 0, 0, 0});
+    double last = 1e100;
+    for (std::uint32_t warps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        MultithreadingResult r = modelMultithreading(
+            p, warps, config, SchedulingPolicy::RoundRobin);
+        EXPECT_LE(r.cpi, last + 1e-12) << warps << " warps";
+        last = r.cpi;
+    }
+}
+
+TEST(Multiwarp, StallFreeProfileStaysAtIssueBound)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{100, 0.0, StallCause::None, 0, 0, 0, 0});
+    for (auto policy : {SchedulingPolicy::RoundRobin,
+                        SchedulingPolicy::GreedyThenOldest}) {
+        MultithreadingResult r =
+            modelMultithreading(p, 8, config, policy);
+        EXPECT_NEAR(r.cpi, 1.0, 1e-9);
+    }
+}
+
+TEST(Multiwarp, IpcIsReciprocalOfCpi)
+{
+    HardwareConfig config = baseConfig();
+    IntervalProfile p = figure8Profile();
+    MultithreadingResult r = modelMultithreading(
+        p, 2, config, SchedulingPolicy::GreedyThenOldest);
+    EXPECT_NEAR(r.ipc * r.cpi, 1.0, 1e-12);
+}
+
+class WarpCountSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(WarpCountSweep, GtoHidesAtLeastAsWellAsItsBounds)
+{
+    // Sanity envelope for both policies across warp counts: CPI in
+    // [issue bound, single-warp CPI].
+    HardwareConfig config = baseConfig();
+    IntervalProfile p;
+    p.intervals.push_back(
+        Interval{5, 60.0, StallCause::Memory, 0, 0, 0, 0});
+    p.intervals.push_back(
+        Interval{3, 20.0, StallCause::Compute, 0, 0, 0, 0});
+    double single_cpi = p.totalCycles(1.0) /
+                        static_cast<double>(p.totalInsts());
+    for (auto policy : {SchedulingPolicy::RoundRobin,
+                        SchedulingPolicy::GreedyThenOldest}) {
+        MultithreadingResult r =
+            modelMultithreading(p, GetParam(), config, policy);
+        EXPECT_GE(r.cpi, 1.0 - 1e-12);
+        EXPECT_LE(r.cpi, single_cpi + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Warps, WarpCountSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 24u,
+                                           32u, 48u, 64u));
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the SFU structural-contention extension (the paper's
+ * Section IV-B future-work item): oracle-side SFU occupancy and the
+ * model-side steady-state term.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpumech.hh"
+#include "timing/gpu_timing.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+oneCore(std::uint32_t sfu_lanes)
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 1;
+    c.warpsPerCore = 4;
+    c.sfuLanes = sfu_lanes;
+    return c;
+}
+
+TEST(SfuExtension, OccupancyCyclesDerivation)
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    EXPECT_EQ(c.sfuOccupancyCycles(), 1u); // balanced default
+    c.sfuLanes = 8;
+    EXPECT_EQ(c.sfuOccupancyCycles(), 4u);
+    c.sfuLanes = 4;
+    EXPECT_EQ(c.sfuOccupancyCycles(), 8u);
+}
+
+TEST(SfuExtension, BalancedSfuDoesNotSerialize)
+{
+    // Two warps each issuing one SFU op: with 32 lanes they issue in
+    // consecutive cycles.
+    HardwareConfig config = oneCore(32);
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::Sfu);
+    for (std::uint32_t w = 0; w < 2; ++w) {
+        TraceBuilder b(kernel, w, 0, config);
+        b.compute(pc);
+        b.finish();
+    }
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    // Second issues at cycle 1, done at 1 + 40.
+    EXPECT_EQ(sim.run().totalCycles, 41u);
+}
+
+TEST(SfuExtension, NarrowSfuSerializesIssues)
+{
+    // With 8 lanes one SFU op occupies the unit 4 cycles, so the
+    // second warp's op issues at cycle 4.
+    HardwareConfig config = oneCore(8);
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::Sfu);
+    for (std::uint32_t w = 0; w < 2; ++w) {
+        TraceBuilder b(kernel, w, 0, config);
+        b.compute(pc);
+        b.finish();
+    }
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    EXPECT_EQ(sim.run().totalCycles, 44u); // 4 + 40
+}
+
+TEST(SfuExtension, NonSfuWarpsFillSfuGaps)
+{
+    // While the SFU is busy, the scheduler issues other warps' ALU
+    // instructions: the ALU warp is not delayed.
+    HardwareConfig config = oneCore(8);
+    KernelTrace kernel("t");
+    auto pc_sfu = kernel.addStatic(Opcode::Sfu);
+    auto pc_alu = kernel.addStatic(Opcode::IntAlu);
+    {
+        TraceBuilder b(kernel, 0, 0, config);
+        b.compute(pc_sfu);
+        b.compute(pc_sfu);
+        b.finish();
+    }
+    {
+        TraceBuilder b(kernel, 1, 0, config);
+        for (int i = 0; i < 3; ++i)
+            b.compute(pc_alu);
+        b.finish();
+    }
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    // Warp0 SFU at 0 and 4; warp1 ALUs at 1,2,3 -> last ALU done 23,
+    // second SFU done 44.
+    EXPECT_EQ(s.totalCycles, 44u);
+}
+
+TEST(SfuExtension, ModelTermZeroWhenBalanced)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    KernelTrace kernel =
+        workloadByName("micro_sfu_heavy").generate(config);
+    GpuMechOptions options;
+    options.modelSfu = true;
+    GpuMechResult r = runGpuMech(kernel, config, options);
+    EXPECT_DOUBLE_EQ(r.contention.sfuCpi, 0.0);
+}
+
+TEST(SfuExtension, ModelTermGrowsAsLanesShrink)
+{
+    double prev = -1.0;
+    for (std::uint32_t lanes : {32u, 8u, 4u}) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.numCores = 2;
+        config.warpsPerCore = 8;
+        config.sfuLanes = lanes;
+        KernelTrace kernel =
+            workloadByName("micro_sfu_heavy").generate(config);
+        GpuMechOptions options;
+        options.modelSfu = true;
+        GpuMechResult r = runGpuMech(kernel, config, options);
+        EXPECT_GE(r.contention.sfuCpi, prev);
+        prev = r.contention.sfuCpi;
+    }
+    EXPECT_GT(prev, 0.0);
+}
+
+TEST(SfuExtension, ExtensionImprovesAccuracyUnderContention)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    config.sfuLanes = 4;
+    KernelTrace kernel =
+        workloadByName("micro_sfu_heavy").generate(config);
+
+    GpuTiming oracle(kernel, config, SchedulingPolicy::RoundRobin);
+    double oracle_ipc = 1.0 / oracle.run().cpi();
+
+    GpuMechProfiler profiler(kernel, config);
+    double base_err = std::abs(
+        profiler.evaluate(SchedulingPolicy::RoundRobin).ipc -
+        oracle_ipc) / oracle_ipc;
+    double ext_err = std::abs(
+        profiler.evaluate(SchedulingPolicy::RoundRobin,
+                          ModelLevel::MT_MSHR_BAND, true).ipc -
+        oracle_ipc) / oracle_ipc;
+    EXPECT_LT(ext_err, base_err);
+}
+
+TEST(SfuExtension, StackGainsSfuCategory)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    config.sfuLanes = 4;
+    KernelTrace kernel =
+        workloadByName("micro_sfu_heavy").generate(config);
+    GpuMechOptions options;
+    options.modelSfu = true;
+    GpuMechResult r = runGpuMech(kernel, config, options);
+    EXPECT_GT(r.stack[StallType::Sfu], 0.0);
+    EXPECT_NEAR(r.stack.total(), r.cpi, 1e-6);
+    EXPECT_EQ(toString(StallType::Sfu), "SFU");
+}
+
+TEST(SfuExtension, OffByDefault)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    config.sfuLanes = 4;
+    KernelTrace kernel =
+        workloadByName("micro_sfu_heavy").generate(config);
+    GpuMechResult r = runGpuMech(kernel, config, GpuMechOptions{});
+    EXPECT_DOUBLE_EQ(r.contention.sfuCpi, 0.0);
+    EXPECT_DOUBLE_EQ(r.stack[StallType::Sfu], 0.0);
+}
+
+} // namespace
+} // namespace gpumech

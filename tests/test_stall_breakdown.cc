@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the oracle's measured stall attribution (the per-cycle
+ * classification behind TimingStats::*StallCpi), including exact
+ * counts on hand-built traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/gpu_timing.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+oneCore()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 1;
+    c.warpsPerCore = 4;
+    return c;
+}
+
+TEST(StallBreakdown, SerialComputeChainChargesComputeStalls)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg r = b.compute(pc);
+    for (int i = 0; i < 4; ++i)
+        r = b.compute(pc, {r});
+    b.finish();
+
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    // Issues at 0,21,42,63,84: the 80 in-between cycles are compute
+    // stalls; nothing else.
+    EXPECT_EQ(s.stallComputeCycles, 80u);
+    EXPECT_EQ(s.stallMemCycles, 0u);
+    EXPECT_EQ(s.stallMshrCycles, 0u);
+    EXPECT_EQ(s.stallSfuCycles, 0u);
+}
+
+TEST(StallBreakdown, LoadWaitChargesMemStalls)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    auto pc_add = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg r = b.globalLoad(pc_ld, {0x10000});
+    b.compute(pc_add, {r});
+    b.finish();
+
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    // Load at 0, fill 421, add at 422: cycles 1..420 wait on the
+    // outstanding load; cycle 421 (fill resolved, issue next cycle)
+    // classifies as a latency wait.
+    EXPECT_EQ(s.stallMemCycles, 420u);
+    EXPECT_EQ(s.stallComputeCycles, 1u);
+}
+
+TEST(StallBreakdown, MshrExhaustionChargesMshrStalls)
+{
+    HardwareConfig config = oneCore();
+    config.numMshrs = 1;
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    TraceBuilder b(kernel, 0, 0, config);
+    b.globalLoad(pc_ld, {0x10000});
+    b.globalLoad(pc_ld, {0x90000});
+    b.finish();
+
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    // Load B is MSHR-blocked from cycle 1 until the fill at 421
+    // unblocks it (issues 422): 421 blocked cycles.
+    EXPECT_EQ(s.stallMshrCycles, 421u);
+    EXPECT_EQ(s.stallMemCycles, 0u);
+}
+
+TEST(StallBreakdown, SfuOccupancyChargesSfuStalls)
+{
+    HardwareConfig config = oneCore();
+    config.sfuLanes = 8; // 4-cycle occupancy
+    KernelTrace kernel("t");
+    auto pc = kernel.addStatic(Opcode::Sfu);
+    for (std::uint32_t w = 0; w < 2; ++w) {
+        TraceBuilder b(kernel, w, 0, config);
+        b.compute(pc);
+        b.finish();
+    }
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    // w0 at cycle 0; w1 is SFU-blocked cycles 1-3, issues at 4.
+    EXPECT_EQ(s.stallSfuCycles, 3u);
+}
+
+TEST(StallBreakdown, SharesScaleWithInstructions)
+{
+    HardwareConfig config = oneCore();
+    KernelTrace kernel("t");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad);
+    auto pc_add = kernel.addStatic(Opcode::IntAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg r = b.globalLoad(pc_ld, {0x10000});
+    b.compute(pc_add, {r});
+    b.finish();
+
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    EXPECT_DOUBLE_EQ(s.memStallCpi(), 420.0 / 2.0);
+}
+
+TEST(StallBreakdown, BreakdownApproximatesCpi)
+{
+    // 1 (issue) + stall shares ~ CPI for long-running kernels (the
+    // uncharged part is the drain tail and cross-core imbalance).
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    for (const char *name :
+         {"micro_stream", "micro_divergent8", "micro_compute_chain"}) {
+        KernelTrace kernel = workloadByName(name).generate(config);
+        GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+        TimingStats s = sim.run();
+        double accounted = 1.0 + s.memStallCpi() +
+                           s.computeStallCpi() + s.mshrStallCpi() +
+                           s.sfuStallCpi();
+        EXPECT_NEAR(accounted, s.cpi(), 0.12 * s.cpi()) << name;
+    }
+}
+
+TEST(StallBreakdown, DivergentKernelIsMemoryOrMshrBound)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    KernelTrace kernel =
+        workloadByName("micro_divergent32").generate(config);
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    double memish = s.memStallCpi() + s.mshrStallCpi();
+    EXPECT_GT(memish, 10.0 * s.computeStallCpi());
+}
+
+TEST(StallBreakdown, ComputeKernelHasNoMemStalls)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 2;
+    config.warpsPerCore = 8;
+    KernelTrace kernel =
+        workloadByName("micro_compute_chain").generate(config);
+    GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
+    TimingStats s = sim.run();
+    EXPECT_EQ(s.stallMemCycles, 0u);
+    EXPECT_EQ(s.stallMshrCycles, 0u);
+}
+
+} // namespace
+} // namespace gpumech

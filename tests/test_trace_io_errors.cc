@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-path tests for the trace text format: malformed inputs must
+ * fail loudly (fatal), never parse garbage silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_builder.hh"
+#include "trace/trace_io.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+std::string
+goodTrace()
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    KernelTrace kernel("good");
+    auto pc_ld = kernel.addStatic(Opcode::GlobalLoad, "in");
+    auto pc_add = kernel.addStatic(Opcode::FpAlu);
+    TraceBuilder b(kernel, 0, 0, config);
+    Reg x = b.globalLoad(pc_ld, {0x1000});
+    b.compute(pc_add, {x});
+    b.finish();
+    return traceToString(kernel);
+}
+
+TEST(TraceIoErrors, GoodTraceParses)
+{
+    KernelTrace kernel = traceFromString(goodTrace());
+    EXPECT_EQ(kernel.name(), "good");
+    EXPECT_EQ(kernel.numWarps(), 1u);
+}
+
+TEST(TraceIoErrorsDeath, EmptyInput)
+{
+    EXPECT_DEATH(traceFromString(""), "unexpected end of input");
+}
+
+TEST(TraceIoErrorsDeath, MissingKernelHeader)
+{
+    EXPECT_DEATH(traceFromString("bogus stuff"), "missing 'kernel'");
+}
+
+TEST(TraceIoErrorsDeath, UnknownOpcodeMnemonic)
+{
+    std::string text = goodTrace();
+    auto pos = text.find("ld.global");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 9, "ld.bogus1");
+    EXPECT_DEATH(traceFromString(text), "unknown opcode");
+}
+
+TEST(TraceIoErrorsDeath, TruncatedAfterHeader)
+{
+    std::string text = goodTrace();
+    EXPECT_DEATH(traceFromString(text.substr(0, text.size() / 2)),
+                 "unexpected end of input");
+}
+
+TEST(TraceIoErrorsDeath, MissingEndTrailer)
+{
+    std::string text = goodTrace();
+    auto pos = text.rfind("end");
+    ASSERT_NE(pos, std::string::npos);
+    text = text.substr(0, pos);
+    EXPECT_DEATH(traceFromString(text), "unexpected end of input");
+}
+
+TEST(TraceIoErrorsDeath, PcOutOfRange)
+{
+    // Corrupt the first instruction's pc to 99 (static count is 2).
+    std::string text = goodTrace();
+    auto pos = text.find("warp 0 0 2\n");
+    ASSERT_NE(pos, std::string::npos);
+    pos += std::string("warp 0 0 2\n").size();
+    text.replace(pos, 1, "9"); // pc "0..." -> "9..."
+    EXPECT_DEATH(traceFromString(text), "");
+}
+
+TEST(TraceIoErrorsDeath, NonNumericWarpCount)
+{
+    std::string text = goodTrace();
+    auto pos = text.find("warps 1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 7, "warps x");
+    EXPECT_DEATH(traceFromString(text), "expected number");
+}
+
+TEST(TraceIoErrorsDeath, NonSequentialStaticPcs)
+{
+    std::string text =
+        "kernel t\nstatic 2\n0 ialu -\n5 falu -\nwarps 0\nend\n";
+    EXPECT_DEATH(traceFromString(text), "sequential");
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the workload registry and generators: suite composition,
+ * structural validity of every generated trace, behaviour flags, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/archetypes.hh"
+#include "workloads/patterns.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+smallConfig()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 2;
+    c.warpsPerCore = 4;
+    return c;
+}
+
+TEST(Workloads, FortyEvaluationKernels)
+{
+    EXPECT_EQ(evaluationWorkloads().size(), 40u);
+}
+
+TEST(Workloads, SuiteSizes)
+{
+    EXPECT_EQ(workloadsBySuite("rodinia").size(), 16u);
+    EXPECT_EQ(workloadsBySuite("parboil").size(), 12u);
+    EXPECT_EQ(workloadsBySuite("sdk").size(), 12u);
+    EXPECT_GE(workloadsBySuite("micro").size(), 8u);
+}
+
+TEST(Workloads, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &w : allWorkloads())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(Workloads, LookupByName)
+{
+    const Workload &w = workloadByName("kmeans_invert_mapping");
+    EXPECT_EQ(w.suite, "rodinia");
+    EXPECT_TRUE(w.memoryDivergent);
+}
+
+TEST(Workloads, StressSuitePresentButNotInEvaluation)
+{
+    EXPECT_EQ(stressWorkloads().size(), 3u);
+    for (const auto &w : stressWorkloads()) {
+        EXPECT_EQ(w.suite, "stress");
+        for (const auto &e : evaluationWorkloads())
+            EXPECT_NE(e.name, w.name);
+    }
+}
+
+TEST(Workloads, StressKernelsGenerateValidPhasedTraces)
+{
+    HardwareConfig config = smallConfig();
+    for (const auto &w : stressWorkloads()) {
+        KernelTrace kernel = w.generate(config);
+        EXPECT_TRUE(kernel.validate()) << w.name;
+        // Phased kernels must actually have phases: both memory and
+        // a long compute-only stretch.
+        const auto &insts = kernel.warps()[0].insts;
+        std::size_t longest_compute_run = 0, run = 0;
+        std::size_t mem_insts = 0;
+        for (const auto &inst : insts) {
+            if (isGlobalMemory(inst.op)) {
+                ++mem_insts;
+                longest_compute_run =
+                    std::max(longest_compute_run, run);
+                run = 0;
+            } else {
+                ++run;
+            }
+        }
+        longest_compute_run = std::max(longest_compute_run, run);
+        EXPECT_GT(mem_insts, 0u) << w.name;
+        // The two kernels with a dedicated compute phase must show a
+        // long run of non-memory instructions.
+        if (w.name != "stress_write_burst_tail") {
+            EXPECT_GT(longest_compute_run, 20u) << w.name;
+        }
+    }
+}
+
+TEST(Workloads, ControlDivergentSubsetNonEmpty)
+{
+    auto subset = controlDivergentWorkloads();
+    EXPECT_GE(subset.size(), 5u);
+    for (const auto &w : subset)
+        EXPECT_TRUE(w.controlDivergent) << w.name;
+}
+
+TEST(Workloads, EveryKernelGeneratesValidTrace)
+{
+    HardwareConfig config = smallConfig();
+    for (const auto &w : allWorkloads()) {
+        KernelTrace kernel = w.generate(config);
+        EXPECT_EQ(kernel.name(), w.name);
+        EXPECT_TRUE(kernel.validate()) << w.name;
+        EXPECT_EQ(kernel.numWarps(), totalWarps(config)) << w.name;
+        EXPECT_GT(kernel.totalInsts(), 0u) << w.name;
+    }
+}
+
+TEST(Workloads, WarpsBalancedAcrossCores)
+{
+    HardwareConfig config = smallConfig();
+    for (const auto &w : evaluationWorkloads()) {
+        KernelTrace kernel = w.generate(config);
+        for (std::uint32_t c = 0; c < config.numCores; ++c) {
+            EXPECT_EQ(kernel.warpsOnCore(c, config).size(),
+                      config.warpsPerCore)
+                << w.name << " core " << c;
+        }
+    }
+}
+
+TEST(Workloads, GenerationDeterministic)
+{
+    HardwareConfig config = smallConfig();
+    for (const char *name : {"srad_kernel1", "bfs_kernel1",
+                             "histo_main", "sgemm_tiled"}) {
+        const Workload &w = workloadByName(name);
+        KernelTrace a = w.generate(config);
+        KernelTrace b = w.generate(config);
+        ASSERT_EQ(a.numWarps(), b.numWarps()) << name;
+        for (std::uint32_t i = 0; i < a.numWarps(); ++i) {
+            const auto &wa = a.warps()[i];
+            const auto &wb = b.warps()[i];
+            ASSERT_EQ(wa.insts.size(), wb.insts.size()) << name;
+            for (std::size_t k = 0; k < wa.insts.size(); ++k) {
+                EXPECT_EQ(wa.insts[k].pc, wb.insts[k].pc);
+                EXPECT_EQ(wa.insts[k].lines, wb.insts[k].lines);
+            }
+        }
+    }
+}
+
+TEST(Workloads, MemoryDivergenceFlagsAccurate)
+{
+    HardwareConfig config = smallConfig();
+    for (const auto &w : evaluationWorkloads()) {
+        KernelTrace kernel = w.generate(config);
+        std::uint32_t max_degree = 0;
+        for (const auto &warp : kernel.warps()) {
+            for (const auto &inst : warp.insts) {
+                if (isGlobalMemory(inst.op)) {
+                    max_degree = std::max(max_degree,
+                                          inst.numRequests());
+                }
+            }
+        }
+        if (w.memoryDivergent) {
+            EXPECT_GT(max_degree, 2u) << w.name;
+        } else {
+            EXPECT_LE(max_degree, 4u) << w.name;
+        }
+    }
+}
+
+TEST(Workloads, ControlDivergenceProducesVaryingLengths)
+{
+    HardwareConfig config = smallConfig();
+    for (const char *name :
+         {"bfs_kernel1", "micro_control_divergent", "lud_diagonal"}) {
+        KernelTrace kernel = workloadByName(name).generate(config);
+        std::set<std::size_t> lengths;
+        for (const auto &warp : kernel.warps())
+            lengths.insert(warp.insts.size());
+        EXPECT_GT(lengths.size(), 2u) << name;
+    }
+}
+
+TEST(Workloads, UniformKernelsHaveUniformLengths)
+{
+    HardwareConfig config = smallConfig();
+    KernelTrace kernel =
+        workloadByName("cfd_step_factor").generate(config);
+    std::set<std::size_t> lengths;
+    for (const auto &warp : kernel.warps())
+        lengths.insert(warp.insts.size());
+    EXPECT_EQ(lengths.size(), 1u);
+}
+
+TEST(Workloads, WarpCountScalesWithConfig)
+{
+    const Workload &w = workloadByName("vectorAdd");
+    for (std::uint32_t warps : {8u, 16u, 32u}) {
+        HardwareConfig config = HardwareConfig::baseline();
+        config.numCores = 2;
+        config.warpsPerCore = warps;
+        KernelTrace kernel = w.generate(config);
+        EXPECT_EQ(kernel.numWarps(), 2 * warps);
+    }
+}
+
+TEST(Patterns, CoalescedIsOneLinePerWarp)
+{
+    auto addrs = coalescedPattern(0x1000, 32, 4);
+    EXPECT_EQ(coalescedCount(addrs, 128), 1u);
+}
+
+TEST(Patterns, StridedFullLineStride)
+{
+    auto addrs = stridedPattern(0x1000, 32, 128);
+    EXPECT_EQ(coalescedCount(addrs, 128), 32u);
+}
+
+TEST(Patterns, DivergentExactDegree)
+{
+    for (std::uint32_t degree : {1u, 2u, 7u, 16u, 32u}) {
+        auto addrs = divergentPattern(0x1000, 32, degree, 128);
+        EXPECT_EQ(coalescedCount(addrs, 128), degree);
+        EXPECT_EQ(addrs.size(), 32u);
+    }
+}
+
+TEST(Patterns, RandomDivergentAtMostDegree)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        auto addrs =
+            randomDivergentPattern(rng, 0x10000, 1 << 20, 32, 8, 128);
+        EXPECT_LE(coalescedCount(addrs, 128), 8u);
+        EXPECT_GE(coalescedCount(addrs, 128), 1u);
+        for (Addr a : addrs) {
+            EXPECT_GE(a, 0x10000u);
+            EXPECT_LT(a, 0x10000u + (1 << 20));
+        }
+    }
+}
+
+TEST(Archetypes, PointerChaseIsFullySerial)
+{
+    HardwareConfig config = smallConfig();
+    PointerChaseParams params;
+    params.chainLength = 10;
+    params.computeBetween = 0;
+    KernelTrace kernel = pointerChaseKernel("chase", params, config);
+    const auto &insts = kernel.warps()[0].insts;
+    ASSERT_EQ(insts.size(), 10u);
+    for (std::size_t i = 1; i < insts.size(); ++i)
+        EXPECT_EQ(insts[i].deps[0],
+                  static_cast<std::int32_t>(i - 1));
+}
+
+TEST(Archetypes, TransposeNaiveStoresFullyDivergent)
+{
+    HardwareConfig config = smallConfig();
+    TransposeParams params;
+    params.tilesPerWarp = 3;
+    params.viaShared = false;
+    KernelTrace kernel = transposeKernel("tn", params, config);
+    for (const auto &inst : kernel.warps()[0].insts) {
+        if (inst.op == Opcode::GlobalStore) {
+            EXPECT_EQ(inst.numRequests(), 32u);
+        }
+    }
+}
+
+TEST(Archetypes, ReductionShrinksActiveMask)
+{
+    HardwareConfig config = smallConfig();
+    ReductionParams params;
+    params.loadsPerWarp = 4;
+    params.levels = 3;
+    KernelTrace kernel = reductionKernel("red", params, config);
+    std::set<std::uint32_t> masks;
+    for (const auto &inst : kernel.warps()[1].insts)
+        masks.insert(inst.activeThreads);
+    // Full warp plus the halved levels 16, 8, 4.
+    EXPECT_TRUE(masks.count(32));
+    EXPECT_TRUE(masks.count(16));
+    EXPECT_TRUE(masks.count(4));
+}
+
+} // namespace
+} // namespace gpumech

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * The `gpumech` command-line driver: model, simulate, and inspect
+ * kernels without writing code.
+ *
+ * Subcommands:
+ *   gpumech list                       list registered workloads
+ *   gpumech model <kernel>             GPUMech prediction + CPI stack
+ *   gpumech simulate <kernel>          detailed timing simulation
+ *   gpumech compare <kernel>           all five models vs the oracle
+ *   gpumech stack <kernel>             CPI stacks across warp counts
+ *   gpumech dump-trace <kernel> <file> write the kernel trace to disk
+ *   gpumech model-trace <file>         model a trace file
+ *
+ * Common hardware options (all subcommands):
+ *   --warps N        warps per core           (default 32)
+ *   --cores N        number of cores          (default 16)
+ *   --mshrs N        L1 MSHR entries          (default 32)
+ *   --bw GBs         DRAM bandwidth in GB/s   (default 192)
+ *   --sfu-lanes N    SFU lanes per core       (default 32)
+ *   --policy rr|gto  scheduling policy        (default rr)
+ *   --level mt|mshr|band                      (default band)
+ *   --model-sfu      enable the SFU contention extension
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "timing/gpu_timing.hh"
+#include "trace/trace_io.hh"
+
+using namespace gpumech;
+
+namespace
+{
+
+HardwareConfig
+configFrom(const ArgParser &args)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.warpsPerCore = args.getUint("warps", config.warpsPerCore);
+    config.numCores = args.getUint("cores", config.numCores);
+    config.numMshrs = args.getUint("mshrs", config.numMshrs);
+    config.dramBandwidthGBs =
+        args.getDouble("bw", config.dramBandwidthGBs);
+    config.sfuLanes = args.getUint("sfu-lanes", config.sfuLanes);
+    return config;
+}
+
+SchedulingPolicy
+policyFrom(const ArgParser &args)
+{
+    std::string p = args.get("policy", "rr");
+    if (p == "rr")
+        return SchedulingPolicy::RoundRobin;
+    if (p == "gto")
+        return SchedulingPolicy::GreedyThenOldest;
+    fatal(msg("unknown policy '", p, "' (use rr or gto)"));
+}
+
+ModelLevel
+levelFrom(const ArgParser &args)
+{
+    std::string l = args.get("level", "band");
+    if (l == "mt")
+        return ModelLevel::MT;
+    if (l == "mshr")
+        return ModelLevel::MT_MSHR;
+    if (l == "band")
+        return ModelLevel::MT_MSHR_BAND;
+    fatal(msg("unknown model level '", l, "' (use mt, mshr or band)"));
+}
+
+int
+cmdList()
+{
+    Table t({"name", "suite", "ctrl-div", "mem-div", "description"});
+    for (const auto &w : allWorkloads()) {
+        t.addRow({w.name, w.suite, w.controlDivergent ? "yes" : "no",
+                  w.memoryDivergent ? "yes" : "no", w.description});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+void
+printModelResult(const GpuMechResult &r, const HardwareConfig &config,
+                 SchedulingPolicy policy)
+{
+    std::cout << "config: " << config.summary() << "\n";
+    std::cout << "policy: " << toString(policy) << "\n";
+    std::cout << "representative warp: " << r.repWarpIndex
+              << " (single-warp IPC " << fmtDouble(r.repWarpPerf, 4)
+              << ", " << r.repNumIntervals << " intervals)\n";
+    std::cout << "CPI multithreading: "
+              << fmtDouble(r.cpiMultithreading, 4) << "\n";
+    std::cout << "CPI contention:     " << fmtDouble(r.cpiContention, 4)
+              << "\n";
+    std::cout << "CPI final:          " << fmtDouble(r.cpi, 4)
+              << "  (IPC/core " << fmtDouble(r.ipc, 4) << ")\n";
+    std::cout << "CPI stack:          " << r.stack.toLine() << "\n";
+}
+
+int
+cmdModel(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    if (name.empty())
+        fatal("usage: gpumech model <kernel> [options]");
+    HardwareConfig config = configFrom(args);
+    KernelTrace kernel = workloadByName(name).generate(config);
+
+    GpuMechOptions options;
+    options.policy = policyFrom(args);
+    options.level = levelFrom(args);
+    options.modelSfu = args.has("model-sfu");
+    GpuMechResult r = runGpuMech(kernel, config, options);
+    if (args.has("json")) {
+        JsonWriter json;
+        json.field("kernel", kernel.name());
+        json.field("policy", toString(options.policy));
+        json.field("level", toString(options.level));
+        json.field("warps", static_cast<std::uint64_t>(kernel.numWarps()));
+        json.field("insts", kernel.totalInsts());
+        json.field("cpi", r.cpi);
+        json.field("ipc", r.ipc);
+        json.field("cpi_multithreading", r.cpiMultithreading);
+        json.field("cpi_contention", r.cpiContention);
+        json.field("rep_warp", static_cast<std::uint64_t>(r.repWarpIndex));
+        json.beginObject("stack");
+        for (std::size_t i = 0; i < numStallTypes; ++i) {
+            json.field(toString(static_cast<StallType>(i)),
+                       r.stack.cpi[i]);
+        }
+        json.endObject();
+        std::cout << json.finish() << "\n";
+        return 0;
+    }
+    std::cout << "kernel: " << kernel.name() << " ("
+              << kernel.numWarps() << " warps, " << kernel.totalInsts()
+              << " insts)\n";
+    printModelResult(r, config, options.policy);
+    return 0;
+}
+
+int
+cmdSimulate(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    if (name.empty())
+        fatal("usage: gpumech simulate <kernel> [options]");
+    HardwareConfig config = configFrom(args);
+    SchedulingPolicy policy = policyFrom(args);
+    KernelTrace kernel = workloadByName(name).generate(config);
+
+    GpuTiming sim(kernel, config, policy);
+    TimingStats s = sim.run();
+    if (args.has("json")) {
+        JsonWriter json;
+        json.field("kernel", kernel.name());
+        json.field("policy", toString(policy));
+        json.field("cycles", s.totalCycles);
+        json.field("insts", s.totalInsts);
+        json.field("cpi", s.cpi());
+        json.field("simd_efficiency", s.simdEfficiency());
+        json.beginObject("memory");
+        json.field("l1_accesses", s.l1Accesses);
+        json.field("l1_hits", s.l1Hits);
+        json.field("l2_accesses", s.l2Accesses);
+        json.field("l2_hits", s.l2Hits);
+        json.field("dram_reads", s.dramReads);
+        json.field("dram_writes", s.dramWrites);
+        json.field("avg_dram_queue_delay", s.avgDramQueueDelay);
+        json.field("mshr_peak",
+                   static_cast<std::uint64_t>(s.mshrPeak));
+        json.endObject();
+        json.beginObject("stall_cpi");
+        json.field("compute", s.computeStallCpi());
+        json.field("mem", s.memStallCpi());
+        json.field("mshr", s.mshrStallCpi());
+        json.field("sfu", s.sfuStallCpi());
+        json.endObject();
+        std::cout << json.finish() << "\n";
+        return 0;
+    }
+    std::cout << "kernel: " << kernel.name() << "\n";
+    std::cout << "config: " << config.summary() << "\n";
+    std::cout << "cycles: " << s.totalCycles << "\n";
+    std::cout << "CPI (per core): " << fmtDouble(s.cpi(), 4) << "\n";
+    std::cout << "L1 hit rate: "
+              << fmtPercent(s.l1Accesses
+                                ? static_cast<double>(s.l1Hits) /
+                                      s.l1Accesses
+                                : 0.0)
+              << ", L2 hit rate: "
+              << fmtPercent(s.l2Accesses
+                                ? static_cast<double>(s.l2Hits) /
+                                      s.l2Accesses
+                                : 0.0)
+              << "\n";
+    std::cout << "DRAM reads/writes: " << s.dramReads << "/"
+              << s.dramWrites << " (avg queue "
+              << fmtDouble(s.avgDramQueueDelay, 1) << " cycles)\n";
+    std::cout << "MSHR peak/allocs/merges: " << s.mshrPeak << "/"
+              << s.mshrAllocs << "/" << s.mshrMerges << "\n";
+    std::cout << "SIMD efficiency: " << fmtPercent(s.simdEfficiency())
+              << "\n";
+    std::cout << "measured stall CPI: compute "
+              << fmtDouble(s.computeStallCpi(), 2) << ", mem "
+              << fmtDouble(s.memStallCpi(), 2) << ", MSHR "
+              << fmtDouble(s.mshrStallCpi(), 2) << ", SFU "
+              << fmtDouble(s.sfuStallCpi(), 2) << "\n";
+    return 0;
+}
+
+int
+cmdSweep(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    std::string param = args.get("param", "warps");
+    std::string values = args.get("values", "8,16,24,32,48");
+    if (name.empty())
+        fatal("usage: gpumech sweep <kernel> --param "
+              "warps|mshrs|bw|sfu-lanes [--values a,b,c] [--oracle]");
+
+    std::vector<double> points;
+    std::string tok;
+    for (char c : values + ",") {
+        if (c == ',') {
+            if (!tok.empty())
+                points.push_back(std::strtod(tok.c_str(), nullptr));
+            tok.clear();
+        } else {
+            tok += c;
+        }
+    }
+    if (points.empty())
+        fatal("--values produced no sweep points");
+
+    HardwareConfig base = configFrom(args);
+    SchedulingPolicy policy = policyFrom(args);
+    bool with_oracle = args.has("oracle");
+
+    // Profile once at the base configuration; each point re-evaluates
+    // (Section VI-D).
+    KernelTrace kernel = workloadByName(name).generate(base);
+    GpuMechProfiler profiler(kernel, base);
+
+    std::vector<std::string> header{param, "model CPI", "model IPC"};
+    if (with_oracle)
+        header.insert(header.end(), {"oracle CPI", "error"});
+    Table t(header);
+
+    for (double v : points) {
+        HardwareConfig config = base;
+        if (param == "warps") {
+            config.warpsPerCore = static_cast<std::uint32_t>(v);
+        } else if (param == "mshrs") {
+            config.numMshrs = static_cast<std::uint32_t>(v);
+        } else if (param == "bw") {
+            config.dramBandwidthGBs = v;
+        } else if (param == "sfu-lanes") {
+            config.sfuLanes = static_cast<std::uint32_t>(v);
+        } else {
+            fatal(msg("unknown sweep parameter '", param, "'"));
+        }
+
+        // Changing the warp count changes the trace itself
+        // (occupancy), so regenerate and re-profile in that case.
+        GpuMechResult r;
+        KernelTrace swept_kernel("unused");
+        if (param == "warps") {
+            swept_kernel = workloadByName(name).generate(config);
+            r = runGpuMech(swept_kernel, config,
+                           GpuMechOptions{policy,
+                                          ModelLevel::MT_MSHR_BAND,
+                                          RepSelection::Clustering, 2,
+                                          args.has("model-sfu")});
+        } else {
+            r = profiler.evaluateAt(config, policy,
+                                    ModelLevel::MT_MSHR_BAND,
+                                    args.has("model-sfu"));
+        }
+
+        std::vector<std::string> row{fmtDouble(v, 0),
+                                     fmtDouble(r.cpi, 3),
+                                     fmtDouble(r.ipc, 4)};
+        if (with_oracle) {
+            const KernelTrace &k =
+                param == "warps" ? swept_kernel : kernel;
+            GpuTiming sim(k, config, policy);
+            double oracle_cpi = sim.run().cpi();
+            row.push_back(fmtDouble(oracle_cpi, 3));
+            row.push_back(
+                fmtPercent(std::abs(r.ipc - 1.0 / oracle_cpi) /
+                           (1.0 / oracle_cpi)));
+        }
+        t.addRow(std::move(row));
+    }
+    std::cout << "kernel: " << name << ", sweeping " << param << "\n\n";
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCompare(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    if (name.empty())
+        fatal("usage: gpumech compare <kernel> [options]");
+    HardwareConfig config = configFrom(args);
+    SchedulingPolicy policy = policyFrom(args);
+    KernelEvaluation eval =
+        evaluateKernel(workloadByName(name), config, policy);
+
+    std::cout << "kernel: " << name << ", oracle CPI "
+              << fmtDouble(eval.oracleCpi, 3) << "\n\n";
+    Table t({"model", "predicted IPC", "error"});
+    for (ModelKind kind : allModels()) {
+        t.addRow({toString(kind),
+                  fmtDouble(eval.predictedIpc.at(kind), 4),
+                  fmtPercent(eval.error(kind))});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdStack(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    if (name.empty())
+        fatal("usage: gpumech stack <kernel> [options]");
+    SchedulingPolicy policy = policyFrom(args);
+
+    Table t({"warps", "BASE", "DEP", "L1", "L2", "DRAM", "MSHR",
+             "QUEUE", "SFU", "total CPI"});
+    for (std::uint32_t warps : {8u, 16u, 24u, 32u, 48u}) {
+        HardwareConfig config = configFrom(args);
+        config.warpsPerCore = warps;
+        KernelTrace kernel = workloadByName(name).generate(config);
+        GpuMechOptions options;
+        options.policy = policy;
+        options.modelSfu = args.has("model-sfu");
+        GpuMechResult r = runGpuMech(kernel, config, options);
+        t.addRow({std::to_string(warps),
+                  fmtDouble(r.stack[StallType::Base], 2),
+                  fmtDouble(r.stack[StallType::Dep], 2),
+                  fmtDouble(r.stack[StallType::L1], 2),
+                  fmtDouble(r.stack[StallType::L2], 2),
+                  fmtDouble(r.stack[StallType::Dram], 2),
+                  fmtDouble(r.stack[StallType::Mshr], 2),
+                  fmtDouble(r.stack[StallType::Queue], 2),
+                  fmtDouble(r.stack[StallType::Sfu], 2),
+                  fmtDouble(r.stack.total(), 2)});
+    }
+    std::cout << "kernel: " << name << "\n\n";
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdDumpTrace(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    std::string path = args.positional(2);
+    if (name.empty() || path.empty())
+        fatal("usage: gpumech dump-trace <kernel> <file> [options]");
+    HardwareConfig config = configFrom(args);
+    KernelTrace kernel = workloadByName(name).generate(config);
+    std::ofstream out(path);
+    if (!out)
+        fatal(msg("cannot open ", path, " for writing"));
+    writeTrace(out, kernel);
+    inform(msg("wrote ", kernel.numWarps(), " warps (",
+               kernel.totalInsts(), " insts) to ", path));
+    return 0;
+}
+
+int
+cmdModelTrace(const ArgParser &args)
+{
+    std::string path = args.positional(1);
+    if (path.empty())
+        fatal("usage: gpumech model-trace <file> [options]");
+    std::ifstream in(path);
+    if (!in)
+        fatal(msg("cannot open ", path));
+    KernelTrace kernel = readTrace(in);
+
+    HardwareConfig config = configFrom(args);
+    GpuMechOptions options;
+    options.policy = policyFrom(args);
+    options.level = levelFrom(args);
+    options.modelSfu = args.has("model-sfu");
+    GpuMechResult r = runGpuMech(kernel, config, options);
+    std::cout << "kernel: " << kernel.name() << " (from " << path
+              << ")\n";
+    printModelResult(r, config, options.policy);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: gpumech <command> [options]\n"
+        "commands:\n"
+        "  list                     list registered workloads\n"
+        "  model <kernel>           GPUMech prediction + CPI stack\n"
+        "  simulate <kernel>        detailed timing simulation\n"
+        "  compare <kernel>         all models vs the oracle\n"
+        "  sweep <kernel>           sweep one hardware parameter\n"
+        "                           (--param warps|mshrs|bw|sfu-lanes\n"
+        "                            --values a,b,c [--oracle])\n"
+        "  stack <kernel>           CPI stacks across warp counts\n"
+        "  dump-trace <kernel> <f>  write the kernel trace to a file\n"
+        "  model-trace <f>          model a trace file\n"
+        "options: --warps N --cores N --mshrs N --bw GBs\n"
+        "         --sfu-lanes N --policy rr|gto --level mt|mshr|band\n"
+        "         --model-sfu --json (model/simulate)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    std::string cmd = args.positional(0);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "model")
+        return cmdModel(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "stack")
+        return cmdStack(args);
+    if (cmd == "dump-trace")
+        return cmdDumpTrace(args);
+    if (cmd == "model-trace")
+        return cmdModelTrace(args);
+    usage();
+    return cmd.empty() ? 0 : 1;
+}
