@@ -1,18 +1,40 @@
 /**
  * @file
- * Extension experiment: parallel per-warp interval profiling.
+ * Extension experiment: end-to-end scaling of the parallel evaluation
+ * engine.
  *
  * Section VI-D notes the interval algorithm "can be further increased
  * by running the interval algorithm of each warp in parallel, but we
- * did not explore this option". This bench explores it: it times the
- * per-warp profiling phase serially and with increasing thread counts
- * and verifies the results are identical.
+ * did not explore this option". This bench explores it end to end:
+ *
+ *  1. per-warp interval profiling of one kernel, serial vs the shared
+ *     pool at 1/2/4/8 threads (the original micro-measurement);
+ *  2. model-only suite prediction (predictSuite) over an MSHR sweep,
+ *     at 1/2/4/8 threads, with and without the shared input cache —
+ *     the design-space-exploration workload the cache targets.
+ *
+ * Every parallel/cached result is verified identical to the serial
+ * uncached baseline before times are reported. Results go to stdout
+ * as a table and to BENCH_parallel.json (override with --out) so the
+ * perf trajectory is tracked across PRs.
+ *
+ * Options: --reps N (timing repetitions, default 3; best-of is kept)
+ *          --out FILE (JSON output path, default BENCH_parallel.json)
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
 
-#include "collector/input_collector.hh"
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/interval_builder.hh"
+#include "harness/experiment.hh"
 #include "workloads/workload.hh"
 
 using namespace gpumech;
@@ -20,58 +42,222 @@ using namespace gpumech;
 namespace
 {
 
-struct Fixture
-{
-    Fixture()
-        : config(HardwareConfig::baseline()),
-          kernel(workloadByName("srad_kernel1").generate(config)),
-          inputs(collectInputs(kernel, config))
-    {}
+using clock_type = std::chrono::steady_clock;
 
-    HardwareConfig config;
-    KernelTrace kernel;
-    CollectorResult inputs;
-};
-
-Fixture &
-fixture()
+double
+toMs(clock_type::duration d)
 {
-    static Fixture f;
-    return f;
+    return std::chrono::duration<double, std::milli>(d).count();
 }
 
-void
-BM_ProfileSerial(benchmark::State &state)
+/** Best-of-@p reps wall-clock time of fn(), in milliseconds. */
+template <typename Fn>
+double
+timeMs(unsigned reps, Fn &&fn)
 {
-    Fixture &f = fixture();
-    for (auto _ : state) {
-        auto profiles = buildAllProfiles(f.kernel, f.inputs, f.config);
-        benchmark::DoNotOptimize(profiles.size());
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto t0 = clock_type::now();
+        fn();
+        double ms = toMs(clock_type::now() - t0);
+        if (r == 0 || ms < best)
+            best = ms;
     }
-    state.SetLabel("512 warps");
+    return best;
 }
 
-void
-BM_ProfileParallel(benchmark::State &state)
+bool
+sameProfiles(const std::vector<IntervalProfile> &a,
+             const std::vector<IntervalProfile> &b)
 {
-    Fixture &f = fixture();
-    auto threads = static_cast<unsigned>(state.range(0));
-    for (auto _ : state) {
-        auto profiles = buildAllProfilesParallel(f.kernel, f.inputs,
-                                                 f.config, threads);
-        benchmark::DoNotOptimize(profiles.size());
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        if (a[w].warpId != b[w].warpId ||
+            a[w].intervals.size() != b[w].intervals.size())
+            return false;
+        for (std::size_t i = 0; i < a[w].intervals.size(); ++i) {
+            const Interval &x = a[w].intervals[i];
+            const Interval &y = b[w].intervals[i];
+            if (x.numInsts != y.numInsts ||
+                x.stallCycles != y.stallCycles ||
+                x.mshrReqs != y.mshrReqs || x.dramReqs != y.dramReqs)
+                return false;
+        }
     }
-    state.SetLabel(std::to_string(threads) + " threads");
+    return true;
+}
+
+bool
+sameResults(const std::vector<GpuMechResult> &a,
+            const std::vector<GpuMechResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].cpi != b[i].cpi || a[i].ipc != b[i].ipc ||
+            a[i].repWarpIndex != b[i].repWarpIndex)
+            return false;
+    }
+    return true;
+}
+
+const std::vector<unsigned> &
+threadCounts()
+{
+    static const std::vector<unsigned> counts = {1, 2, 4, 8};
+    return counts;
 }
 
 } // namespace
 
-BENCHMARK(BM_ProfileSerial)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ProfileParallel)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    unsigned reps = args.getUint("reps", 3);
+    std::string out_path = args.get("out", "BENCH_parallel.json");
 
-BENCHMARK_MAIN();
+    std::cout << "=== Parallel evaluation engine: scaling bench ===\n";
+    std::cout << "hardware threads: "
+              << std::thread::hardware_concurrency() << ", reps: "
+              << reps << " (best-of)\n\n";
+
+    JsonWriter json;
+    json.field("bench", "ext_parallel_profiling");
+    json.field("hardware_threads",
+               static_cast<std::uint64_t>(
+                   std::thread::hardware_concurrency()));
+
+    // ---- 1. per-warp interval profiling of one kernel --------------
+    HardwareConfig config = HardwareConfig::baseline();
+    KernelTrace kernel =
+        workloadByName("srad_kernel1").generate(config);
+    CollectorResult inputs = collectInputs(kernel, config);
+
+    auto serial_profiles = buildAllProfiles(kernel, inputs, config);
+    double serial_ms = timeMs(reps, [&] {
+        auto p = buildAllProfiles(kernel, inputs, config);
+    });
+
+    Table prof_table({"threads", "ms", "speedup", "identical"});
+    prof_table.addRow({"serial", fmtDouble(serial_ms, 2), "1.00",
+                       "-"});
+    json.beginObject("profiling");
+    json.field("kernel", "srad_kernel1");
+    json.field("warps", static_cast<std::uint64_t>(kernel.numWarps()));
+    json.field("serial_ms", serial_ms);
+    double prof_t4_ms = serial_ms;
+    for (unsigned t : threadCounts()) {
+        setDefaultJobs(t);
+        auto check =
+            buildAllProfilesParallel(kernel, inputs, config, t);
+        bool same = sameProfiles(check, serial_profiles);
+        if (!same)
+            fatal(msg("parallel profiling diverged at ", t,
+                      " threads"));
+        double ms = timeMs(reps, [&] {
+            auto p = buildAllProfilesParallel(kernel, inputs, config, t);
+        });
+        if (t == 4)
+            prof_t4_ms = ms;
+        prof_table.addRow({std::to_string(t), fmtDouble(ms, 2),
+                           fmtDouble(serial_ms / ms, 2), "yes"});
+        json.field(msg("t", t, "_ms"), ms);
+    }
+    json.field("speedup_t4", serial_ms / prof_t4_ms);
+    json.endObject();
+
+    std::cout << "-- per-warp interval profiling (srad_kernel1, "
+              << kernel.numWarps() << " warps) --\n";
+    prof_table.print(std::cout);
+
+    // ---- 2. suite prediction over an MSHR sweep --------------------
+    // Model-only prediction (the use case the paper's 97x speedup
+    // serves). The sweep varies MSHR count only, so with the input
+    // cache enabled, every point after the first reuses each kernel's
+    // trace, collector result, and warp profiles.
+    std::vector<Workload> suite;
+    for (const char *name :
+         {"srad_kernel1", "cfd_step_factor", "kmeans_invert_mapping",
+          "vectorAdd", "sgemm_tiled"}) {
+        suite.push_back(workloadByName(name));
+    }
+    std::vector<HardwareConfig> points;
+    for (std::uint32_t mshrs : {8u, 16u, 32u, 64u}) {
+        HardwareConfig p = HardwareConfig::baseline();
+        p.numMshrs = mshrs;
+        points.push_back(p);
+    }
+
+    auto run_suite = [&](unsigned jobs, bool cached) {
+        InputCache cache;
+        std::vector<GpuMechResult> all;
+        for (const HardwareConfig &point : points) {
+            auto r = predictSuite(suite, point, GpuMechOptions{}, jobs,
+                                  cached ? &cache : nullptr);
+            all.insert(all.end(), r.begin(), r.end());
+        }
+        return all;
+    };
+
+    setDefaultJobs(1);
+    auto baseline_results = run_suite(1, false);
+    double suite_serial_ms = timeMs(reps, [&] { run_suite(1, false); });
+
+    Table suite_table(
+        {"threads", "cache", "ms", "speedup", "identical"});
+    suite_table.addRow({"serial", "off", fmtDouble(suite_serial_ms, 2),
+                        "1.00", "-"});
+
+    json.beginObject("suite");
+    json.field("kernels", static_cast<std::uint64_t>(suite.size()));
+    json.field("sweep_points",
+               static_cast<std::uint64_t>(points.size()));
+    json.field("sweep_param", "mshrs 8/16/32/64");
+    json.field("serial_nocache_ms", suite_serial_ms);
+
+    double speedup_t4_cache = 0.0;
+    for (bool cached : {false, true}) {
+        for (unsigned t : threadCounts()) {
+            setDefaultJobs(t);
+            auto check = run_suite(t, cached);
+            if (!sameResults(check, baseline_results))
+                fatal(msg("suite prediction diverged (", t,
+                          " threads, cache ",
+                          cached ? "on" : "off", ")"));
+            double ms =
+                timeMs(reps, [&] { run_suite(t, cached); });
+            double speedup = suite_serial_ms / ms;
+            if (cached && t == 4)
+                speedup_t4_cache = speedup;
+            suite_table.addRow({std::to_string(t),
+                                cached ? "on" : "off",
+                                fmtDouble(ms, 2),
+                                fmtDouble(speedup, 2), "yes"});
+            json.field(msg(cached ? "cache" : "nocache", "_t", t,
+                           "_ms"),
+                       ms);
+        }
+    }
+    json.field("speedup_t4_cache_vs_serial", speedup_t4_cache);
+    json.endObject();
+    setDefaultJobs(0);
+
+    std::cout << "\n-- suite prediction: " << suite.size()
+              << " kernels x " << points.size()
+              << " MSHR sweep points --\n";
+    suite_table.print(std::cout);
+    std::cout << "\nheadline: 4-thread cached sweep is "
+              << fmtDouble(speedup_t4_cache, 2)
+              << "x the serial uncached baseline (cache removes "
+                 "repeated trace generation, cache simulation and "
+                 "warp profiling; threads add on multi-core hosts).\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal(msg("cannot open ", out_path, " for writing"));
+    out << json.finish() << "\n";
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "common/stats.hh"
 #include "common/args.hh"
+#include "common/thread_pool.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
 
@@ -25,6 +26,8 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
     bool verbose = args.has("verbose") || args.has("v");
     HardwareConfig config = HardwareConfig::baseline();
     std::cout << "=== Figure 11: model comparison, round-robin ===\n";

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common/args.hh"
+#include "common/thread_pool.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
 
@@ -21,6 +22,8 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
     bool verbose = args.has("verbose") || args.has("v");
     HardwareConfig config = HardwareConfig::baseline();
     std::cout << "=== Figure 12: model comparison, greedy-then-oldest "

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/args.hh"
+#include "common/thread_pool.hh"
 #include "harness/sweep.hh"
 
 using namespace gpumech;
@@ -19,6 +20,8 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
     bool verbose = args.has("verbose") || args.has("v");
     std::cout << "=== Figure 14: error vs MSHR entries (RR) ===\n\n";
 

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common/args.hh"
+#include "common/thread_pool.hh"
 #include "harness/sweep.hh"
 
 using namespace gpumech;
@@ -21,6 +22,8 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
     bool verbose = args.has("verbose") || args.has("v");
     std::cout << "=== Figure 15: error vs DRAM bandwidth (RR) ===\n\n";
 

@@ -70,6 +70,13 @@ main(int argc, char **argv)
               << best.dramBandwidthGBs << " GB/s (predicted IPC "
               << fmtDouble(best_ipc, 3) << ")\n";
 
+    // MSHR count and DRAM bandwidth are model-time parameters only, so
+    // every grid point reuses the profiling run's collector inputs.
+    std::cout << "cache: evaluateAt served "
+              << profiler.collectorCacheHits() << "/"
+              << mshr_grid.size() * bw_grid.size()
+              << " grid points from cached collector inputs\n";
+
     // One detailed simulation to validate the winner.
     auto t3 = clock::now();
     GpuTiming oracle(kernel, best, SchedulingPolicy::RoundRobin);

@@ -45,4 +45,26 @@ HardwareConfig::summary() const
     return os.str();
 }
 
+std::string
+HardwareConfig::traceKey() const
+{
+    std::ostringstream os;
+    os << numCores << '|' << warpsPerCore << '|' << warpSize << '|'
+       << simtWidth << '|' << l1LineBytes;
+    return os.str();
+}
+
+std::string
+HardwareConfig::collectorKey() const
+{
+    std::ostringstream os;
+    os << traceKey() << '|' << l1SizeBytes << '|' << l1Assoc << '|'
+       << l1HitLatency << '|' << l2SizeBytes << '|' << l2LineBytes
+       << '|' << l2Assoc << '|' << l2HitLatency << '|'
+       << dramAccessLatency << '|' << replacementPolicy << '|'
+       << latency.intAlu << '|' << latency.fpAlu << '|' << latency.sfu
+       << '|' << latency.sharedMem << '|' << latency.branch;
+    return os.str();
+}
+
 } // namespace gpumech

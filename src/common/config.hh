@@ -131,6 +131,26 @@ struct HardwareConfig
 
     /** One-line summary for bench headers. */
     std::string summary() const;
+
+    /**
+     * Memoization key over the fields trace generation reads
+     * (organization and line size). Two configurations with equal
+     * traceKey() produce bit-identical KernelTraces for the same
+     * workload, so sweeps over model-only parameters (MSHRs, DRAM
+     * bandwidth, issue rate, SFU lanes) can reuse a generated trace.
+     * tests/test_parallel.cc pins this contract.
+     */
+    std::string traceKey() const;
+
+    /**
+     * Memoization key over the fields the input collector reads on
+     * top of traceKey(): cache geometry, replacement policy, and the
+     * latency constants behind AMAT and fixed instruction latencies.
+     * Equal collectorKey() means collectInputs() returns bit-identical
+     * results; numMshrs and dramBandwidthGBs are deliberately excluded
+     * (they only enter the contention models at evaluation time).
+     */
+    std::string collectorKey() const;
 };
 
 } // namespace gpumech

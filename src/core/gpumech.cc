@@ -56,29 +56,50 @@ assemble(const IntervalProfile &rep, std::uint32_t rep_index,
 
 } // namespace
 
-GpuMechProfiler::GpuMechProfiler(const KernelTrace &kernel,
-                                 const HardwareConfig &config,
-                                 RepSelection selection,
-                                 std::uint32_t num_clusters,
-                                 unsigned profile_threads)
+namespace
+{
+
+/** Memo key of a representative-warp profile: inputs + issue rate. */
+std::string
+repKey(const HardwareConfig &config)
+{
+    return msg(config.collectorKey(), "|ir=", config.issueRate);
+}
+
+} // namespace
+
+GpuMechProfiler::GpuMechProfiler(
+    const KernelTrace &kernel, const HardwareConfig &config,
+    RepSelection selection, std::uint32_t num_clusters,
+    unsigned profile_threads,
+    std::shared_ptr<const CollectorResult> precollected)
     : kernel(kernel), config(config)
 {
     if (kernel.numWarps() == 0)
         fatal("GpuMechProfiler: kernel has no warps");
-    collected = collectInputs(kernel, config);
+    collected = precollected
+        ? std::move(precollected)
+        : std::make_shared<const CollectorResult>(
+              collectInputs(kernel, config));
     warpProfiles = profile_threads == 1
-        ? buildAllProfiles(kernel, collected, config)
-        : buildAllProfilesParallel(kernel, collected, config,
+        ? buildAllProfiles(kernel, *collected, config)
+        : buildAllProfilesParallel(kernel, *collected, config,
                                    profile_threads);
     repWarp = selectRepresentative(warpProfiles, config, selection,
                                    num_clusters);
+    // Seed the evaluateAt memos with the profiling configuration's
+    // artifacts so re-evaluating at (or near) it is free.
+    collectorMemo.put(config.collectorKey(), collected);
+    repMemo.put(repKey(config),
+                std::make_shared<const IntervalProfile>(
+                    warpProfiles[repWarp]));
 }
 
 GpuMechResult
 GpuMechProfiler::evaluate(SchedulingPolicy policy, ModelLevel level,
                           bool model_sfu) const
 {
-    return assemble(warpProfiles[repWarp], repWarp, collected, config,
+    return assemble(warpProfiles[repWarp], repWarp, *collected, config,
                     policy, level, model_sfu);
 }
 
@@ -90,12 +111,20 @@ GpuMechProfiler::evaluateAt(const HardwareConfig &new_config,
     // Re-collect cache behaviour and rebuild only the representative
     // warp's interval profile at the new configuration (Section VI-D:
     // clustering and the remaining warps' profiles are per-input work
-    // and are reused).
-    CollectorResult new_inputs = collectInputs(kernel, new_config);
-    IntervalProfile rep = buildIntervalProfile(
-        kernel.warps()[repWarp], new_inputs, new_config);
-    return assemble(rep, repWarp, new_inputs, new_config, policy, level,
-                    model_sfu);
+    // and are reused). Both steps are memoized by the configuration
+    // fields they read, so sweeping model-only parameters or repeating
+    // a configuration skips them entirely.
+    std::shared_ptr<const CollectorResult> new_inputs =
+        collectorMemo.getOrCompute(new_config.collectorKey(), [&] {
+            return collectInputs(kernel, new_config);
+        });
+    std::shared_ptr<const IntervalProfile> rep =
+        repMemo.getOrCompute(repKey(new_config), [&] {
+            return buildIntervalProfile(kernel.warps()[repWarp],
+                                        *new_inputs, new_config);
+        });
+    return assemble(*rep, repWarp, *new_inputs, new_config, policy,
+                    level, model_sfu);
 }
 
 GpuMechResult

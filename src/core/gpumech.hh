@@ -17,11 +17,13 @@
 #define GPUMECH_CORE_GPUMECH_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "collector/input_collector.hh"
 #include "common/config.hh"
+#include "common/memo.hh"
 #include "core/contention.hh"
 #include "core/cpi_stack.hh"
 #include "core/interval_builder.hh"
@@ -110,16 +112,20 @@ class GpuMechProfiler
      * Profile a kernel: run the input collector, build every warp's
      * interval profile and select the representative warp.
      *
-     * @param profile_threads worker threads for the per-warp interval
+     * @param profile_threads threads for the per-warp interval
      *        algorithm (Section VI-D's unexplored parallelization);
-     *        1 = serial, 0 = hardware concurrency. Results are
-     *        identical either way.
+     *        1 = serial, 0 = defaultJobs(). Results are identical
+     *        either way.
+     * @param precollected collector result for (kernel, config) from a
+     *        shared InputCache; when null, collectInputs() runs here.
      */
     GpuMechProfiler(const KernelTrace &kernel,
                     const HardwareConfig &config,
                     RepSelection selection = RepSelection::Clustering,
                     std::uint32_t num_clusters = 2,
-                    unsigned profile_threads = 1);
+                    unsigned profile_threads = 1,
+                    std::shared_ptr<const CollectorResult> precollected =
+                        nullptr);
 
     /** Evaluate the multi-warp model at the profiling configuration. */
     GpuMechResult evaluate(SchedulingPolicy policy,
@@ -127,17 +133,27 @@ class GpuMechProfiler
                            bool model_sfu = false) const;
 
     /**
-     * Re-evaluate at a different hardware configuration: reruns the
-     * cache simulation and the representative warp's interval
-     * algorithm (cheap), reusing the already-selected representative
-     * warp (Section VI-D).
+     * Re-evaluate at a different hardware configuration, reusing the
+     * already-selected representative warp (Section VI-D). The cache
+     * simulation and the representative warp's interval profile are
+     * memoized by the configuration fields they actually read, so
+     * design-space sweeps over model-only parameters (MSHRs, DRAM
+     * bandwidth) and repeated calls with the same configuration skip
+     * collectInputs() entirely. Thread-safe; results are bit-identical
+     * to recomputing from scratch.
      */
     GpuMechResult evaluateAt(const HardwareConfig &new_config,
                              SchedulingPolicy policy,
                              ModelLevel level = ModelLevel::MT_MSHR_BAND,
                              bool model_sfu = false) const;
 
-    const CollectorResult &inputs() const { return collected; }
+    /** Memo hits of evaluateAt's collector cache (reuse diagnostics). */
+    std::size_t collectorCacheHits() const
+    {
+        return collectorMemo.hits();
+    }
+
+    const CollectorResult &inputs() const { return *collected; }
     const std::vector<IntervalProfile> &profiles() const
     {
         return warpProfiles;
@@ -151,9 +167,14 @@ class GpuMechProfiler
   private:
     const KernelTrace &kernel;
     HardwareConfig config;
-    CollectorResult collected;
+    std::shared_ptr<const CollectorResult> collected;
     std::vector<IntervalProfile> warpProfiles;
     std::uint32_t repWarp = 0;
+
+    // evaluateAt memos, keyed by the configuration fields each stage
+    // reads (seeded with the profiling configuration's results).
+    mutable MemoCache<CollectorResult> collectorMemo;
+    mutable MemoCache<IntervalProfile> repMemo;
 };
 
 } // namespace gpumech

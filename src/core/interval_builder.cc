@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace gpumech
 {
@@ -130,29 +130,23 @@ buildAllProfilesParallel(const KernelTrace &kernel,
                          unsigned num_threads)
 {
     std::uint32_t num_warps = kernel.numWarps();
-    if (num_threads == 0) {
-        num_threads = std::max(1u, std::thread::hardware_concurrency());
-    }
-    num_threads = std::min<unsigned>(num_threads, num_warps);
-    if (num_threads <= 1)
+    if (num_threads == 0)
+        num_threads = defaultJobs();
+    // Tiny kernels are not worth the pool handoff.
+    if (num_threads <= 1 || num_warps < parallelWarpThreshold)
         return buildAllProfiles(kernel, inputs, config);
 
     std::vector<IntervalProfile> profiles(num_warps);
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-        workers.emplace_back([&, t]() {
-            // Static stride partitioning: warp w goes to thread
-            // w % num_threads; each output slot is written by exactly
-            // one thread.
-            for (std::uint32_t w = t; w < num_warps; w += num_threads) {
-                profiles[w] = buildIntervalProfile(kernel.warps()[w],
-                                                   inputs, config);
-            }
-        });
-    }
-    for (auto &worker : workers)
-        worker.join();
+    // Chunked dynamic scheduling on the shared pool: warps are claimed
+    // in chunks as workers free up, so one phase's long warps spread
+    // across workers instead of pinning to warp_id % num_threads.
+    parallelFor(
+        num_warps,
+        [&](std::size_t w) {
+            profiles[w] =
+                buildIntervalProfile(kernel.warps()[w], inputs, config);
+        },
+        4, num_threads);
     return profiles;
 }
 

@@ -41,12 +41,19 @@ buildAllProfiles(const KernelTrace &kernel, const CollectorResult &inputs,
                  const HardwareConfig &config);
 
 /**
+ * Warp count below which buildAllProfilesParallel runs serially: the
+ * pool handoff costs more than profiling a handful of warps.
+ */
+inline constexpr std::uint32_t parallelWarpThreshold = 32;
+
+/**
  * Parallel variant: each warp's interval algorithm is independent, so
- * warps are profiled on multiple threads (the speedup opportunity
- * Section VI-D notes but does not explore). Results are bit-identical
- * to the serial version.
+ * warps are profiled on the shared thread pool with chunked dynamic
+ * scheduling (the speedup opportunity Section VI-D notes but does not
+ * explore). Kernels under parallelWarpThreshold warps run serially.
+ * Results are bit-identical to the serial version.
  *
- * @param num_threads worker threads; 0 uses the hardware concurrency
+ * @param num_threads total threads; 0 uses defaultJobs()
  */
 std::vector<IntervalProfile>
 buildAllProfilesParallel(const KernelTrace &kernel,

@@ -4,6 +4,7 @@
 #include "baselines/naive_interval.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace gpumech
 {
@@ -44,24 +45,19 @@ KernelEvaluation::error(ModelKind kind) const
     return relativeError(it->second, oracleIpc);
 }
 
-KernelEvaluation
-evaluateKernel(const Workload &workload, const HardwareConfig &config,
-               SchedulingPolicy policy,
-               const std::vector<ModelKind> &models)
+namespace
 {
-    KernelTrace kernel = workload.generate(config);
-    KernelEvaluation eval;
-    eval.kernel = workload.name;
-    eval.policy = policy;
 
-    GpuTiming oracle(kernel, config, policy);
-    TimingStats stats = oracle.run();
-    eval.oracleCpi = stats.cpi();
-    eval.oracleIpc = eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
-
-    GpuMechProfiler profiler(kernel, config);
+/** Model predictions for one kernel given its (possibly cached)
+ *  profiler. Evaluation goes through evaluateAt so a profiler cached
+ *  at a key-equal configuration still sees this point's MSHR/bandwidth
+ *  values. */
+void
+predictModels(KernelEvaluation &eval, const GpuMechProfiler &profiler,
+              const HardwareConfig &config, SchedulingPolicy policy,
+              const std::vector<ModelKind> &models)
+{
     const IntervalProfile &rep = profiler.repProfile();
-
     for (ModelKind kind : models) {
         double ipc = 0.0;
         switch (kind) {
@@ -72,36 +68,99 @@ evaluateKernel(const Workload &workload, const HardwareConfig &config,
             ipc = markovChain(rep, config.warpsPerCore, config).ipc;
             break;
           case ModelKind::MT:
-            ipc = profiler.evaluate(policy, ModelLevel::MT).ipc;
+            ipc = profiler.evaluateAt(config, policy,
+                                      ModelLevel::MT).ipc;
             break;
           case ModelKind::MT_MSHR:
-            ipc = profiler.evaluate(policy, ModelLevel::MT_MSHR).ipc;
+            ipc = profiler.evaluateAt(config, policy,
+                                      ModelLevel::MT_MSHR).ipc;
             break;
           case ModelKind::MT_MSHR_BAND:
-            ipc = profiler.evaluate(policy,
-                                    ModelLevel::MT_MSHR_BAND).ipc;
+            ipc = profiler.evaluateAt(config, policy,
+                                      ModelLevel::MT_MSHR_BAND).ipc;
             break;
         }
         eval.predictedIpc[kind] = ipc;
     }
+}
+
+} // namespace
+
+KernelEvaluation
+evaluateKernel(const Workload &workload, const HardwareConfig &config,
+               SchedulingPolicy policy,
+               const std::vector<ModelKind> &models, InputCache *cache)
+{
+    KernelEvaluation eval;
+    eval.kernel = workload.name;
+    eval.policy = policy;
+
+    if (cache) {
+        std::shared_ptr<const KernelTrace> kernel =
+            cache->trace(workload, config);
+        GpuTiming oracle(*kernel, config, policy);
+        TimingStats stats = oracle.run();
+        eval.oracleCpi = stats.cpi();
+        eval.oracleIpc =
+            eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
+        ProfiledKernel pk = cache->profiler(workload, config);
+        predictModels(eval, *pk.profiler, config, policy, models);
+        return eval;
+    }
+
+    KernelTrace kernel = workload.generate(config);
+    GpuTiming oracle(kernel, config, policy);
+    TimingStats stats = oracle.run();
+    eval.oracleCpi = stats.cpi();
+    eval.oracleIpc = eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
+
+    GpuMechProfiler profiler(kernel, config);
+    predictModels(eval, profiler, config, policy, models);
     return eval;
 }
 
 std::vector<KernelEvaluation>
 evaluateSuite(const std::vector<Workload> &workloads,
               const HardwareConfig &config, SchedulingPolicy policy,
-              const std::vector<ModelKind> &models, bool verbose)
+              const std::vector<ModelKind> &models, bool verbose,
+              unsigned jobs, InputCache *cache)
 {
-    std::vector<KernelEvaluation> evals;
-    evals.reserve(workloads.size());
-    for (const auto &workload : workloads) {
-        if (verbose)
-            inform(msg("evaluating ", workload.name, " (",
-                       toString(policy), ")"));
-        evals.push_back(evaluateKernel(workload, config, policy,
-                                       models));
-    }
-    return evals;
+    // Each evaluation is independent: own trace, own timing oracle,
+    // own profiler. Fan out over the shared pool; parallelMap keeps
+    // slot order, so results match the serial path exactly.
+    return parallelMap<KernelEvaluation>(
+        workloads.size(),
+        [&](std::size_t i) {
+            if (verbose)
+                inform(msg("evaluating ", workloads[i].name, " (",
+                           toString(policy), ")"));
+            return evaluateKernel(workloads[i], config, policy, models,
+                                  cache);
+        },
+        1, jobs);
+}
+
+std::vector<GpuMechResult>
+predictSuite(const std::vector<Workload> &workloads,
+             const HardwareConfig &config,
+             const GpuMechOptions &options, unsigned jobs,
+             InputCache *cache)
+{
+    return parallelMap<GpuMechResult>(
+        workloads.size(),
+        [&](std::size_t i) {
+            if (cache) {
+                ProfiledKernel pk = cache->profiler(
+                    workloads[i], config, options.selection,
+                    options.numClusters);
+                return pk.profiler->evaluateAt(config, options.policy,
+                                               options.level,
+                                               options.modelSfu);
+            }
+            KernelTrace kernel = workloads[i].generate(config);
+            return runGpuMech(kernel, config, options);
+        },
+        1, jobs);
 }
 
 double

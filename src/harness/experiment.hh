@@ -20,6 +20,7 @@
 
 #include "common/config.hh"
 #include "core/gpumech.hh"
+#include "harness/input_cache.hh"
 #include "timing/gpu_timing.hh"
 #include "workloads/workload.hh"
 
@@ -65,22 +66,48 @@ struct KernelEvaluation
  * @param config machine description
  * @param policy scheduling policy for both oracle and models
  * @param models which models to run (default: all five)
+ * @param cache optional shared input cache; when given, the trace,
+ *        collector result, and profiler are memoized across calls
+ *        (results stay bit-identical — every cached artifact is a
+ *        deterministic function of its key)
  */
 KernelEvaluation evaluateKernel(const Workload &workload,
                                 const HardwareConfig &config,
                                 SchedulingPolicy policy,
                                 const std::vector<ModelKind> &models =
-                                    allModels());
+                                    allModels(),
+                                InputCache *cache = nullptr);
 
 /**
  * Evaluate a set of kernels; optionally logs per-kernel progress via
  * inform().
+ *
+ * Kernels are independent (own trace, own oracle, own profiler), so
+ * they fan out across the shared thread pool. Output order and every
+ * result are bit-identical to the serial path.
+ *
+ * @param jobs total threads; 0 = defaultJobs() (GPUMECH_JOBS or
+ *        hardware concurrency), 1 = serial
+ * @param cache optional shared input cache (see evaluateKernel)
  */
 std::vector<KernelEvaluation>
 evaluateSuite(const std::vector<Workload> &workloads,
               const HardwareConfig &config, SchedulingPolicy policy,
               const std::vector<ModelKind> &models = allModels(),
-              bool verbose = false);
+              bool verbose = false, unsigned jobs = 0,
+              InputCache *cache = nullptr);
+
+/**
+ * Model-only fast path: run full GPUMech (no oracle, no baselines)
+ * over a set of kernels — the production use case where the paper's
+ * ~97x model speedup matters. Parallel and cache-aware like
+ * evaluateSuite; result i corresponds to workloads[i].
+ */
+std::vector<GpuMechResult>
+predictSuite(const std::vector<Workload> &workloads,
+             const HardwareConfig &config,
+             const GpuMechOptions &options = {}, unsigned jobs = 0,
+             InputCache *cache = nullptr);
 
 /** Mean relative error of one model over a set of evaluations. */
 double averageError(const std::vector<KernelEvaluation> &evals,

@@ -1,0 +1,56 @@
+#include "harness/input_cache.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::shared_ptr<const KernelTrace>
+InputCache::trace(const Workload &workload,
+                  const HardwareConfig &config)
+{
+    return traces.getOrCompute(
+        msg(workload.name, '|', config.traceKey()),
+        [&] { return workload.generate(config); });
+}
+
+std::shared_ptr<const CollectorResult>
+InputCache::inputs(const Workload &workload,
+                   const HardwareConfig &config)
+{
+    return collected.getOrCompute(
+        msg(workload.name, '|', config.collectorKey()), [&] {
+            return collectInputs(*trace(workload, config), config);
+        });
+}
+
+ProfiledKernel
+InputCache::profiler(const Workload &workload,
+                     const HardwareConfig &config,
+                     RepSelection selection,
+                     std::uint32_t num_clusters)
+{
+    std::string key =
+        msg(workload.name, '|', config.collectorKey(),
+            "|ir=", config.issueRate, '|', toString(selection), '|',
+            num_clusters);
+    auto entry = profilers.getOrCompute(key, [&] {
+        ProfiledKernel pk;
+        pk.trace = trace(workload, config);
+        pk.profiler = std::make_shared<const GpuMechProfiler>(
+            *pk.trace, config, selection, num_clusters, 1,
+            inputs(workload, config));
+        return pk;
+    });
+    return *entry;
+}
+
+void
+InputCache::clear()
+{
+    traces.clear();
+    collected.clear();
+    profilers.clear();
+}
+
+} // namespace gpumech

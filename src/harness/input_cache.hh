@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Keyed input cache for the evaluation harness.
+ *
+ * Sweeps that only vary model parameters (MSHR count, DRAM bandwidth,
+ * issue rate — figs 13-15's non-warp axes) used to re-generate the
+ * kernel trace, re-run the functional cache simulation, and re-profile
+ * every warp at every point. InputCache memoizes the three artifacts
+ * by (workload, relevant-config-fields) keys:
+ *
+ *   trace     (workload.name, HardwareConfig::traceKey())
+ *   collector (workload.name, HardwareConfig::collectorKey())
+ *   profiler  (collector key + issue rate + selection + k)
+ *
+ * Every artifact is a deterministic function of its key, so cached
+ * evaluation results are bit-identical to fresh ones (asserted by
+ * tests/test_parallel.cc). All lookups are thread-safe and
+ * compute-once, so a parallel sweep's points share work instead of
+ * duplicating it.
+ */
+
+#ifndef GPUMECH_HARNESS_INPUT_CACHE_HH
+#define GPUMECH_HARNESS_INPUT_CACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "common/memo.hh"
+#include "core/gpumech.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+
+/** A cached profiler plus the trace that keeps its reference valid. */
+struct ProfiledKernel
+{
+    std::shared_ptr<const KernelTrace> trace;
+    std::shared_ptr<const GpuMechProfiler> profiler;
+};
+
+/** Shared memoization of traces, collector results, and profilers. */
+class InputCache
+{
+  public:
+    /** Kernel trace for a workload at a configuration. */
+    std::shared_ptr<const KernelTrace>
+    trace(const Workload &workload, const HardwareConfig &config);
+
+    /** Collector result for a workload at a configuration. */
+    std::shared_ptr<const CollectorResult>
+    inputs(const Workload &workload, const HardwareConfig &config);
+
+    /**
+     * Fully-profiled kernel (inputs + all warp profiles + selected
+     * representative). The profiler may have been constructed at a
+     * different configuration with the same key, so evaluate through
+     * GpuMechProfiler::evaluateAt(config, ...) — never evaluate() —
+     * when using a cached profiler.
+     */
+    ProfiledKernel
+    profiler(const Workload &workload, const HardwareConfig &config,
+             RepSelection selection = RepSelection::Clustering,
+             std::uint32_t num_clusters = 2);
+
+    std::size_t traceHits() const { return traces.hits(); }
+    std::size_t traceMisses() const { return traces.misses(); }
+    std::size_t collectorHits() const { return collected.hits(); }
+    std::size_t collectorMisses() const { return collected.misses(); }
+    std::size_t profilerHits() const { return profilers.hits(); }
+    std::size_t profilerMisses() const { return profilers.misses(); }
+
+    /** Drop every cached artifact. */
+    void clear();
+
+  private:
+    MemoCache<KernelTrace> traces;
+    MemoCache<CollectorResult> collected;
+    MemoCache<ProfiledKernel> profilers;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_HARNESS_INPUT_CACHE_HH

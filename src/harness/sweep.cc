@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 
 namespace gpumech
 {
@@ -11,17 +12,43 @@ namespace gpumech
 SweepResult
 runSweep(const std::vector<Workload> &workloads,
          const std::vector<SweepPoint> &points, SchedulingPolicy policy,
-         bool verbose)
+         bool verbose, unsigned jobs, InputCache *cache)
 {
+    InputCache local;
+    if (!cache)
+        cache = &local;
+
+    // Flatten the (point x workload) grid so the pool balances across
+    // both axes; aggregation below restores per-point order.
+    std::size_t num_tasks = points.size() * workloads.size();
+    if (verbose)
+        inform(msg("sweep: ", points.size(), " points x ",
+                   workloads.size(), " kernels"));
+    std::vector<KernelEvaluation> evals =
+        parallelMap<KernelEvaluation>(
+            num_tasks,
+            [&](std::size_t t) {
+                const SweepPoint &point = points[t / workloads.size()];
+                const Workload &workload =
+                    workloads[t % workloads.size()];
+                if (verbose)
+                    inform(msg("evaluating ", workload.name, " @ ",
+                               point.label));
+                return evaluateKernel(workload, point.config, policy,
+                                      allModels(), cache);
+            },
+            1, jobs);
+
     SweepResult result;
-    for (const auto &point : points) {
-        if (verbose)
-            inform(msg("sweep point ", point.label));
-        result.labels.push_back(point.label);
-        auto evals = evaluateSuite(workloads, point.config, policy,
-                                   allModels(), verbose);
-        for (ModelKind kind : allModels())
-            result.averages[kind].push_back(averageError(evals, kind));
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        result.labels.push_back(points[p].label);
+        std::vector<KernelEvaluation> point_evals(
+            evals.begin() + p * workloads.size(),
+            evals.begin() + (p + 1) * workloads.size());
+        for (ModelKind kind : allModels()) {
+            result.averages[kind].push_back(
+                averageError(point_evals, kind));
+        }
     }
     return result;
 }

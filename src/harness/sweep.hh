@@ -36,14 +36,25 @@ struct SweepResult
  * Run a sweep: evaluate every workload at every point and average the
  * per-kernel errors per model.
  *
+ * The (point x workload) grid fans out across the shared thread pool,
+ * and an input cache is shared across the whole sweep: points that
+ * only differ in model parameters (MSHR count, DRAM bandwidth) reuse
+ * each workload's trace, collector result, and warp profiles instead
+ * of recomputing them. Result layout and every number are
+ * bit-identical to a serial, uncached sweep.
+ *
  * @param workloads kernels to evaluate
  * @param points labeled configurations
  * @param policy scheduling policy
  * @param verbose log progress via inform()
+ * @param jobs total threads; 0 = defaultJobs(), 1 = serial
+ * @param cache shared input cache; nullptr uses one private to this
+ *        sweep
  */
 SweepResult runSweep(const std::vector<Workload> &workloads,
                      const std::vector<SweepPoint> &points,
-                     SchedulingPolicy policy, bool verbose = false);
+                     SchedulingPolicy policy, bool verbose = false,
+                     unsigned jobs = 0, InputCache *cache = nullptr);
 
 /** Render a sweep as a table (rows = models, columns = points). */
 void printSweep(std::ostream &os, const SweepResult &result);

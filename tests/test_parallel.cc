@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the parallel evaluation engine: the shared thread pool,
+ * parallel per-warp profiling, parallel suite/sweep evaluation, the
+ * keyed input cache, and the configuration cache-key contracts.
+ *
+ * The engine's central guarantee is that parallelism and caching are
+ * pure performance features: every result must be bit-identical to
+ * the serial, uncached path at any thread count. These tests compare
+ * doubles with EXPECT_EQ deliberately — approximate equality would
+ * hide scheduling-dependent results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "common/thread_pool.hh"
+#include "core/interval_builder.hh"
+#include "harness/sweep.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+HardwareConfig
+smallConfig()
+{
+    HardwareConfig c = HardwareConfig::baseline();
+    c.numCores = 2;
+    c.warpsPerCore = 4;
+    return c;
+}
+
+// ---- thread pool -----------------------------------------------------
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.concurrency(), 4u);
+
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(n, [&](std::size_t i) { counts[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ConcurrencyOneRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+
+    // The pool must stay usable after a failed job.
+    std::atomic<int> ran{0};
+    pool.parallelFor(10, [&](std::size_t) { ran++; });
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesOrder)
+{
+    ThreadPool pool(4);
+    auto out = pool.parallelMap<std::size_t>(
+        257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock)
+{
+    // The submitting thread drains its own job, so inner loops make
+    // progress even when every worker is busy with outer iterations.
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(16, [&](std::size_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, DefaultJobsOverride)
+{
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3u);
+    EXPECT_EQ(globalPool().concurrency(), 3u);
+    setDefaultJobs(0);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(ThreadPoolTest, FreeFunctionRoutesJobCounts)
+{
+    // jobs == 1 must run serially inline on the calling thread.
+    std::vector<int> order;
+    parallelFor(
+        4, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+        1, 1);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+
+    auto out = parallelMap<int>(
+        64, [](std::size_t i) { return static_cast<int>(i) + 1; }, 1, 2);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+}
+
+// ---- parallel per-warp profiling ------------------------------------
+
+void
+expectProfilesIdentical(const std::vector<IntervalProfile> &a,
+                        const std::vector<IntervalProfile> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        EXPECT_EQ(a[w].warpId, b[w].warpId);
+        ASSERT_EQ(a[w].intervals.size(), b[w].intervals.size())
+            << "warp " << w;
+        for (std::size_t i = 0; i < a[w].intervals.size(); ++i) {
+            const Interval &x = a[w].intervals[i];
+            const Interval &y = b[w].intervals[i];
+            EXPECT_EQ(x.numInsts, y.numInsts);
+            EXPECT_EQ(x.stallCycles, y.stallCycles);
+            EXPECT_EQ(x.cause, y.cause);
+            EXPECT_EQ(x.causePc, y.causePc);
+            EXPECT_EQ(x.mshrReqs, y.mshrReqs);
+            EXPECT_EQ(x.dramReqs, y.dramReqs);
+            EXPECT_EQ(x.memInsts, y.memInsts);
+            EXPECT_EQ(x.sfuInsts, y.sfuInsts);
+        }
+    }
+}
+
+TEST(ParallelProfiling, ManyWarpKernelMatchesSerialAtAllThreadCounts)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    KernelTrace kernel = workloadByName("srad_kernel1").generate(config);
+    ASSERT_GE(kernel.numWarps(), parallelWarpThreshold)
+        << "kernel too small to exercise the parallel path";
+    CollectorResult inputs = collectInputs(kernel, config);
+
+    auto serial = buildAllProfiles(kernel, inputs, config);
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        auto parallel =
+            buildAllProfilesParallel(kernel, inputs, config, threads);
+        expectProfilesIdentical(serial, parallel);
+    }
+}
+
+TEST(ParallelProfiling, SmallKernelTakesSerialFallback)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 1;
+    config.warpsPerCore = 1;
+    KernelTrace kernel = workloadByName("vectorAdd").generate(config);
+    ASSERT_GE(kernel.numWarps(), 1u);
+    CollectorResult inputs = collectInputs(kernel, config);
+
+    auto serial = buildAllProfiles(kernel, inputs, config);
+    for (unsigned threads : {2u, 8u}) {
+        auto parallel =
+            buildAllProfilesParallel(kernel, inputs, config, threads);
+        expectProfilesIdentical(serial, parallel);
+    }
+}
+
+TEST(ParallelProfiling, EmptyKernelYieldsNoProfiles)
+{
+    KernelTrace kernel("empty");
+    CollectorResult inputs;
+    HardwareConfig config = HardwareConfig::baseline();
+    EXPECT_TRUE(buildAllProfiles(kernel, inputs, config).empty());
+    EXPECT_TRUE(
+        buildAllProfilesParallel(kernel, inputs, config, 4).empty());
+}
+
+// ---- parallel suite / sweep evaluation ------------------------------
+
+std::vector<Workload>
+testSuite()
+{
+    return {workloadByName("vectorAdd"), workloadByName("srad_kernel1"),
+            workloadByName("micro_stream")};
+}
+
+void
+expectEvaluationsIdentical(const std::vector<KernelEvaluation> &a,
+                           const std::vector<KernelEvaluation> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kernel, b[i].kernel);
+        EXPECT_EQ(a[i].oracleCpi, b[i].oracleCpi);
+        EXPECT_EQ(a[i].oracleIpc, b[i].oracleIpc);
+        ASSERT_EQ(a[i].predictedIpc.size(), b[i].predictedIpc.size());
+        for (const auto &[kind, ipc] : a[i].predictedIpc)
+            EXPECT_EQ(ipc, b[i].predictedIpc.at(kind))
+                << a[i].kernel << " " << toString(kind);
+    }
+}
+
+TEST(ParallelSuite, ParallelAndCachedMatchSerial)
+{
+    HardwareConfig config = smallConfig();
+    auto suite = testSuite();
+    auto serial = evaluateSuite(suite, config,
+                                SchedulingPolicy::RoundRobin,
+                                allModels(), false, 1);
+
+    for (unsigned jobs : {2u, 4u}) {
+        auto parallel = evaluateSuite(suite, config,
+                                      SchedulingPolicy::RoundRobin,
+                                      allModels(), false, jobs);
+        expectEvaluationsIdentical(serial, parallel);
+    }
+
+    InputCache cache;
+    auto cached = evaluateSuite(suite, config,
+                                SchedulingPolicy::RoundRobin,
+                                allModels(), false, 2, &cache);
+    expectEvaluationsIdentical(serial, cached);
+    EXPECT_EQ(cache.profilerMisses(), suite.size());
+}
+
+TEST(ParallelSuite, SweepMatchesAcrossJobCountsAndSharedCache)
+{
+    auto suite = testSuite();
+    std::vector<SweepPoint> points;
+    for (std::uint32_t mshrs : {8u, 32u}) {
+        HardwareConfig c = smallConfig();
+        c.numMshrs = mshrs;
+        points.push_back(SweepPoint{std::to_string(mshrs), c});
+    }
+
+    auto serial = runSweep(suite, points, SchedulingPolicy::RoundRobin,
+                           false, 1);
+    InputCache shared;
+    auto parallel = runSweep(suite, points,
+                             SchedulingPolicy::RoundRobin, false, 4,
+                             &shared);
+
+    ASSERT_EQ(serial.labels, parallel.labels);
+    for (ModelKind kind : allModels()) {
+        ASSERT_EQ(serial.averages.at(kind).size(),
+                  parallel.averages.at(kind).size());
+        for (std::size_t p = 0; p < serial.averages.at(kind).size();
+             ++p) {
+            EXPECT_EQ(serial.averages.at(kind)[p],
+                      parallel.averages.at(kind)[p])
+                << toString(kind) << " point " << p;
+        }
+    }
+
+    // Both points share trace/collector/profiler work: the MSHR count
+    // is not part of any cache key.
+    EXPECT_EQ(shared.traceMisses(), suite.size());
+    EXPECT_EQ(shared.collectorMisses(), suite.size());
+    EXPECT_EQ(shared.profilerMisses(), suite.size());
+    EXPECT_GE(shared.profilerHits(), suite.size());
+}
+
+TEST(ParallelSuite, PredictSuiteMatchesPerKernelRuns)
+{
+    HardwareConfig config = smallConfig();
+    auto suite = testSuite();
+    GpuMechOptions options;
+
+    std::vector<GpuMechResult> expected;
+    for (const Workload &w : suite) {
+        KernelTrace kernel = w.generate(config);
+        expected.push_back(runGpuMech(kernel, config, options));
+    }
+
+    InputCache cache;
+    for (unsigned jobs : {1u, 4u}) {
+        for (InputCache *c : {static_cast<InputCache *>(nullptr),
+                              &cache}) {
+            auto got = predictSuite(suite, config, options, jobs, c);
+            ASSERT_EQ(got.size(), expected.size());
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].cpi, expected[i].cpi);
+                EXPECT_EQ(got[i].ipc, expected[i].ipc);
+                EXPECT_EQ(got[i].repWarpIndex,
+                          expected[i].repWarpIndex);
+            }
+        }
+    }
+}
+
+// ---- input cache ----------------------------------------------------
+
+TEST(InputCacheTest, CachedInputsMatchFreshCollectorRun)
+{
+    HardwareConfig config = smallConfig();
+    const Workload &w = workloadByName("vectorAdd");
+    KernelTrace kernel = w.generate(config);
+    CollectorResult fresh = collectInputs(kernel, config);
+
+    InputCache cache;
+    auto cached = cache.inputs(w, config);
+    EXPECT_EQ(cache.collectorMisses(), 1u);
+    EXPECT_EQ(cache.collectorHits(), 0u);
+
+    ASSERT_EQ(cached->pcLatency, fresh.pcLatency);
+    EXPECT_EQ(cached->avgMissLatency, fresh.avgMissLatency);
+    EXPECT_EQ(cached->l1HitRate, fresh.l1HitRate);
+    EXPECT_EQ(cached->l2HitRate, fresh.l2HitRate);
+    ASSERT_EQ(cached->pcs.size(), fresh.pcs.size());
+    for (std::size_t pc = 0; pc < fresh.pcs.size(); ++pc) {
+        EXPECT_EQ(cached->pcs[pc].instCount, fresh.pcs[pc].instCount);
+        EXPECT_EQ(cached->pcs[pc].reqL1Miss, fresh.pcs[pc].reqL1Miss);
+        EXPECT_EQ(cached->pcs[pc].reqL2Miss, fresh.pcs[pc].reqL2Miss);
+    }
+
+    // Second lookup is a hit and returns the same object.
+    auto again = cache.inputs(w, config);
+    EXPECT_EQ(cache.collectorHits(), 1u);
+    EXPECT_EQ(again.get(), cached.get());
+}
+
+TEST(InputCacheTest, ProfilerIsSharedAcrossKeyEqualConfigs)
+{
+    const Workload &w = workloadByName("vectorAdd");
+    HardwareConfig a = smallConfig();
+    HardwareConfig b = a;
+    b.numMshrs = a.numMshrs * 2;
+    b.dramBandwidthGBs = a.dramBandwidthGBs * 2.0;
+
+    InputCache cache;
+    ProfiledKernel pa = cache.profiler(w, a);
+    ProfiledKernel pb = cache.profiler(w, b);
+    EXPECT_EQ(pa.profiler.get(), pb.profiler.get());
+    EXPECT_EQ(cache.profilerMisses(), 1u);
+    EXPECT_EQ(cache.profilerHits(), 1u);
+
+    // A trace-key change forces a rebuild.
+    HardwareConfig c = a;
+    c.warpsPerCore = a.warpsPerCore * 2;
+    ProfiledKernel pc = cache.profiler(w, c);
+    EXPECT_NE(pa.profiler.get(), pc.profiler.get());
+}
+
+TEST(InputCacheTest, EvaluateAtMemoizesRepeatedConfigs)
+{
+    HardwareConfig config = smallConfig();
+    KernelTrace kernel = workloadByName("vectorAdd").generate(config);
+    GpuMechProfiler profiler(kernel, config);
+
+    std::size_t hits0 = profiler.collectorCacheHits();
+    GpuMechResult r1 = profiler.evaluateAt(
+        config, SchedulingPolicy::RoundRobin);
+    GpuMechResult r2 = profiler.evaluateAt(
+        config, SchedulingPolicy::RoundRobin);
+    EXPECT_EQ(r1.cpi, r2.cpi);
+    EXPECT_EQ(r1.ipc, r2.ipc);
+    // The construction config's collector result is seeded into the
+    // memo, so both evaluateAt calls must be hits — collection never
+    // reruns for the profiling configuration.
+    EXPECT_EQ(profiler.collectorCacheHits(), hits0 + 2);
+
+    // And evaluateAt at the construction config equals evaluate().
+    GpuMechResult direct =
+        profiler.evaluate(SchedulingPolicy::RoundRobin);
+    EXPECT_EQ(direct.cpi, r1.cpi);
+    EXPECT_EQ(direct.ipc, r1.ipc);
+}
+
+// ---- cache-key contracts --------------------------------------------
+
+TEST(CacheKeys, ModelOnlyParametersAreExcluded)
+{
+    HardwareConfig a = HardwareConfig::baseline();
+    HardwareConfig b = a;
+    b.numMshrs = 64;
+    b.dramBandwidthGBs = 999.0;
+    EXPECT_EQ(a.traceKey(), b.traceKey());
+    EXPECT_EQ(a.collectorKey(), b.collectorKey());
+}
+
+TEST(CacheKeys, TraceAndCollectorInputsAreIncluded)
+{
+    HardwareConfig base = HardwareConfig::baseline();
+
+    HardwareConfig warps = base;
+    warps.warpsPerCore = base.warpsPerCore * 2;
+    EXPECT_NE(base.traceKey(), warps.traceKey());
+    EXPECT_NE(base.collectorKey(), warps.collectorKey());
+
+    HardwareConfig l1 = base;
+    l1.l1SizeBytes = base.l1SizeBytes * 2;
+    EXPECT_EQ(base.traceKey(), l1.traceKey());
+    EXPECT_NE(base.collectorKey(), l1.collectorKey());
+}
+
+TEST(CacheKeys, CollectorOutputInvariantUnderExcludedFields)
+{
+    // The contract behind excluding MSHR count and DRAM bandwidth from
+    // collectorKey: the functional cache simulation must not read
+    // them. If collectInputs ever starts depending on either field,
+    // this test catches the stale-cache bug before the sweep does.
+    HardwareConfig a = smallConfig();
+    HardwareConfig b = a;
+    b.numMshrs = a.numMshrs * 4;
+    b.dramBandwidthGBs = a.dramBandwidthGBs / 2.0;
+
+    const Workload &w = workloadByName("micro_stream");
+    KernelTrace kernel = w.generate(a);
+    CollectorResult ra = collectInputs(kernel, a);
+    CollectorResult rb = collectInputs(kernel, b);
+
+    ASSERT_EQ(ra.pcLatency, rb.pcLatency);
+    EXPECT_EQ(ra.avgMissLatency, rb.avgMissLatency);
+    EXPECT_EQ(ra.l1HitRate, rb.l1HitRate);
+    EXPECT_EQ(ra.l2HitRate, rb.l2HitRate);
+}
+
+} // namespace
+} // namespace gpumech

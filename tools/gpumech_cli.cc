@@ -21,6 +21,9 @@
  *   --policy rr|gto  scheduling policy        (default rr)
  *   --level mt|mshr|band                      (default band)
  *   --model-sfu      enable the SFU contention extension
+ *   --jobs N         worker threads for suite/sweep evaluation
+ *                    (default: GPUMECH_JOBS env var, else hardware
+ *                    concurrency; results are identical at any count)
  */
 
 #include <fstream>
@@ -30,6 +33,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "harness/experiment.hh"
 #include "timing/gpu_timing.hh"
 #include "trace/trace_io.hh"
@@ -423,7 +427,9 @@ usage()
         "  model-trace <f>          model a trace file\n"
         "options: --warps N --cores N --mshrs N --bw GBs\n"
         "         --sfu-lanes N --policy rr|gto --level mt|mshr|band\n"
-        "         --model-sfu --json (model/simulate)\n";
+        "         --model-sfu --json (model/simulate)\n"
+        "         --jobs N (threads; default GPUMECH_JOBS or hardware\n"
+        "          concurrency)\n";
 }
 
 } // namespace
@@ -432,6 +438,8 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
     std::string cmd = args.positional(0);
     if (cmd == "list")
         return cmdList();
