@@ -80,7 +80,7 @@ main()
     std::cout << "built " << kernel.name() << ": "
               << kernel.numWarps() << " warps, " << kernel.totalInsts()
               << " warp-instructions, "
-              << kernel.warps()[0].numGlobalMemRequests()
+              << kernel.warp(0).numGlobalMemRequests()
               << " memory requests per warp\n";
 
     // 2. Round-trip through the text trace format (what you would

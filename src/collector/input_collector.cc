@@ -1,8 +1,11 @@
 #include "collector/input_collector.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "mem/cache.hh"
 
 namespace gpumech
 {
@@ -60,88 +63,18 @@ CollectorResult::latencyOf(std::uint32_t pc) const
     return pcLatency[pc];
 }
 
-CollectorResult
-collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
+namespace
 {
-    CollectorResult result;
-    result.pcs.resize(kernel.numStaticInsts());
-    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc)
-        result.pcs[pc].op = kernel.opcodeOf(pc);
 
-    FunctionalHierarchy hierarchy(config);
-
-    // Per-warp cursor over global-memory instructions only; the
-    // collector interleaves warps (and cores) round-robin, mirroring
-    // the paper's cache simulator.
-    struct Cursor
-    {
-        const WarpTrace *warp;
-        std::uint32_t core;
-        std::size_t idx = 0;
-    };
-    std::vector<Cursor> cursors;
-    cursors.reserve(kernel.numWarps());
-    for (const auto &warp : kernel.warps())
-        cursors.push_back(Cursor{&warp, kernel.coreOf(warp, config), 0});
-
-    // Instruction-count bookkeeping happens once per dynamic
-    // instruction regardless of opcode.
-    for (const auto &warp : kernel.warps()) {
-        for (const auto &inst : warp.insts)
-            ++result.pcs[inst.pc].instCount;
-    }
-
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        for (auto &cur : cursors) {
-            // Advance to this warp's next global-memory instruction.
-            const auto &insts = cur.warp->insts;
-            while (cur.idx < insts.size() &&
-                   !isGlobalMemory(insts[cur.idx].op)) {
-                ++cur.idx;
-            }
-            if (cur.idx >= insts.size())
-                continue;
-            progress = true;
-
-            const WarpInst &inst = insts[cur.idx++];
-            PcProfile &pc = result.pcs[inst.pc];
-            pc.reqCount += inst.lines.size();
-
-            if (inst.op == Opcode::GlobalLoad) {
-                MemEvent worst = MemEvent::L1Hit;
-                for (Addr line : inst.lines) {
-                    MemEvent ev = hierarchy.accessLoad(cur.core, line);
-                    if (ev != MemEvent::L1Hit)
-                        ++pc.reqL1Miss;
-                    if (ev == MemEvent::L2Miss)
-                        ++pc.reqL2Miss;
-                    worst = std::max(worst, ev);
-                }
-                switch (worst) {
-                  case MemEvent::L1Hit:
-                    ++pc.instL1Hit;
-                    break;
-                  case MemEvent::L2Hit:
-                    ++pc.instL2Hit;
-                    break;
-                  case MemEvent::L2Miss:
-                    ++pc.instL2Miss;
-                    break;
-                }
-            } else {
-                // Stores are write-through/no-allocate: they do not
-                // touch cache tag state, and every request is
-                // DRAM-bound.
-                pc.reqL2Miss += inst.lines.size();
-                pc.reqL1Miss += inst.lines.size();
-                pc.instL2Miss += 1;
-            }
-        }
-    }
-
-    // Per-PC latencies (Section V-B).
+/**
+ * Derived quantities shared by both engines: per-PC latencies
+ * (Section V-B) and avg_miss_latency (Eq. 19), both pure functions of
+ * the already-accumulated counters.
+ */
+void
+finishResult(CollectorResult &result, const KernelTrace &kernel,
+             const HardwareConfig &config)
+{
     result.pcLatency.resize(kernel.numStaticInsts());
     for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc) {
         Opcode op = kernel.opcodeOf(pc);
@@ -173,6 +106,103 @@ collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
              static_cast<double>(dram_reqs) * config.l2MissLatency()) /
             static_cast<double>(miss_reqs);
     }
+}
+
+/** Initialize per-PC profiles and the dynamic instruction counts. */
+void
+initProfiles(CollectorResult &result, const KernelTrace &kernel)
+{
+    result.pcs.resize(kernel.numStaticInsts());
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc)
+        result.pcs[pc].op = kernel.opcodeOf(pc);
+
+    // Instruction-count bookkeeping happens once per dynamic
+    // instruction regardless of opcode; one dense pass over the flat
+    // PC array.
+    for (std::uint32_t pc : kernel.instPcs())
+        ++result.pcs[pc].instCount;
+}
+
+} // namespace
+
+CollectorResult
+collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
+{
+    CollectorResult result;
+    initProfiles(result, kernel);
+
+    FunctionalHierarchy hierarchy(config);
+
+    const std::vector<Opcode> &ops = kernel.instOps();
+    const std::vector<std::uint32_t> &pcs = kernel.instPcs();
+
+    // Per-warp cursor over global-memory instructions only; the
+    // collector interleaves warps (and cores) round-robin, mirroring
+    // the paper's cache simulator. Cursors are kernel-global flat
+    // indices into the SoA arrays.
+    struct Cursor
+    {
+        std::uint64_t idx;  //!< next flat instruction to consider
+        std::uint64_t end;  //!< one past the warp's last instruction
+        std::uint32_t core;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(kernel.numWarps());
+    for (std::uint32_t w = 0; w < kernel.numWarps(); ++w) {
+        std::uint64_t off = kernel.instOffsetOf(w);
+        cursors.push_back(Cursor{off, off + kernel.warp(w).numInsts(),
+                                 kernel.coreOfWarp(w, config)});
+    }
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &cur : cursors) {
+            // Advance to this warp's next global-memory instruction.
+            while (cur.idx < cur.end && !isGlobalMemory(ops[cur.idx]))
+                ++cur.idx;
+            if (cur.idx >= cur.end)
+                continue;
+            progress = true;
+
+            const std::uint64_t f = cur.idx++;
+            PcProfile &pc = result.pcs[pcs[f]];
+            LineSpan lines = kernel.linesOfFlat(f);
+            pc.reqCount += lines.size();
+
+            if (ops[f] == Opcode::GlobalLoad) {
+                MemEvent worst = MemEvent::L1Hit;
+                for (Addr line : lines) {
+                    MemEvent ev = hierarchy.accessLoad(cur.core, line);
+                    if (ev != MemEvent::L1Hit)
+                        ++pc.reqL1Miss;
+                    if (ev == MemEvent::L2Miss)
+                        ++pc.reqL2Miss;
+                    worst = std::max(worst, ev);
+                }
+                switch (worst) {
+                  case MemEvent::L1Hit:
+                    ++pc.instL1Hit;
+                    break;
+                  case MemEvent::L2Hit:
+                    ++pc.instL2Hit;
+                    break;
+                  case MemEvent::L2Miss:
+                    ++pc.instL2Miss;
+                    break;
+                }
+            } else {
+                // Stores are write-through/no-allocate: they do not
+                // touch cache tag state, and every request is
+                // DRAM-bound.
+                pc.reqL2Miss += lines.size();
+                pc.reqL1Miss += lines.size();
+                pc.instL2Miss += 1;
+            }
+        }
+    }
+
+    finishResult(result, kernel, config);
 
     double l1_acc = 0.0, l1_hit = 0.0;
     for (std::uint32_t c = 0; c < config.numCores; ++c) {
@@ -181,6 +211,209 @@ collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
     }
     result.l1HitRate = l1_acc == 0.0 ? 0.0 : l1_hit / l1_acc;
     result.l2HitRate = hierarchy.l2().hitRate();
+    return result;
+}
+
+namespace
+{
+
+/**
+ * One memory instruction processed by a per-core L1 walk: its flat
+ * kernel-global index and, for loads, the bitmask of line requests
+ * that missed L1 (bit i = lines(i) missed). Stores keep their slot so
+ * the L2 replay preserves the serial round structure, but carry no
+ * mask.
+ */
+struct MemRec
+{
+    std::uint64_t flatIdx;
+    std::uint64_t missMask;
+};
+
+/** Per-core partial counters accumulated during the L1 walk. */
+struct CorePartial
+{
+    std::vector<PcProfile> pcs;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+};
+
+} // namespace
+
+CollectorResult
+collectInputsParallel(const KernelTrace &kernel,
+                      const HardwareConfig &config, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    const std::uint32_t num_warps = kernel.numWarps();
+    // The MemRec miss bitmask holds up to 64 lines per instruction;
+    // a coalesced slice never exceeds the warp size, so only exotic
+    // configurations (warpSize > 64) fall back to the serial engine.
+    bool mask_fits = true;
+    for (std::uint32_t cnt : kernel.instLineCounts()) {
+        if (cnt > 64) {
+            mask_fits = false;
+            break;
+        }
+    }
+    if (jobs <= 1 || num_warps == 0 || !mask_fits)
+        return collectInputs(kernel, config);
+
+    CollectorResult result;
+    initProfiles(result, kernel);
+
+    const std::vector<Opcode> &ops = kernel.instOps();
+    const std::vector<std::uint32_t> &pcs = kernel.instPcs();
+    const std::uint32_t num_static = kernel.numStaticInsts();
+
+    // Warp indices per core, in kernel warp order (the serial walk
+    // visits a core's warps in exactly this order within each round).
+    std::vector<std::vector<std::uint32_t>> core_warps(config.numCores);
+    for (std::uint32_t w = 0; w < num_warps; ++w)
+        core_warps[kernel.coreOfWarp(w, config)].push_back(w);
+
+    // Phase A: independent per-core L1 simulations on the pool. Each
+    // core's walk is the serial engine's round-robin restricted to
+    // that core's warps, so its L1 sees the identical access stream.
+    // Outputs: per-warp MemRec streams (one record per memory
+    // instruction, in walk order) and per-core partial counters.
+    std::vector<std::vector<MemRec>> warp_recs(num_warps);
+    std::vector<CorePartial> partials(config.numCores);
+    parallelFor(
+        config.numCores,
+        [&](std::size_t c) {
+            const auto &ids = core_warps[c];
+            if (ids.empty())
+                return;
+            CorePartial &part = partials[c];
+            part.pcs.resize(num_static);
+            Cache l1(config.l1SizeBytes, config.l1LineBytes,
+                     config.l1Assoc, "L1." + std::to_string(c),
+                     replacementFromConfig(config));
+
+            struct Cursor
+            {
+                std::uint64_t idx;
+                std::uint64_t end;
+                std::uint32_t warp;
+            };
+            std::vector<Cursor> cursors;
+            cursors.reserve(ids.size());
+            for (std::uint32_t w : ids) {
+                std::uint64_t off = kernel.instOffsetOf(w);
+                std::uint64_t end = off + kernel.warp(w).numInsts();
+                cursors.push_back(Cursor{off, end, w});
+                // One record per memory instruction.
+                std::size_t mem = 0;
+                for (std::uint64_t i = off; i < end; ++i) {
+                    if (isGlobalMemory(ops[i]))
+                        ++mem;
+                }
+                warp_recs[w].reserve(mem);
+            }
+
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (auto &cur : cursors) {
+                    while (cur.idx < cur.end &&
+                           !isGlobalMemory(ops[cur.idx])) {
+                        ++cur.idx;
+                    }
+                    if (cur.idx >= cur.end)
+                        continue;
+                    progress = true;
+
+                    const std::uint64_t f = cur.idx++;
+                    PcProfile &pc = part.pcs[pcs[f]];
+                    LineSpan lines = kernel.linesOfFlat(f);
+                    pc.reqCount += lines.size();
+
+                    if (ops[f] == Opcode::GlobalLoad) {
+                        std::uint64_t mask = 0;
+                        for (std::uint32_t i = 0; i < lines.size();
+                             ++i) {
+                            if (!l1.access(lines[i]))
+                                mask |= std::uint64_t{1} << i;
+                        }
+                        pc.reqL1Miss += std::popcount(mask);
+                        warp_recs[cur.warp].push_back(MemRec{f, mask});
+                    } else {
+                        pc.reqL2Miss += lines.size();
+                        pc.reqL1Miss += lines.size();
+                        pc.instL2Miss += 1;
+                        warp_recs[cur.warp].push_back(MemRec{f, 0});
+                    }
+                }
+            }
+            part.l1Accesses = l1.accesses();
+            part.l1Hits = l1.hits();
+        },
+        1, jobs);
+
+    // Merge the per-core partial counters (plain integer sums; the
+    // core order is fixed, and sums are order-independent anyway).
+    for (const CorePartial &part : partials) {
+        if (part.pcs.empty())
+            continue;
+        for (std::uint32_t pc = 0; pc < num_static; ++pc) {
+            PcProfile &dst = result.pcs[pc];
+            const PcProfile &src = part.pcs[pc];
+            dst.reqCount += src.reqCount;
+            dst.reqL1Miss += src.reqL1Miss;
+            dst.reqL2Miss += src.reqL2Miss;
+            dst.instL2Miss += src.instL2Miss;
+        }
+    }
+
+    // Phase B: replay the L1-missing load requests into the shared L2
+    // in the serial engine's exact global interleave: round r visits
+    // every warp's r-th memory instruction in kernel warp order.
+    Cache l2(config.l2SizeBytes, config.l2LineBytes, config.l2Assoc,
+             "L2", replacementFromConfig(config));
+    std::vector<std::size_t> pos(num_warps, 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::uint32_t w = 0; w < num_warps; ++w) {
+            if (pos[w] >= warp_recs[w].size())
+                continue;
+            progress = true;
+            const MemRec &rec = warp_recs[w][pos[w]++];
+            if (ops[rec.flatIdx] != Opcode::GlobalLoad)
+                continue; // stores never touch cache tag state
+            PcProfile &pc = result.pcs[pcs[rec.flatIdx]];
+            if (rec.missMask == 0) {
+                ++pc.instL1Hit;
+                continue;
+            }
+            LineSpan lines = kernel.linesOfFlat(rec.flatIdx);
+            bool any_l2_miss = false;
+            for (std::uint32_t i = 0; i < lines.size(); ++i) {
+                if (!((rec.missMask >> i) & 1))
+                    continue;
+                if (!l2.access(lines[i])) {
+                    any_l2_miss = true;
+                    ++pc.reqL2Miss;
+                }
+            }
+            if (any_l2_miss)
+                ++pc.instL2Miss;
+            else
+                ++pc.instL2Hit;
+        }
+    }
+
+    finishResult(result, kernel, config);
+
+    double l1_acc = 0.0, l1_hit = 0.0;
+    for (const CorePartial &part : partials) {
+        l1_acc += static_cast<double>(part.l1Accesses);
+        l1_hit += static_cast<double>(part.l1Hits);
+    }
+    result.l1HitRate = l1_acc == 0.0 ? 0.0 : l1_hit / l1_acc;
+    result.l2HitRate = l2.hitRate();
     return result;
 }
 

@@ -12,6 +12,15 @@
  *    compute PCs, AMAT for memory PCs (Section V-B);
  *  - avg_miss_latency, the uncontended L2/DRAM latency constant of the
  *    MSHR model (Eq. 19).
+ *
+ * Two engines produce bit-identical results:
+ *  - collectInputs: the serial reference, one interleaved walk.
+ *  - collectInputsParallel: per-core L1 simulation fans out across the
+ *    shared thread pool (each core's L1 state is independent), followed
+ *    by a serial replay of the L1-missing requests into the shared L2
+ *    in exactly the serial walk's interleave. Counters are plain sums,
+ *    so the merge is deterministic and the output is bit-identical to
+ *    the serial engine at every thread count.
  */
 
 #ifndef GPUMECH_COLLECTOR_INPUT_COLLECTOR_HH
@@ -91,7 +100,7 @@ struct CollectorResult
 };
 
 /**
- * Run the input collector over a kernel.
+ * Run the input collector over a kernel (serial reference engine).
  *
  * The cache simulator models the same number of warps and cores as
  * the target system (warps mapped to cores by block id) and reads
@@ -101,6 +110,21 @@ struct CollectorResult
  */
 CollectorResult collectInputs(const KernelTrace &kernel,
                               const HardwareConfig &config);
+
+/**
+ * Parallel engine: per-core L1 walks run as thread-pool tasks (the
+ * walk order within one core matches the serial interleave exactly),
+ * recording which requests missed L1; the L1-missing requests are then
+ * replayed into the shared L2 serially in the serial engine's global
+ * round-robin order. Output is bit-identical to collectInputs() at
+ * every thread count.
+ *
+ * @param jobs total threads; 0 uses defaultJobs(), 1 runs the serial
+ *        engine inline
+ */
+CollectorResult collectInputsParallel(const KernelTrace &kernel,
+                                      const HardwareConfig &config,
+                                      unsigned jobs = 0);
 
 } // namespace gpumech
 

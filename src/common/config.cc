@@ -49,8 +49,10 @@ std::string
 HardwareConfig::traceKey() const
 {
     std::ostringstream os;
-    os << numCores << '|' << warpsPerCore << '|' << warpSize << '|'
-       << simtWidth << '|' << l1LineBytes;
+    // "soa1" names the flat SoA trace layout; bumping it invalidates
+    // cached traces whose in-memory layout predates it.
+    os << "soa1|" << numCores << '|' << warpsPerCore << '|' << warpSize
+       << '|' << simtWidth << '|' << l1LineBytes;
     return os.str();
 }
 

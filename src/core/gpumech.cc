@@ -80,7 +80,7 @@ GpuMechProfiler::GpuMechProfiler(
     collected = precollected
         ? std::move(precollected)
         : std::make_shared<const CollectorResult>(
-              collectInputs(kernel, config));
+              collectInputsParallel(kernel, config, profile_threads));
     warpProfiles = profile_threads == 1
         ? buildAllProfiles(kernel, *collected, config)
         : buildAllProfilesParallel(kernel, *collected, config,
@@ -116,11 +116,11 @@ GpuMechProfiler::evaluateAt(const HardwareConfig &new_config,
     // a configuration skips them entirely.
     std::shared_ptr<const CollectorResult> new_inputs =
         collectorMemo.getOrCompute(new_config.collectorKey(), [&] {
-            return collectInputs(kernel, new_config);
+            return collectInputsParallel(kernel, new_config);
         });
     std::shared_ptr<const IntervalProfile> rep =
         repMemo.getOrCompute(repKey(new_config), [&] {
-            return buildIntervalProfile(kernel.warps()[repWarp],
+            return buildIntervalProfile(kernel.warp(repWarp),
                                         *new_inputs, new_config);
         });
     return assemble(*rep, repWarp, *new_inputs, new_config, policy,

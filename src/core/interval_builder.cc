@@ -14,23 +14,23 @@ namespace
 
 /** Accumulate a finished interval's contention annotations. */
 void
-annotateInterval(Interval &interval, const WarpTrace &warp,
-                 std::size_t first, std::size_t last,
-                 const CollectorResult &inputs)
+annotateInterval(Interval &interval, const Opcode *ops,
+                 const std::uint32_t *pcs,
+                 const std::uint32_t *line_counts, std::size_t first,
+                 std::size_t last, const CollectorResult &inputs)
 {
     for (std::size_t k = first; k <= last; ++k) {
-        const WarpInst &inst = warp.insts[k];
-        if (inst.op == Opcode::GlobalLoad) {
-            const PcProfile &pc = inputs.pcs[inst.pc];
-            double reqs = static_cast<double>(inst.numRequests());
+        if (ops[k] == Opcode::GlobalLoad) {
+            const PcProfile &pc = inputs.pcs[pcs[k]];
+            double reqs = static_cast<double>(line_counts[k]);
             interval.mshrReqs += reqs * pc.reqL1MissRate();
             interval.dramReqs += reqs * pc.reqL2MissRate();
             interval.memInsts += 1.0 - pc.fracL1Hit();
-        } else if (inst.op == Opcode::GlobalStore) {
+        } else if (ops[k] == Opcode::GlobalStore) {
             // Write-through: every store request is DRAM-bound but
             // never allocates an MSHR.
-            interval.dramReqs += static_cast<double>(inst.numRequests());
-        } else if (inst.op == Opcode::Sfu) {
+            interval.dramReqs += static_cast<double>(line_counts[k]);
+        } else if (ops[k] == Opcode::Sfu) {
             interval.sfuInsts += 1.0;
         }
     }
@@ -39,29 +39,34 @@ annotateInterval(Interval &interval, const WarpTrace &warp,
 } // namespace
 
 IntervalProfile
-buildIntervalProfile(const WarpTrace &warp, const CollectorResult &inputs,
+buildIntervalProfile(const WarpView &warp, const CollectorResult &inputs,
                      const HardwareConfig &config)
 {
     IntervalProfile profile;
-    profile.warpId = warp.warpId;
-    if (warp.insts.empty())
+    profile.warpId = warp.warpId();
+    const std::size_t num_insts = warp.numInsts();
+    if (num_insts == 0)
         return profile;
+
+    // Dense SoA windows over this warp's instructions.
+    const Opcode *ops = warp.opData();
+    const std::uint32_t *pcs = warp.pcData();
+    const DepArray *deps = warp.depData();
+    const std::uint32_t *line_counts = warp.lineCountData();
 
     const double rate = config.issueRate;
     const double issue_step = 1.0 / rate;
 
-    std::vector<double> done(warp.insts.size(), 0.0);
+    std::vector<double> done(num_insts, 0.0);
 
     double prev_issue = 0.0;
     std::size_t interval_first = 0;
 
-    for (std::size_t k = 0; k < warp.insts.size(); ++k) {
-        const WarpInst &inst = warp.insts[k];
-
+    for (std::size_t k = 0; k < num_insts; ++k) {
         // Dependence-constrained earliest issue (Eq. 4).
         double dep_ready = 0.0;
         std::int32_t binding_dep = noDep;
-        for (std::int32_t d : inst.deps) {
+        for (std::int32_t d : deps[k]) {
             if (d == noDep)
                 continue;
             double avail = done[static_cast<std::size_t>(d)] + 1.0;
@@ -77,23 +82,22 @@ buildIntervalProfile(const WarpTrace &warp, const CollectorResult &inputs,
         } else {
             issue = std::max(prev_issue + issue_step, dep_ready);
         }
-        done[k] = issue + inputs.latencyOf(inst.pc);
+        done[k] = issue + inputs.latencyOf(pcs[k]);
 
         if (k > 0 && issue > prev_issue + issue_step) {
             // Stall detected: close the interval ending at k-1.
             Interval interval;
             interval.numInsts = k - interval_first;
             interval.stallCycles = issue - (prev_issue + issue_step);
-            const WarpInst &src =
-                warp.insts[static_cast<std::size_t>(binding_dep)];
-            if (src.op == Opcode::GlobalLoad) {
+            const auto src = static_cast<std::size_t>(binding_dep);
+            if (ops[src] == Opcode::GlobalLoad) {
                 interval.cause = StallCause::Memory;
-                interval.causePc = src.pc;
+                interval.causePc = pcs[src];
             } else {
                 interval.cause = StallCause::Compute;
             }
-            annotateInterval(interval, warp, interval_first, k - 1,
-                             inputs);
+            annotateInterval(interval, ops, pcs, line_counts,
+                             interval_first, k - 1, inputs);
             profile.intervals.push_back(std::move(interval));
             interval_first = k;
         }
@@ -103,11 +107,11 @@ buildIntervalProfile(const WarpTrace &warp, const CollectorResult &inputs,
     // Final interval: the remaining instructions with no trailing
     // stall.
     Interval last;
-    last.numInsts = warp.insts.size() - interval_first;
+    last.numInsts = num_insts - interval_first;
     last.stallCycles = 0.0;
     last.cause = StallCause::None;
-    annotateInterval(last, warp, interval_first, warp.insts.size() - 1,
-                     inputs);
+    annotateInterval(last, ops, pcs, line_counts, interval_first,
+                     num_insts - 1, inputs);
     profile.intervals.push_back(std::move(last));
     return profile;
 }
@@ -118,7 +122,7 @@ buildAllProfiles(const KernelTrace &kernel, const CollectorResult &inputs,
 {
     std::vector<IntervalProfile> profiles;
     profiles.reserve(kernel.numWarps());
-    for (const auto &warp : kernel.warps())
+    for (WarpView warp : kernel.warps())
         profiles.push_back(buildIntervalProfile(warp, inputs, config));
     return profiles;
 }
@@ -143,8 +147,9 @@ buildAllProfilesParallel(const KernelTrace &kernel,
     parallelFor(
         num_warps,
         [&](std::size_t w) {
-            profiles[w] =
-                buildIntervalProfile(kernel.warps()[w], inputs, config);
+            profiles[w] = buildIntervalProfile(
+                kernel.warp(static_cast<std::uint32_t>(w)), inputs,
+                config);
         },
         4, num_threads);
     return profiles;

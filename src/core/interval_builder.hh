@@ -9,7 +9,9 @@
  *   issue(k+1) = max(issue(k) + 1, done(source of k+1) + 1)
  *
  * Instruction latencies come from the input collector: fixed latencies
- * for compute PCs, AMAT for memory PCs.
+ * for compute PCs, AMAT for memory PCs. The traversal reads the
+ * kernel's SoA field arrays through the warp view, so the hot loop
+ * touches dense memory only.
  */
 
 #ifndef GPUMECH_CORE_INTERVAL_BUILDER_HH
@@ -27,11 +29,11 @@ namespace gpumech
 /**
  * Build the interval profile of one warp.
  *
- * @param warp the warp's dynamic trace
+ * @param warp view of the warp's dynamic trace
  * @param inputs per-PC latencies and miss profiles from the collector
  * @param config machine description (issue rate)
  */
-IntervalProfile buildIntervalProfile(const WarpTrace &warp,
+IntervalProfile buildIntervalProfile(const WarpView &warp,
                                      const CollectorResult &inputs,
                                      const HardwareConfig &config);
 

@@ -20,7 +20,8 @@ InputCache::inputs(const Workload &workload,
 {
     return collected.getOrCompute(
         msg(workload.name, '|', config.collectorKey()), [&] {
-            return collectInputs(*trace(workload, config), config);
+            return collectInputsParallel(*trace(workload, config),
+                                         config);
         });
 }
 

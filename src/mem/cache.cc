@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace gpumech
@@ -35,6 +37,9 @@ Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
     sets = size_bytes / (line_bytes * assoc);
     if (sets == 0)
         panic("cache set count must be positive");
+    lineShift = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+    setsPow2 = (sets & (sets - 1)) == 0;
+    setMask = sets - 1;
     table.resize(static_cast<std::size_t>(sets) * ways);
 }
 
@@ -42,8 +47,11 @@ std::uint32_t
 Cache::setIndex(Addr line_addr) const
 {
     // Modulo indexing supports non-power-of-two set counts (the
-    // Table I L2 has 768 sets).
-    return static_cast<std::uint32_t>((line_addr / lineBytes) % sets);
+    // Table I L2 has 768 sets); power-of-two counts take the mask
+    // path, which keeps the hot loops free of hardware division.
+    Addr line = line_addr >> lineShift;
+    return static_cast<std::uint32_t>(setsPow2 ? (line & setMask)
+                                               : (line % sets));
 }
 
 Addr
@@ -51,7 +59,23 @@ Cache::tagOf(Addr line_addr) const
 {
     // The full line number doubles as the tag; simplest and correct
     // for any set count.
-    return line_addr / lineBytes;
+    return line_addr >> lineShift;
+}
+
+Cache::Way *
+Cache::setBase(Addr tag)
+{
+    std::size_t set = setsPow2 ? static_cast<std::size_t>(tag & setMask)
+                               : static_cast<std::size_t>(tag % sets);
+    return &table[set * ways];
+}
+
+const Cache::Way *
+Cache::setBase(Addr tag) const
+{
+    std::size_t set = setsPow2 ? static_cast<std::size_t>(tag & setMask)
+                               : static_cast<std::size_t>(tag % sets);
+    return &table[set * ways];
 }
 
 Cache::Way *
@@ -105,8 +129,7 @@ Cache::access(Addr line_addr)
     ++numAccesses;
     ++useClock;
     Addr tag = tagOf(line_addr);
-    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
-                       ways];
+    Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
@@ -125,8 +148,7 @@ Cache::lookup(Addr line_addr)
     ++numAccesses;
     ++useClock;
     Addr tag = tagOf(line_addr);
-    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
-                       ways];
+    Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
@@ -142,8 +164,7 @@ bool
 Cache::probe(Addr line_addr) const
 {
     Addr tag = tagOf(line_addr);
-    const Way *base =
-        &table[static_cast<std::size_t>(setIndex(line_addr)) * ways];
+    const Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         if (base[w].valid && base[w].tag == tag)
             return true;
@@ -156,8 +177,7 @@ Cache::fill(Addr line_addr)
 {
     ++useClock;
     Addr tag = tagOf(line_addr);
-    Way *base = &table[static_cast<std::size_t>(setIndex(line_addr)) *
-                       ways];
+    Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {

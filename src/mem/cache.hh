@@ -97,6 +97,10 @@ class Cache
     std::uint32_t setIndex(Addr line_addr) const;
     Addr tagOf(Addr line_addr) const;
 
+    /** First way of the set holding @p tag. */
+    Way *setBase(Addr tag);
+    const Way *setBase(Addr tag) const;
+
     /** Pick the victim way in a set per the replacement policy. */
     Way *selectVictim(Way *base);
 
@@ -104,8 +108,11 @@ class Cache
     void insert(Addr tag, Way *base);
 
     std::uint32_t lineBytes;
+    std::uint32_t lineShift; //!< log2(lineBytes); lines are pow2
     std::uint32_t ways;
     std::uint32_t sets;
+    std::uint32_t setMask;   //!< sets - 1 when sets is a power of two
+    bool setsPow2;           //!< mask instead of modulo in setIndex()
     std::string cacheName;
     ReplacementPolicy policy;
     std::vector<Way> table; //!< sets * ways entries, set-major

@@ -82,13 +82,13 @@ GpuTiming::GpuTiming(const KernelTrace &kernel,
     for (std::uint32_t c = 0; c < config.numCores; ++c)
         cores.emplace_back(c, config.numMshrs);
 
-    for (const auto &warp : kernel.warps()) {
+    for (WarpView warp : kernel.warps()) {
         auto core_id = kernel.coreOf(warp, config);
         WarpContext ctx;
-        ctx.trace = &warp;
-        ctx.doneCycle.assign(warp.insts.size(), cycleUnknown);
-        ctx.pendingFills.assign(warp.insts.size(), 0);
-        ctx.fillHighWater.assign(warp.insts.size(), 0);
+        ctx.trace = warp;
+        ctx.doneCycle.assign(warp.numInsts(), cycleUnknown);
+        ctx.pendingFills.assign(warp.numInsts(), 0);
+        ctx.fillHighWater.assign(warp.numInsts(), 0);
         cores[core_id].warps.push_back(std::move(ctx));
     }
 }
@@ -105,10 +105,10 @@ GpuTiming::canIssue(CoreState &core, std::uint32_t slot,
     if (warp.readyCycle > cycle)
         return false;
 
-    const WarpInst &inst = warp.nextInst();
-    if (inst.op == Opcode::Sfu)
+    Opcode op = warp.nextOp();
+    if (op == Opcode::Sfu)
         return cycle >= core.sfuBusyUntil;
-    if (inst.op != Opcode::GlobalLoad)
+    if (op != Opcode::GlobalLoad)
         return true;
 
     // Loads dispatch their line requests in order, in waves when the
@@ -121,7 +121,7 @@ GpuTiming::canIssue(CoreState &core, std::uint32_t slot,
         return false;
     }
 
-    Addr line = inst.lines[warp.lineCursor];
+    Addr line = warp.nextLines()[warp.lineCursor];
     if (core.mshrs.outstanding(line) ||
         hierarchy.l1(core.id()).probe(line) || !core.mshrs.full()) {
         warp.blockedOnMshr = false;
@@ -138,9 +138,11 @@ GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
 {
     WarpContext &warp = core.warps[slot];
     std::uint64_t idx = warp.nextIdx;
-    const WarpInst &inst = warp.nextInst();
+    const Opcode op = warp.nextOp();
+    const std::uint32_t active = warp.trace.activeThreads(warp.nextIdx);
+    const LineSpan lines = warp.nextLines();
 
-    if (inst.op == Opcode::GlobalLoad) {
+    if (op == Opcode::GlobalLoad) {
         std::uint64_t hit_done = cycle + config.l1HitLatency;
         if (warp.lineCursor == 0) {
             warp.fillHighWater[idx] = hit_done;
@@ -153,8 +155,8 @@ GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
 
         std::uint32_t added = 0;
         std::uint32_t i = warp.lineCursor;
-        for (; i < inst.lines.size(); ++i) {
-            Addr line = inst.lines[i];
+        for (; i < lines.size(); ++i) {
+            Addr line = lines[i];
             if (core.mshrs.outstanding(line)) {
                 core.mshrs.merge(line, MshrWaiter{slot, idx});
                 ++added;
@@ -184,12 +186,12 @@ GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
         warp.pendingFills[idx] = static_cast<std::uint8_t>(
             warp.pendingFills[idx] + added);
 
-        if (i < inst.lines.size()) {
+        if (i < lines.size()) {
             // MSHRs ran dry mid-instruction: hold the warp on this
             // instruction and resume when entries free up.
             bool first_wave = warp.lineCursor == 0;
             if (first_wave)
-                core.threadInstsIssued += inst.activeThreads;
+                core.threadInstsIssued += active;
             warp.lineCursor = i;
             warp.blockedOnMshr = true;
             warp.mshrBlockEpoch = core.mshrFreeEpoch;
@@ -202,7 +204,7 @@ GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
         if (first_wave) {
             // Replay waves re-issue the same instruction; count its
             // active lanes once.
-            core.threadInstsIssued += inst.activeThreads;
+            core.threadInstsIssued += active;
         }
         warp.lineCursor = 0;
         if (warp.pendingFills[idx] == 0) {
@@ -216,24 +218,24 @@ GpuTiming::doIssue(CoreState &core, std::uint32_t slot,
         return;
     }
 
-    if (inst.op == Opcode::GlobalStore) {
+    if (op == Opcode::GlobalStore) {
         // Write-through, no-allocate: each coalesced request consumes
         // DRAM bandwidth; the warp does not wait.
-        for (std::size_t i = 0; i < inst.lines.size(); ++i) {
+        for (std::size_t i = 0; i < lines.size(); ++i) {
             dram.write(static_cast<double>(cycle) +
                        config.l2HitLatency);
         }
         complete(core, slot, idx, cycle + 1);
     } else {
-        if (inst.op == Opcode::Sfu) {
+        if (op == Opcode::Sfu) {
             // Occupy the SFU for warpSize / sfuLanes cycles.
             core.sfuBusyUntil = cycle + config.sfuOccupancyCycles();
         }
         complete(core, slot, idx,
-                 cycle + fixedLatency(inst.op, config.latency));
+                 cycle + fixedLatency(op, config.latency));
     }
 
-    core.threadInstsIssued += inst.activeThreads;
+    core.threadInstsIssued += active;
     ++warp.nextIdx;
     updateReadiness(warp, cycle);
     core.issued(slot, cycle);
@@ -245,9 +247,8 @@ GpuTiming::updateReadiness(WarpContext &warp, std::uint64_t cycle)
     warp.numWaiting = 0;
     if (warp.finishedIssuing())
         return;
-    const WarpInst &next = warp.nextInst();
     std::uint64_t ready = cycle + 1;
-    for (std::int32_t dep : next.deps) {
+    for (std::int32_t dep : warp.trace.deps(warp.nextIdx)) {
         if (dep == noDep)
             continue;
         std::uint64_t done = warp.doneCycle[static_cast<std::size_t>(dep)];
@@ -327,7 +328,7 @@ GpuTiming::chargeStall(CoreState &core, std::uint64_t cycle,
             continue;
         }
         if (warp.readyCycle <= cycle &&
-            warp.nextInst().op == Opcode::Sfu &&
+            warp.nextOp() == Opcode::Sfu &&
             core.sfuBusyUntil > cycle) {
             any_sfu = true;
         }
@@ -364,7 +365,7 @@ GpuTiming::run()
         std::uint64_t remaining = 0;
         for (const auto &core : cores) {
             for (const auto &warp : core.warps)
-                remaining += warp.trace->insts.size() - warp.nextIdx;
+                remaining += warp.trace.numInsts() - warp.nextIdx;
         }
         return remaining;
     };
@@ -415,7 +416,7 @@ GpuTiming::run()
                         continue;
                     }
                     std::uint64_t ready = warp.readyCycle;
-                    if (warp.nextInst().op == Opcode::Sfu)
+                    if (warp.nextOp() == Opcode::Sfu)
                         ready = std::max(ready, core.sfuBusyUntil);
                     next = std::min(next, ready);
                 }

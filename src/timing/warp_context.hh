@@ -11,7 +11,7 @@
 #include <limits>
 #include <vector>
 
-#include "trace/warp_trace.hh"
+#include "trace/kernel_trace.hh"
 
 namespace gpumech
 {
@@ -30,7 +30,8 @@ constexpr std::uint64_t cycleUnknown =
  */
 struct WarpContext
 {
-    const WarpTrace *trace = nullptr;
+    /** View of the warp's trace window in the kernel's SoA arrays. */
+    WarpView trace;
 
     /** Index of the next instruction to issue. */
     std::uint64_t nextIdx = 0;
@@ -75,14 +76,14 @@ struct WarpContext
     bool
     finishedIssuing() const
     {
-        return trace != nullptr && nextIdx >= trace->insts.size();
+        return trace.valid() && nextIdx >= trace.numInsts();
     }
 
-    const WarpInst &
-    nextInst() const
-    {
-        return trace->insts[nextIdx];
-    }
+    /** Opcode of the next instruction to issue. */
+    Opcode nextOp() const { return trace.op(nextIdx); }
+
+    /** Line requests of the next instruction to issue. */
+    LineSpan nextLines() const { return trace.lines(nextIdx); }
 };
 
 } // namespace gpumech

@@ -7,18 +7,26 @@
 namespace gpumech
 {
 
-std::vector<Addr>
-coalesce(const std::vector<Addr> &addrs, std::uint32_t line_bytes)
+void
+coalesce(const std::vector<Addr> &addrs, std::uint32_t line_bytes,
+         std::vector<Addr> &out)
 {
     if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
         panic("coalesce: line size must be a power of two");
-    std::vector<Addr> lines;
-    lines.reserve(addrs.size());
+    out.clear();
+    out.reserve(addrs.size());
     Addr mask = ~static_cast<Addr>(line_bytes - 1);
     for (Addr a : addrs)
-        lines.push_back(a & mask);
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+        out.push_back(a & mask);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<Addr>
+coalesce(const std::vector<Addr> &addrs, std::uint32_t line_bytes)
+{
+    std::vector<Addr> lines;
+    coalesce(addrs, line_bytes, lines);
     return lines;
 }
 

@@ -21,7 +21,23 @@ using Addr = std::uint64_t;
 
 /**
  * Coalesce per-thread byte addresses into the sorted list of distinct
- * line-aligned addresses for a given line size.
+ * line-aligned addresses, writing into a caller-owned buffer.
+ *
+ * The buffer is cleared first; reusing one scratch vector across
+ * calls makes per-instruction coalescing allocation-free once the
+ * scratch has grown to a warp's worth of lines (TraceBuilder does
+ * this for every dynamic memory instruction).
+ *
+ * @param addrs per-active-thread byte addresses
+ * @param line_bytes cache line size (must be a power of two)
+ * @param out receives the sorted, deduplicated line base addresses
+ */
+void coalesce(const std::vector<Addr> &addrs, std::uint32_t line_bytes,
+              std::vector<Addr> &out);
+
+/**
+ * Return-by-value convenience overload (allocates; forwards to the
+ * output-parameter form).
  *
  * @param addrs per-active-thread byte addresses
  * @param line_bytes cache line size (must be a power of two)

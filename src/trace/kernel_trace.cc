@@ -23,34 +23,74 @@ KernelTrace::opcodeOf(std::uint32_t pc) const
 }
 
 void
-KernelTrace::addWarp(WarpTrace warp)
+KernelTrace::reserveTrace(std::uint64_t num_warps,
+                          std::uint64_t total_insts,
+                          std::uint64_t total_lines)
 {
-    warps_.push_back(std::move(warp));
+    warpMeta_.reserve(num_warps);
+    instPc_.reserve(total_insts);
+    instOp_.reserve(total_insts);
+    instActive_.reserve(total_insts);
+    instDeps_.reserve(total_insts);
+    instLineOff_.reserve(total_insts);
+    instLineCnt_.reserve(total_insts);
+    linePool_.reserve(total_lines);
+}
+
+void
+KernelTrace::addWarp(const WarpTrace &warp)
+{
+    WarpMeta meta;
+    meta.warpId = warp.warpId;
+    meta.blockId = warp.blockId;
+    meta.instOffset = instPc_.size();
+    meta.instCount = static_cast<std::uint32_t>(warp.insts.size());
+    warpMeta_.push_back(meta);
+
+    const std::uint64_t line_base = linePool_.size();
+    for (const auto &inst : warp.insts) {
+        instPc_.push_back(inst.pc);
+        instOp_.push_back(inst.op);
+        instActive_.push_back(inst.activeThreads);
+        instDeps_.push_back(inst.deps);
+        instLineOff_.push_back(inst.lineCount == 0
+                                   ? 0
+                                   : line_base + inst.lineOffset);
+        instLineCnt_.push_back(inst.lineCount);
+    }
+    linePool_.insert(linePool_.end(), warp.linePool.begin(),
+                     warp.linePool.end());
+}
+
+WarpView
+KernelTrace::warp(std::uint32_t index) const
+{
+    if (index >= warpMeta_.size())
+        panic(msg("warp: index ", index, " out of range"));
+    return WarpView(this, index);
 }
 
 std::uint32_t
 KernelTrace::numBlocks() const
 {
     std::uint32_t max_block = 0;
-    for (const auto &w : warps_)
+    for (const auto &w : warpMeta_)
         max_block = std::max(max_block, w.blockId);
-    return warps_.empty() ? 0 : max_block + 1;
-}
-
-std::uint64_t
-KernelTrace::totalInsts() const
-{
-    std::uint64_t total = 0;
-    for (const auto &w : warps_)
-        total += w.insts.size();
-    return total;
+    return warpMeta_.empty() ? 0 : max_block + 1;
 }
 
 std::uint32_t
-KernelTrace::coreOf(const WarpTrace &warp,
+KernelTrace::coreOf(const WarpView &warp,
                     const HardwareConfig &config) const
 {
-    return warp.blockId % config.numCores;
+    return warp.blockId() % config.numCores;
+}
+
+std::uint32_t
+KernelTrace::coreOfWarp(std::uint32_t index,
+                        const HardwareConfig &config) const
+{
+    return warpMeta_[index].blockId % config.numCores;
 }
 
 std::vector<std::uint32_t>
@@ -58,8 +98,8 @@ KernelTrace::warpsOnCore(std::uint32_t core,
                          const HardwareConfig &config) const
 {
     std::vector<std::uint32_t> ids;
-    for (std::uint32_t i = 0; i < warps_.size(); ++i) {
-        if (coreOf(warps_[i], config) == core)
+    for (std::uint32_t i = 0; i < warpMeta_.size(); ++i) {
+        if (coreOfWarp(i, config) == core)
             ids.push_back(i);
     }
     return ids;
@@ -68,17 +108,83 @@ KernelTrace::warpsOnCore(std::uint32_t core,
 bool
 KernelTrace::validate() const
 {
-    for (const auto &warp : warps_) {
-        if (!warp.validate())
+    for (std::uint32_t w = 0; w < numWarps(); ++w) {
+        const WarpMeta &meta = warpMeta_[w];
+        if (meta.instOffset + meta.instCount > instPc_.size())
             return false;
-        for (const auto &inst : warp.insts) {
-            if (inst.pc >= program.size())
+        for (std::uint32_t i = 0; i < meta.instCount; ++i) {
+            const std::uint64_t f = meta.instOffset + i;
+            if (instPc_[f] >= program.size())
                 return false;
-            if (program[inst.pc].op != inst.op)
+            if (program[instPc_[f]].op != instOp_[f])
+                return false;
+            for (std::int32_t dep : instDeps_[f]) {
+                if (dep == noDep)
+                    continue;
+                if (dep < 0 || static_cast<std::uint32_t>(dep) >= i)
+                    return false;
+            }
+            if (isGlobalMemory(instOp_[f])) {
+                if (instLineCnt_[f] == 0)
+                    return false;
+                if (instLineOff_[f] + instLineCnt_[f] >
+                    linePool_.size()) {
+                    return false;
+                }
+            } else if (instLineCnt_[f] != 0) {
+                return false;
+            }
+            if (instActive_[f] == 0)
                 return false;
         }
     }
     return true;
+}
+
+namespace
+{
+
+template <typename T>
+std::size_t
+vecBytes(const std::vector<T> &v)
+{
+    return v.capacity() * sizeof(T);
+}
+
+} // namespace
+
+std::size_t
+KernelTrace::memoryFootprint() const
+{
+    return vecBytes(warpMeta_) + vecBytes(instPc_) + vecBytes(instOp_) +
+           vecBytes(instActive_) + vecBytes(instDeps_) +
+           vecBytes(instLineOff_) + vecBytes(instLineCnt_) +
+           vecBytes(linePool_) + vecBytes(program);
+}
+
+std::size_t
+WarpView::numGlobalMemInsts() const
+{
+    const Opcode *ops = opData();
+    std::size_t n = 0;
+    for (std::uint32_t i = 0; i < instCount_; ++i) {
+        if (isGlobalMemory(ops[i]))
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+WarpView::numGlobalMemRequests() const
+{
+    const Opcode *ops = opData();
+    const std::uint32_t *cnts = lineCountData();
+    std::size_t n = 0;
+    for (std::uint32_t i = 0; i < instCount_; ++i) {
+        if (isGlobalMemory(ops[i]))
+            n += cnts[i];
+    }
+    return n;
 }
 
 } // namespace gpumech

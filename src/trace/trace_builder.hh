@@ -7,13 +7,19 @@
  * builder converts the register dataflow into the trace-index
  * dependency edges the interval algorithm consumes. This plays the
  * role of GPUOcelot's dependency tagging (Section V-A).
+ *
+ * The builder's emit path is allocation-free in steady state: lines
+ * are coalesced into a reused scratch buffer and appended to the
+ * warp's line arena, and dependency resolution reuses a scratch
+ * index vector. Generators that know their instruction counts should
+ * call reserve() so the per-warp arrays never reallocate either.
  */
 
 #ifndef GPUMECH_TRACE_TRACE_BUILDER_HH
 #define GPUMECH_TRACE_TRACE_BUILDER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <initializer_list>
 #include <vector>
 
 #include "trace/kernel_trace.hh"
@@ -58,6 +64,13 @@ class TraceBuilder
                  std::uint32_t block_id, const HardwareConfig &config);
 
     /**
+     * Pre-size the warp's instruction array and line arena from a
+     * workload-declared hint (upper bounds are fine; this only avoids
+     * geometric-reallocation copies during emission).
+     */
+    void reserve(std::size_t num_insts, std::size_t num_lines);
+
+    /**
      * Emit a non-global-memory instruction (ALU, SFU, branch, shared
      * memory) reading the given source registers.
      *
@@ -67,7 +80,11 @@ class TraceBuilder
      *        warp
      * @return the destination register
      */
-    Reg compute(std::uint32_t pc, std::vector<Reg> srcs = {},
+    Reg compute(std::uint32_t pc, std::initializer_list<Reg> srcs = {},
+                std::uint32_t active_threads = 0);
+
+    /** As above with sources in a container (no copy is taken). */
+    Reg compute(std::uint32_t pc, const std::vector<Reg> &srcs,
                 std::uint32_t active_threads = 0);
 
     /**
@@ -80,7 +97,11 @@ class TraceBuilder
      * @return the destination register holding the loaded value
      */
     Reg globalLoad(std::uint32_t pc, const std::vector<Addr> &thread_addrs,
-                   std::vector<Reg> srcs = {});
+                   std::initializer_list<Reg> srcs = {});
+
+    /** As above with sources in a container (no copy is taken). */
+    Reg globalLoad(std::uint32_t pc, const std::vector<Addr> &thread_addrs,
+                   const std::vector<Reg> &srcs);
 
     /**
      * Emit a global store (produces no register).
@@ -90,7 +111,11 @@ class TraceBuilder
      * @param srcs data and address source registers
      */
     void globalStore(std::uint32_t pc, const std::vector<Addr> &thread_addrs,
-                     std::vector<Reg> srcs = {});
+                     std::initializer_list<Reg> srcs = {});
+
+    /** As above with sources in a container (no copy is taken). */
+    void globalStore(std::uint32_t pc, const std::vector<Addr> &thread_addrs,
+                     const std::vector<Reg> &srcs);
 
     /** Number of instructions emitted so far. */
     std::size_t size() const { return trace.insts.size(); }
@@ -103,15 +128,23 @@ class TraceBuilder
 
   private:
     /** Append an instruction, resolving register deps to trace indices. */
-    Reg append(std::uint32_t pc, Opcode op, const std::vector<Reg> &srcs,
-               std::uint32_t active_threads, std::vector<Addr> lines,
-               bool produces);
+    Reg append(std::uint32_t pc, Opcode op, const Reg *srcs,
+               std::size_t num_srcs, std::uint32_t active_threads,
+               const Addr *lines, std::uint32_t num_lines, bool produces);
 
     KernelTrace &kernel;
     const HardwareConfig &config;
     WarpTrace trace;
-    /** Producing trace index for each live virtual register. */
-    std::unordered_map<Reg, std::int32_t> producer;
+    /**
+     * Producing trace index for each virtual register, indexed by the
+     * register number (registers are issued densely by nextReg, so a
+     * flat array replaces a hash map in the per-instruction path).
+     */
+    std::vector<std::int32_t> producer;
+    /** Reused per-instruction coalescing buffer (no per-emit alloc). */
+    std::vector<Addr> lineScratch;
+    /** Reused dependency-resolution buffer. */
+    std::vector<std::int32_t> depScratch;
     Reg nextReg = 0;
     bool finished = false;
 };

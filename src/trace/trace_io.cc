@@ -52,15 +52,16 @@ writeTrace(std::ostream &os, const KernelTrace &kernel)
            << (si.label.empty() ? "-" : si.label) << "\n";
     }
     os << "warps " << kernel.numWarps() << "\n";
-    for (const auto &warp : kernel.warps()) {
-        os << "warp " << warp.warpId << " " << warp.blockId << " "
-           << warp.insts.size() << "\n";
-        for (const auto &inst : warp.insts) {
-            os << inst.pc << " " << inst.activeThreads;
-            for (std::int32_t d : inst.deps)
+    for (WarpView warp : kernel.warps()) {
+        os << "warp " << warp.warpId() << " " << warp.blockId() << " "
+           << warp.numInsts() << "\n";
+        for (std::size_t i = 0; i < warp.numInsts(); ++i) {
+            os << warp.pc(i) << " " << warp.activeThreads(i);
+            for (std::int32_t d : warp.deps(i))
                 os << " " << d;
-            os << " " << inst.lines.size();
-            for (Addr a : inst.lines)
+            LineSpan lines = warp.lines(i);
+            os << " " << lines.size();
+            for (Addr a : lines)
                 os << " " << a;
             os << "\n";
         }
@@ -101,7 +102,8 @@ readTrace(std::istream &is)
         warp.warpId = expectNumber<std::uint32_t>(is, "warp id");
         warp.blockId = expectNumber<std::uint32_t>(is, "block id");
         auto n = expectNumber<std::uint64_t>(is, "inst count");
-        warp.insts.reserve(n);
+        warp.reserve(n, 0);
+        std::vector<Addr> line_scratch;
         for (std::uint64_t i = 0; i < n; ++i) {
             WarpInst inst;
             inst.pc = expectNumber<std::uint32_t>(is, "inst pc");
@@ -113,12 +115,16 @@ readTrace(std::istream &is)
             for (auto &d : inst.deps)
                 d = expectNumber<std::int32_t>(is, "dep index");
             auto num_lines = expectNumber<std::uint32_t>(is, "line count");
-            inst.lines.reserve(num_lines);
+            line_scratch.clear();
             for (std::uint32_t l = 0; l < num_lines; ++l)
-                inst.lines.push_back(expectNumber<Addr>(is, "line addr"));
-            warp.insts.push_back(std::move(inst));
+                line_scratch.push_back(expectNumber<Addr>(is, "line addr"));
+            if (num_lines > 0) {
+                warp.addMemInst(inst, line_scratch.data(), num_lines);
+            } else {
+                warp.addInst(inst);
+            }
         }
-        kernel.addWarp(std::move(warp));
+        kernel.addWarp(warp);
     }
 
     tok = expectToken(is, "trailer");

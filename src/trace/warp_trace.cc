@@ -3,6 +3,28 @@
 namespace gpumech
 {
 
+std::int32_t
+WarpTrace::addInst(const WarpInst &inst)
+{
+    auto idx = static_cast<std::int32_t>(insts.size());
+    insts.push_back(inst);
+    insts.back().lineOffset = 0;
+    insts.back().lineCount = 0;
+    return idx;
+}
+
+std::int32_t
+WarpTrace::addMemInst(WarpInst inst, const Addr *lines,
+                      std::uint32_t num_lines)
+{
+    inst.lineOffset = static_cast<std::uint32_t>(linePool.size());
+    inst.lineCount = num_lines;
+    linePool.insert(linePool.end(), lines, lines + num_lines);
+    auto idx = static_cast<std::int32_t>(insts.size());
+    insts.push_back(inst);
+    return idx;
+}
+
 std::size_t
 WarpTrace::numGlobalMemInsts() const
 {
@@ -20,7 +42,7 @@ WarpTrace::numGlobalMemRequests() const
     std::size_t n = 0;
     for (const auto &inst : insts) {
         if (isGlobalMemory(inst.op))
-            n += inst.lines.size();
+            n += inst.lineCount;
     }
     return n;
 }
@@ -37,9 +59,14 @@ WarpTrace::validate() const
                 return false;
         }
         if (isGlobalMemory(inst.op)) {
-            if (inst.lines.empty())
+            if (inst.lineCount == 0)
                 return false;
-        } else if (!inst.lines.empty()) {
+            if (static_cast<std::size_t>(inst.lineOffset) +
+                    inst.lineCount >
+                linePool.size()) {
+                return false;
+            }
+        } else if (inst.lineCount != 0) {
             return false;
         }
         if (inst.activeThreads == 0)

@@ -6,6 +6,16 @@
  * warp: the sequence of executed warp-instructions tagged with
  * dependency information (Section V-A) and, for global-memory
  * instructions, the coalesced line requests.
+ *
+ * Layout: WarpInst is a fixed-size POD. A memory instruction does not
+ * own its line addresses; it carries an (offset, count) slice into an
+ * Addr arena. During construction the arena is the owning WarpTrace's
+ * linePool; once the warp is handed to a KernelTrace, the pool is
+ * absorbed into the kernel-level arena and the slices are rebased
+ * (see kernel_trace.hh). This removes one heap allocation plus ~3
+ * pointers of header per dynamic memory instruction compared to the
+ * old embedded std::vector<Addr> and makes every hot loop walk dense
+ * arrays.
  */
 
 #ifndef GPUMECH_TRACE_WARP_TRACE_HH
@@ -24,8 +34,52 @@ namespace gpumech
 /** Sentinel for an absent dependency slot. */
 constexpr std::int32_t noDep = -1;
 
+/** The (up to three) backward dependency slots of one instruction. */
+using DepArray = std::array<std::int32_t, 3>;
+
 /**
- * One dynamic warp-instruction.
+ * Non-owning view of one instruction's coalesced line requests: a
+ * slice of some Addr arena (a WarpTrace's local pool or the
+ * kernel-level pool).
+ */
+struct LineSpan
+{
+    const Addr *ptr = nullptr;
+    std::uint32_t count = 0;
+
+    const Addr *begin() const { return ptr; }
+    const Addr *end() const { return ptr + count; }
+    std::uint32_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    Addr operator[](std::uint32_t i) const { return ptr[i]; }
+
+    std::vector<Addr>
+    toVector() const
+    {
+        return std::vector<Addr>(begin(), end());
+    }
+};
+
+inline bool
+operator==(const LineSpan &a, const LineSpan &b)
+{
+    if (a.count != b.count)
+        return false;
+    for (std::uint32_t i = 0; i < a.count; ++i) {
+        if (a.ptr[i] != b.ptr[i])
+            return false;
+    }
+    return true;
+}
+
+inline bool
+operator==(const LineSpan &a, const std::vector<Addr> &b)
+{
+    return a == LineSpan{b.data(), static_cast<std::uint32_t>(b.size())};
+}
+
+/**
+ * One dynamic warp-instruction (fixed-size POD).
  *
  * Dependencies point backwards into the owning warp's trace (index of
  * the producing instruction). Only intra-warp register dependencies
@@ -47,29 +101,67 @@ struct WarpInst
      * three-source instructions): indices of the producing
      * instructions in the same warp trace, or noDep.
      */
-    std::array<std::int32_t, 3> deps = {noDep, noDep, noDep};
+    DepArray deps = {noDep, noDep, noDep};
 
     /**
-     * Coalesced line requests (global-memory instructions only). The
-     * size of this vector is the instruction's memory divergence
-     * degree (1 = fully coalesced, up to warpSize).
+     * Slice of the owning arena holding this instruction's coalesced
+     * line requests (global-memory instructions only). lineCount is
+     * the instruction's memory divergence degree (1 = fully coalesced,
+     * up to warpSize); compute instructions have lineCount == 0.
      */
-    std::vector<Addr> lines;
+    std::uint32_t lineOffset = 0;
+    std::uint32_t lineCount = 0;
 
     /** Number of memory requests this instruction issues. */
-    std::uint32_t
-    numRequests() const
-    {
-        return static_cast<std::uint32_t>(lines.size());
-    }
+    std::uint32_t numRequests() const { return lineCount; }
 };
 
-/** Dynamic trace of one warp plus its CTA (thread block) identity. */
+/**
+ * Dynamic trace of one warp plus its CTA (thread block) identity.
+ *
+ * This is the construction-side representation: workload generators
+ * and the trace reader build WarpTraces (instructions plus a local
+ * line arena) and hand them to KernelTrace::addWarp, which flattens
+ * them into the kernel-level SoA storage.
+ */
 struct WarpTrace
 {
     std::uint32_t warpId = 0;  //!< kernel-global warp index
     std::uint32_t blockId = 0; //!< owning thread block
     std::vector<WarpInst> insts;
+    std::vector<Addr> linePool; //!< arena for all insts' line slices
+
+    /** Pre-size the instruction array and line arena (size hints). */
+    void
+    reserve(std::size_t num_insts, std::size_t num_lines)
+    {
+        insts.reserve(num_insts);
+        linePool.reserve(num_lines);
+    }
+
+    /**
+     * Append a non-memory instruction (lineCount must be 0).
+     *
+     * @return the new instruction's trace index
+     */
+    std::int32_t addInst(const WarpInst &inst);
+
+    /**
+     * Append a memory instruction, copying its coalesced lines into
+     * the local arena and recording the slice.
+     *
+     * @return the new instruction's trace index
+     */
+    std::int32_t addMemInst(WarpInst inst, const Addr *lines,
+                            std::uint32_t num_lines);
+
+    /** Lines of an instruction owned by this trace. */
+    LineSpan
+    linesOf(const WarpInst &inst) const
+    {
+        return LineSpan{linePool.data() + inst.lineOffset,
+                        inst.lineCount};
+    }
 
     std::size_t numInsts() const { return insts.size(); }
 
@@ -82,7 +174,8 @@ struct WarpTrace
     /**
      * Check structural invariants: dependency indices point strictly
      * backwards, global-memory instructions have at least one line
-     * request and non-memory instructions have none.
+     * request and non-memory instructions have none, and every line
+     * slice lies inside the local arena.
      *
      * @return true when the trace is well formed
      */

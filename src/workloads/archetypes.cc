@@ -43,12 +43,101 @@ computeOp(std::uint32_t i, double fp_fraction)
     return position < fp_fraction ? Opcode::FpAlu : Opcode::IntAlu;
 }
 
+/**
+ * Apply a workload-declared size hint: pre-size the kernel's flat SoA
+ * arrays for every warp up front, and each builder as it starts.
+ */
+void
+reserveKernel(KernelTrace &kernel, std::uint32_t num_warps,
+              const TraceSizeHint &hint)
+{
+    kernel.reserveTrace(num_warps, num_warps * hint.instsPerWarp,
+                        num_warps * hint.linesPerWarp);
+}
+
 } // namespace
 
 std::uint32_t
 totalWarps(const HardwareConfig &config)
 {
     return config.numCores * config.warpsPerCore;
+}
+
+TraceSizeHint
+sizeHint(const LoopKernelParams &params)
+{
+    TraceSizeHint hint;
+    std::uint64_t per_iter = params.independentCompute +
+        std::uint64_t{params.loadsPerIter} * (1 + params.computePerLoad) +
+        params.sfuPerIter + params.sharedPerIter + params.storesPerIter +
+        1; // loop branch
+    if (params.extraPathFraction > 0.0)
+        per_iter += params.extraPathCompute;
+    // Iteration variance scales the trip count by at most (1 + v).
+    auto iters = static_cast<std::uint64_t>(std::ceil(
+        params.iterations * (1.0 + params.iterationVariance)));
+    hint.instsPerWarp = iters * per_iter;
+    hint.linesPerWarp = iters *
+        (std::uint64_t{params.loadsPerIter} * params.loadDivergence +
+         std::uint64_t{params.storesPerIter} * params.storeDivergence);
+    return hint;
+}
+
+TraceSizeHint
+sizeHint(const PointerChaseParams &params)
+{
+    TraceSizeHint hint;
+    hint.instsPerWarp =
+        std::uint64_t{params.chainLength} * (1 + params.computeBetween);
+    hint.linesPerWarp =
+        std::uint64_t{params.chainLength} * params.divergence;
+    return hint;
+}
+
+TraceSizeHint
+sizeHint(const ReductionParams &params)
+{
+    TraceSizeHint hint;
+    hint.instsPerWarp = std::uint64_t{params.loadsPerWarp} * 2 +
+        (params.useShared ? std::uint64_t{params.levels} * 3 : 0) +
+        std::uint64_t{params.warpsPerBlock} * 2 + 1;
+    hint.linesPerWarp =
+        params.loadsPerWarp + params.warpsPerBlock + 1;
+    return hint;
+}
+
+TraceSizeHint
+sizeHint(const TiledMatmulParams &params)
+{
+    TraceSizeHint hint;
+    hint.instsPerWarp = std::uint64_t{params.tiles} *
+            (3 + params.sharedPerTile + params.fmaPerTile) +
+        1;
+    hint.linesPerWarp = std::uint64_t{params.tiles} * 2 + 1;
+    return hint;
+}
+
+TraceSizeHint
+sizeHint(const TransposeParams &params, const HardwareConfig &config)
+{
+    TraceSizeHint hint;
+    std::uint64_t per_tile_insts = params.viaShared ? 6 : 4;
+    std::uint64_t per_tile_lines =
+        params.viaShared ? 2 : 1 + std::uint64_t{config.warpSize};
+    hint.instsPerWarp = params.tilesPerWarp * per_tile_insts;
+    hint.linesPerWarp = params.tilesPerWarp * per_tile_lines;
+    return hint;
+}
+
+TraceSizeHint
+sizeHint(const HistogramParams &params)
+{
+    TraceSizeHint hint;
+    hint.instsPerWarp = std::uint64_t{params.iterations} *
+        (3 + std::uint64_t{params.updatesPerIter} * 3);
+    hint.linesPerWarp = std::uint64_t{params.iterations} *
+        (1 + std::uint64_t{params.updatesPerIter} * 2 * params.degree);
+    return hint;
 }
 
 KernelTrace
@@ -97,10 +186,16 @@ loopKernel(const std::string &name, const LoopKernelParams &params,
 
     // ---- per-warp traces ----
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params);
+    reserveKernel(kernel, num_warps, hint);
+    // Scratch reused across warps; the emission loop never allocates.
+    std::vector<Addr> addrs;
+    std::vector<Reg> loaded;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         Rng rng = warpRng(name, w);
         std::uint32_t block = w / params.warpsPerBlock;
         TraceBuilder b(kernel, w, block, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
 
         std::uint32_t iters = params.iterations;
         if (params.iterationVariance > 0.0) {
@@ -122,32 +217,30 @@ loopKernel(const std::string &name, const LoopKernelParams &params,
             Reg indep = carry;
             for (std::uint32_t i = 0; i < params.independentCompute;
                  ++i) {
-                indep = b.compute(pc_indep[i],
-                                  indep == regNone
-                                      ? std::vector<Reg>{}
-                                      : std::vector<Reg>{indep});
+                indep = indep == regNone
+                    ? b.compute(pc_indep[i])
+                    : b.compute(pc_indep[i], {indep});
             }
 
             // Loads first (memory-level parallelism within the
             // iteration), then the dependent compute chains.
-            std::vector<Reg> loaded;
+            loaded.clear();
             for (std::uint32_t l = 0; l < params.loadsPerIter; ++l) {
-                std::vector<Addr> addrs;
                 if (params.hotFraction > 0.0 &&
                     rng.nextBool(params.hotFraction)) {
-                    addrs = randomDivergentPattern(
+                    randomDivergentPattern(
                         rng, hotBase, params.hotBytes, config.warpSize,
-                        params.loadDivergence, config.l1LineBytes);
+                        params.loadDivergence, config.l1LineBytes,
+                        addrs);
                 } else if (params.sharedRegion) {
-                    addrs = randomDivergentPattern(
+                    randomDivergentPattern(
                         rng, sharedBase, params.sharedRegionBytes,
                         config.warpSize, params.loadDivergence,
-                        config.l1LineBytes);
+                        config.l1LineBytes, addrs);
                 } else {
-                    addrs = divergentPattern(stream_cursor,
-                                             config.warpSize,
-                                             params.loadDivergence,
-                                             config.l1LineBytes);
+                    divergentPattern(stream_cursor, config.warpSize,
+                                     params.loadDivergence,
+                                     config.l1LineBytes, addrs);
                     stream_cursor += static_cast<Addr>(
                                          params.loadDivergence) *
                                      config.l1LineBytes;
@@ -160,10 +253,9 @@ loopKernel(const std::string &name, const LoopKernelParams &params,
                 Reg c = loaded[l];
                 for (std::uint32_t k = 0; k < params.computePerLoad;
                      ++k) {
-                    std::vector<Reg> srcs{c};
-                    if (params.serialChain && carry != regNone)
-                        srcs.push_back(carry);
-                    c = b.compute(pc_chain[l][k], srcs);
+                    c = params.serialChain && carry != regNone
+                        ? b.compute(pc_chain[l][k], {c, carry})
+                        : b.compute(pc_chain[l][k], {c});
                 }
                 chain_last = c;
                 if (params.serialChain)
@@ -173,40 +265,36 @@ loopKernel(const std::string &name, const LoopKernelParams &params,
                 carry = chain_last != regNone ? chain_last : indep;
 
             for (std::uint32_t i = 0; i < params.sfuPerIter; ++i) {
-                carry = b.compute(pc_sfu[i],
-                                  carry == regNone
-                                      ? std::vector<Reg>{}
-                                      : std::vector<Reg>{carry});
+                carry = carry == regNone
+                    ? b.compute(pc_sfu[i])
+                    : b.compute(pc_sfu[i], {carry});
             }
             for (std::uint32_t i = 0; i < params.sharedPerIter; ++i) {
-                Reg r = b.compute(pc_shared[i],
-                                  carry == regNone
-                                      ? std::vector<Reg>{}
-                                      : std::vector<Reg>{carry});
+                Reg r = carry == regNone
+                    ? b.compute(pc_shared[i])
+                    : b.compute(pc_shared[i], {carry});
                 if (r != regNone)
                     carry = r;
             }
 
             for (std::uint32_t i = 0; i < params.storesPerIter; ++i) {
-                auto addrs = divergentPattern(out_cursor,
-                                              config.warpSize,
-                                              params.storeDivergence,
-                                              config.l1LineBytes);
+                divergentPattern(out_cursor, config.warpSize,
+                                 params.storeDivergence,
+                                 config.l1LineBytes, addrs);
                 out_cursor += static_cast<Addr>(params.storeDivergence) *
                               config.l1LineBytes;
-                std::vector<Reg> srcs;
                 if (carry != regNone)
-                    srcs.push_back(carry);
-                b.globalStore(pc_store[i], addrs, srcs);
+                    b.globalStore(pc_store[i], addrs, {carry});
+                else
+                    b.globalStore(pc_store[i], addrs);
             }
 
             if (heavy_path) {
                 Reg e = carry;
                 for (std::uint32_t i = 0; i < params.extraPathCompute;
                      ++i) {
-                    e = b.compute(pc_extra[i],
-                                  e == regNone ? std::vector<Reg>{}
-                                               : std::vector<Reg>{e});
+                    e = e == regNone ? b.compute(pc_extra[i])
+                                     : b.compute(pc_extra[i], {e});
                 }
                 carry = e;
             }
@@ -230,19 +318,21 @@ pointerChaseKernel(const std::string &name,
         pc_comp.push_back(kernel.addStatic(Opcode::IntAlu));
 
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params);
+    reserveKernel(kernel, num_warps, hint);
+    std::vector<Addr> addrs;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         Rng rng = warpRng(name, w);
         TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
 
         Reg ptr = regNone;
         for (std::uint32_t hop = 0; hop < params.chainLength; ++hop) {
-            auto addrs = randomDivergentPattern(
-                rng, chaseBase, params.regionBytes, config.warpSize,
-                params.divergence, config.l1LineBytes);
-            std::vector<Reg> srcs;
-            if (ptr != regNone)
-                srcs.push_back(ptr);
-            ptr = b.globalLoad(pc_load, addrs, srcs);
+            randomDivergentPattern(rng, chaseBase, params.regionBytes,
+                                   config.warpSize, params.divergence,
+                                   config.l1LineBytes, addrs);
+            ptr = ptr == regNone ? b.globalLoad(pc_load, addrs)
+                                 : b.globalLoad(pc_load, addrs, {ptr});
             for (std::uint32_t i = 0; i < params.computeBetween; ++i)
                 ptr = b.compute(pc_comp[i], {ptr});
         }
@@ -266,14 +356,18 @@ reductionKernel(const std::string &name, const ReductionParams &params,
     std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore);
 
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params);
+    reserveKernel(kernel, num_warps, hint);
+    std::vector<Addr> addrs;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
         Addr cursor = streamBase + static_cast<Addr>(w) * warpSlice;
 
         // Phase 1: accumulate coalesced elements.
         Reg acc = regNone;
         for (std::uint32_t i = 0; i < params.loadsPerWarp; ++i) {
-            auto addrs = coalescedPattern(cursor, config.warpSize);
+            coalescedPattern(cursor, config.warpSize, 4, addrs);
             cursor += config.l1LineBytes;
             Reg v = b.globalLoad(pc_load, addrs);
             acc = acc == regNone ? v : b.compute(pc_add, {acc, v});
@@ -296,17 +390,16 @@ reductionKernel(const std::string &name, const ReductionParams &params,
         if (w % params.warpsPerBlock == 0) {
             for (std::uint32_t i = 0; i + 1 < params.warpsPerBlock;
                  ++i) {
-                auto addrs = coalescedPattern(
-                    sharedBase + static_cast<Addr>(w) * 4096, 1);
+                coalescedPattern(
+                    sharedBase + static_cast<Addr>(w) * 4096, 1, 4,
+                    addrs);
                 Reg part = b.globalLoad(pc_fin_ld, addrs);
                 acc = b.compute(pc_fin_add, {acc, part}, 1);
             }
         }
-        b.globalStore(pc_st,
-                      coalescedPattern(outBase +
-                                           static_cast<Addr>(w) * 128,
-                                       1),
-                      {acc});
+        coalescedPattern(outBase + static_cast<Addr>(w) * 128, 1, 4,
+                         addrs);
+        b.globalStore(pc_st, addrs, {acc});
         b.finish();
     }
     return kernel;
@@ -327,11 +420,15 @@ tiledMatmulKernel(const std::string &name,
     std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore, "out");
 
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params);
+    reserveKernel(kernel, num_warps, hint);
     // Tiles live in a region sized to enjoy L2 (but not L1) reuse.
     constexpr std::uint64_t matrix_bytes = 8ULL << 20;
+    std::vector<Addr> addrs;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         Rng rng = warpRng(name, w);
         TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
 
         Reg acc = regNone;
         for (std::uint32_t t = 0; t < params.tiles; ++t) {
@@ -340,14 +437,10 @@ tiledMatmulKernel(const std::string &name,
                           rng.nextBelow(matrix_bytes / 4096) * 4096;
             Addr tile_b = sharedBase + matrix_bytes +
                           rng.nextBelow(matrix_bytes / 4096) * 4096;
-            Reg a = b.globalLoad(pc_ld_a,
-                                 coalescedPattern(tile_a,
-                                                  config.warpSize),
-                                 {i0});
-            Reg bb = b.globalLoad(pc_ld_b,
-                                  coalescedPattern(tile_b,
-                                                   config.warpSize),
-                                  {i0});
+            coalescedPattern(tile_a, config.warpSize, 4, addrs);
+            Reg a = b.globalLoad(pc_ld_a, addrs, {i0});
+            coalescedPattern(tile_b, config.warpSize, 4, addrs);
+            Reg bb = b.globalLoad(pc_ld_b, addrs, {i0});
             for (std::uint32_t s = 0; s < params.sharedPerTile; ++s) {
                 Reg r = b.compute(s % 2 ? pc_sld : pc_sst,
                                   {s % 2 == 0 && s == 0 ? a : bb});
@@ -360,11 +453,9 @@ tiledMatmulKernel(const std::string &name,
                 c = b.compute(pc_fma, {c, bb});
             acc = c;
         }
-        b.globalStore(pc_st,
-                      coalescedPattern(outBase +
-                                           static_cast<Addr>(w) * 128,
-                                       config.warpSize),
-                      {acc});
+        coalescedPattern(outBase + static_cast<Addr>(w) * 128,
+                         config.warpSize, 4, addrs);
+        b.globalStore(pc_st, addrs, {acc});
         b.finish();
     }
     return kernel;
@@ -383,30 +474,32 @@ transposeKernel(const std::string &name, const TransposeParams &params,
     std::uint32_t pc_st = kernel.addStatic(Opcode::GlobalStore, "col");
 
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params, config);
+    reserveKernel(kernel, num_warps, hint);
+    std::vector<Addr> addrs;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
         Addr in_cursor = streamBase + static_cast<Addr>(w) * warpSlice;
         Addr out_cursor = outBase + static_cast<Addr>(w) * warpSlice;
 
         for (std::uint32_t t = 0; t < params.tilesPerWarp; ++t) {
-            Reg v = b.globalLoad(pc_ld,
-                                 coalescedPattern(in_cursor,
-                                                  config.warpSize));
+            coalescedPattern(in_cursor, config.warpSize, 4, addrs);
+            Reg v = b.globalLoad(pc_ld, addrs);
             in_cursor += config.l1LineBytes;
             Reg i = b.compute(pc_idx, {v});
             i = b.compute(pc_idx2, {i});
             if (params.viaShared) {
                 b.compute(pc_sst, {i});
                 Reg s = b.compute(pc_sld, {});
-                b.globalStore(pc_st,
-                              coalescedPattern(out_cursor,
-                                               config.warpSize),
-                              {s});
+                coalescedPattern(out_cursor, config.warpSize, 4,
+                                 addrs);
+                b.globalStore(pc_st, addrs, {s});
                 out_cursor += config.l1LineBytes;
             } else {
                 // Column-order store: one line per thread.
-                auto addrs = stridedPattern(out_cursor, config.warpSize,
-                                            config.l1LineBytes);
+                stridedPattern(out_cursor, config.warpSize,
+                               config.l1LineBytes, addrs);
                 b.globalStore(pc_st, addrs, {i});
                 out_cursor += static_cast<Addr>(config.warpSize) *
                               config.l1LineBytes;
@@ -431,22 +524,26 @@ histogramKernel(const std::string &name, const HistogramParams &params,
                                                "bin");
 
     std::uint32_t num_warps = totalWarps(config);
+    TraceSizeHint hint = sizeHint(params);
+    reserveKernel(kernel, num_warps, hint);
+    std::vector<Addr> addrs;
+    std::vector<Addr> bins;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         Rng rng = warpRng(name, w);
         TraceBuilder b(kernel, w, w / params.warpsPerBlock, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
         Addr cursor = streamBase + static_cast<Addr>(w) * warpSlice;
 
         for (std::uint32_t it = 0; it < params.iterations; ++it) {
-            Reg v = b.globalLoad(pc_data,
-                                 coalescedPattern(cursor,
-                                                  config.warpSize));
+            coalescedPattern(cursor, config.warpSize, 4, addrs);
+            Reg v = b.globalLoad(pc_data, addrs);
             cursor += config.l1LineBytes;
             Reg h = b.compute(pc_hash, {v});
             h = b.compute(pc_hash2, {h});
             for (std::uint32_t u = 0; u < params.updatesPerIter; ++u) {
-                auto bins = randomDivergentPattern(
-                    rng, binsBase, params.binBytes, config.warpSize,
-                    params.degree, config.l1LineBytes);
+                randomDivergentPattern(rng, binsBase, params.binBytes,
+                                       config.warpSize, params.degree,
+                                       config.l1LineBytes, bins);
                 Reg old = b.globalLoad(pc_bin_ld, bins, {h});
                 Reg inc = b.compute(pc_inc, {old});
                 b.globalStore(pc_bin_st, bins, {inc});

@@ -25,6 +25,19 @@
 namespace gpumech
 {
 
+/**
+ * Workload-declared trace size hint: upper bounds on the per-warp
+ * instruction count and coalesced line count. Generators pass these to
+ * KernelTrace::reserveTrace() / TraceBuilder::reserve() so the flat
+ * SoA arrays and the line arena are sized once up front instead of
+ * growing geometrically during emission.
+ */
+struct TraceSizeHint
+{
+    std::uint64_t instsPerWarp = 0;
+    std::uint64_t linesPerWarp = 0;
+};
+
 /** Parameters of the general streaming-loop archetype. */
 struct LoopKernelParams
 {
@@ -67,6 +80,9 @@ KernelTrace loopKernel(const std::string &name,
                        const LoopKernelParams &params,
                        const HardwareConfig &config);
 
+/** Per-warp trace size bound of a loopKernel instance. */
+TraceSizeHint sizeHint(const LoopKernelParams &params);
+
 /** Parameters of the pointer-chase (latency-bound) archetype. */
 struct PointerChaseParams
 {
@@ -82,6 +98,9 @@ KernelTrace pointerChaseKernel(const std::string &name,
                                const PointerChaseParams &params,
                                const HardwareConfig &config);
 
+/** Per-warp trace size bound of a pointerChaseKernel instance. */
+TraceSizeHint sizeHint(const PointerChaseParams &params);
+
 /** Parameters of the tree-reduction archetype. */
 struct ReductionParams
 {
@@ -96,6 +115,9 @@ KernelTrace reductionKernel(const std::string &name,
                             const ReductionParams &params,
                             const HardwareConfig &config);
 
+/** Per-warp trace size bound of a reductionKernel instance. */
+TraceSizeHint sizeHint(const ReductionParams &params);
+
 /** Parameters of the tiled-matmul (compute-bound) archetype. */
 struct TiledMatmulParams
 {
@@ -109,6 +131,9 @@ struct TiledMatmulParams
 KernelTrace tiledMatmulKernel(const std::string &name,
                               const TiledMatmulParams &params,
                               const HardwareConfig &config);
+
+/** Per-warp trace size bound of a tiledMatmulKernel instance. */
+TraceSizeHint sizeHint(const TiledMatmulParams &params);
 
 /** Parameters of the transpose archetype. */
 struct TransposeParams
@@ -127,6 +152,10 @@ KernelTrace transposeKernel(const std::string &name,
                             const TransposeParams &params,
                             const HardwareConfig &config);
 
+/** Per-warp trace size bound of a transposeKernel instance. */
+TraceSizeHint sizeHint(const TransposeParams &params,
+                       const HardwareConfig &config);
+
 /** Parameters of the histogram archetype. */
 struct HistogramParams
 {
@@ -141,6 +170,9 @@ struct HistogramParams
 KernelTrace histogramKernel(const std::string &name,
                             const HistogramParams &params,
                             const HardwareConfig &config);
+
+/** Per-warp trace size bound of a histogramKernel instance. */
+TraceSizeHint sizeHint(const HistogramParams &params);
 
 /** Total warps for a configuration (numCores * warpsPerCore). */
 std::uint32_t totalWarps(const HardwareConfig &config);

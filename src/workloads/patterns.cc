@@ -7,15 +7,33 @@
 namespace gpumech
 {
 
+void
+coalescedPattern(Addr base, std::uint32_t threads,
+                 std::uint32_t elem_bytes, std::vector<Addr> &out)
+{
+    out.clear();
+    out.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+        out.push_back(base + static_cast<Addr>(t) * elem_bytes);
+}
+
 std::vector<Addr>
 coalescedPattern(Addr base, std::uint32_t threads,
                  std::uint32_t elem_bytes)
 {
     std::vector<Addr> addrs;
-    addrs.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t)
-        addrs.push_back(base + static_cast<Addr>(t) * elem_bytes);
+    coalescedPattern(base, threads, elem_bytes, addrs);
     return addrs;
+}
+
+void
+stridedPattern(Addr base, std::uint32_t threads,
+               std::uint32_t stride_bytes, std::vector<Addr> &out)
+{
+    out.clear();
+    out.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+        out.push_back(base + static_cast<Addr>(t) * stride_bytes);
 }
 
 std::vector<Addr>
@@ -23,32 +41,39 @@ stridedPattern(Addr base, std::uint32_t threads,
                std::uint32_t stride_bytes)
 {
     std::vector<Addr> addrs;
-    addrs.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t)
-        addrs.push_back(base + static_cast<Addr>(t) * stride_bytes);
+    stridedPattern(base, threads, stride_bytes, addrs);
     return addrs;
+}
+
+void
+divergentPattern(Addr base, std::uint32_t threads, std::uint32_t degree,
+                 std::uint32_t line_bytes, std::vector<Addr> &out)
+{
+    if (degree == 0)
+        panic("divergentPattern: degree must be positive");
+    degree = std::min(degree, threads);
+    out.clear();
+    out.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        out.push_back(base +
+                      static_cast<Addr>(t % degree) * line_bytes);
+    }
 }
 
 std::vector<Addr>
 divergentPattern(Addr base, std::uint32_t threads, std::uint32_t degree,
                  std::uint32_t line_bytes)
 {
-    if (degree == 0)
-        panic("divergentPattern: degree must be positive");
-    degree = std::min(degree, threads);
     std::vector<Addr> addrs;
-    addrs.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) {
-        addrs.push_back(base +
-                        static_cast<Addr>(t % degree) * line_bytes);
-    }
+    divergentPattern(base, threads, degree, line_bytes, addrs);
     return addrs;
 }
 
-std::vector<Addr>
+void
 randomDivergentPattern(Rng &rng, Addr region_base,
                        std::uint64_t region_bytes, std::uint32_t threads,
-                       std::uint32_t degree, std::uint32_t line_bytes)
+                       std::uint32_t degree, std::uint32_t line_bytes,
+                       std::vector<Addr> &out)
 {
     if (degree == 0)
         panic("randomDivergentPattern: degree must be positive");
@@ -56,16 +81,27 @@ randomDivergentPattern(Rng &rng, Addr region_base,
     std::uint64_t lines_in_region =
         std::max<std::uint64_t>(region_bytes / line_bytes, 1);
 
-    std::vector<Addr> lines;
-    lines.reserve(degree);
+    // The distinct lines land in out[0..degree) first; the remaining
+    // threads spread over them round-robin, reading back from the same
+    // buffer so the fill needs no second allocation.
+    out.clear();
+    out.reserve(threads);
     for (std::uint32_t d = 0; d < degree; ++d) {
-        lines.push_back(region_base +
-                        rng.nextBelow(lines_in_region) * line_bytes);
+        out.push_back(region_base +
+                      rng.nextBelow(lines_in_region) * line_bytes);
     }
+    for (std::uint32_t t = degree; t < threads; ++t)
+        out.push_back(out[t % degree]);
+}
+
+std::vector<Addr>
+randomDivergentPattern(Rng &rng, Addr region_base,
+                       std::uint64_t region_bytes, std::uint32_t threads,
+                       std::uint32_t degree, std::uint32_t line_bytes)
+{
     std::vector<Addr> addrs;
-    addrs.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t)
-        addrs.push_back(lines[t % degree]);
+    randomDivergentPattern(rng, region_base, region_bytes, threads,
+                           degree, line_bytes, addrs);
     return addrs;
 }
 

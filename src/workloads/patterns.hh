@@ -20,10 +20,17 @@
 namespace gpumech
 {
 
+// Each pattern has two forms: an output-parameter form that fills a
+// caller-owned buffer (clearing it first), so per-warp loops can emit
+// millions of requests without allocating, and a return-by-value form
+// forwarding to it for call sites where convenience wins.
+
 /**
  * Fully coalesced access: thread t reads base + t*elem_bytes; one or
  * two lines per warp depending on alignment and element size.
  */
+void coalescedPattern(Addr base, std::uint32_t threads,
+                      std::uint32_t elem_bytes, std::vector<Addr> &out);
 std::vector<Addr> coalescedPattern(Addr base, std::uint32_t threads,
                                    std::uint32_t elem_bytes = 4);
 
@@ -31,6 +38,8 @@ std::vector<Addr> coalescedPattern(Addr base, std::uint32_t threads,
  * Strided access: thread t reads base + t*stride_bytes. A stride of
  * a line size or more gives one line per thread (degree = threads).
  */
+void stridedPattern(Addr base, std::uint32_t threads,
+                    std::uint32_t stride_bytes, std::vector<Addr> &out);
 std::vector<Addr> stridedPattern(Addr base, std::uint32_t threads,
                                  std::uint32_t stride_bytes);
 
@@ -39,6 +48,9 @@ std::vector<Addr> stridedPattern(Addr base, std::uint32_t threads,
  * threads spread round-robin over @p degree distinct lines starting
  * at @p base.
  */
+void divergentPattern(Addr base, std::uint32_t threads,
+                      std::uint32_t degree, std::uint32_t line_bytes,
+                      std::vector<Addr> &out);
 std::vector<Addr> divergentPattern(Addr base, std::uint32_t threads,
                                    std::uint32_t degree,
                                    std::uint32_t line_bytes = 128);
@@ -47,6 +59,11 @@ std::vector<Addr> divergentPattern(Addr base, std::uint32_t threads,
  * Random divergent access: @p degree distinct random lines inside
  * [region_base, region_base + region_bytes).
  */
+void randomDivergentPattern(Rng &rng, Addr region_base,
+                            std::uint64_t region_bytes,
+                            std::uint32_t threads, std::uint32_t degree,
+                            std::uint32_t line_bytes,
+                            std::vector<Addr> &out);
 std::vector<Addr> randomDivergentPattern(Rng &rng, Addr region_base,
                                          std::uint64_t region_bytes,
                                          std::uint32_t threads,

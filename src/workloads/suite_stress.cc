@@ -74,9 +74,27 @@ phasedKernel(const std::string &name,
     constexpr Addr out_base = 0x800000000ULL;
     constexpr Addr slice = 8ULL << 20;
 
+    // Phase structure is static, so the per-warp trace size is exact.
+    TraceSizeHint hint;
+    for (const PhaseSpec &phase : phases) {
+        hint.instsPerWarp += std::uint64_t{phase.iterations} *
+            (phase.loadsPerIter + phase.computePerIter +
+             phase.storesPerIter);
+        hint.linesPerWarp += std::uint64_t{phase.iterations} *
+            (std::uint64_t{phase.loadsPerIter} * phase.loadDivergence +
+             std::uint64_t{phase.storesPerIter} * phase.storeDivergence);
+    }
+
     std::uint32_t num_warps = totalWarps(config);
+    kernel.reserveTrace(num_warps, num_warps * hint.instsPerWarp,
+                        num_warps * hint.linesPerWarp);
+    // Scratch buffers reused across every warp and iteration keep the
+    // emission loop allocation-free in steady state.
+    std::vector<Addr> addrs;
+    std::vector<Reg> loaded;
     for (std::uint32_t w = 0; w < num_warps; ++w) {
         TraceBuilder b(kernel, w, w / 4, config);
+        b.reserve(hint.instsPerWarp, hint.linesPerWarp);
         Addr in_cursor = stream_base + static_cast<Addr>(w) * slice;
         Addr out_cursor = out_base + static_cast<Addr>(w) * slice;
 
@@ -84,12 +102,12 @@ phasedKernel(const std::string &name,
         for (std::size_t p = 0; p < phases.size(); ++p) {
             const PhaseSpec &phase = phases[p];
             for (std::uint32_t it = 0; it < phase.iterations; ++it) {
-                std::vector<Reg> loaded;
+                loaded.clear();
                 for (std::uint32_t l = 0; l < phase.loadsPerIter;
                      ++l) {
-                    auto addrs = divergentPattern(
-                        in_cursor, config.warpSize,
-                        phase.loadDivergence, config.l1LineBytes);
+                    divergentPattern(in_cursor, config.warpSize,
+                                     phase.loadDivergence,
+                                     config.l1LineBytes, addrs);
                     in_cursor += static_cast<Addr>(
                                      phase.loadDivergence) *
                                  config.l1LineBytes;
@@ -98,26 +116,24 @@ phasedKernel(const std::string &name,
                 Reg r = carry;
                 for (std::uint32_t c = 0; c < phase.computePerIter;
                      ++c) {
-                    std::vector<Reg> srcs;
-                    if (c < loaded.size())
-                        srcs.push_back(loaded[c]);
-                    else if (r != regNone)
-                        srcs.push_back(r);
-                    r = b.compute(pcs[p].compute[c], srcs);
+                    Reg src = c < loaded.size() ? loaded[c] : r;
+                    r = src != regNone
+                        ? b.compute(pcs[p].compute[c], {src})
+                        : b.compute(pcs[p].compute[c]);
                 }
                 carry = r;
                 for (std::uint32_t s = 0; s < phase.storesPerIter;
                      ++s) {
-                    auto addrs = divergentPattern(
-                        out_cursor, config.warpSize,
-                        phase.storeDivergence, config.l1LineBytes);
+                    divergentPattern(out_cursor, config.warpSize,
+                                     phase.storeDivergence,
+                                     config.l1LineBytes, addrs);
                     out_cursor += static_cast<Addr>(
                                       phase.storeDivergence) *
                                   config.l1LineBytes;
-                    std::vector<Reg> srcs;
                     if (carry != regNone)
-                        srcs.push_back(carry);
-                    b.globalStore(pcs[p].store, addrs, srcs);
+                        b.globalStore(pcs[p].store, addrs, {carry});
+                    else
+                        b.globalStore(pcs[p].store, addrs);
                 }
             }
         }

@@ -66,7 +66,7 @@ TEST(CpiStack, SingleWarpComputeKernelIsBasePlusDep)
 
     CollectorResult inputs = collectInputs(kernel, config);
     IntervalProfile p =
-        buildIntervalProfile(kernel.warps()[0], inputs, config);
+        buildIntervalProfile(kernel.warp(0), inputs, config);
     CpiStack s = buildSingleWarpStack(p, inputs, config);
 
     EXPECT_DOUBLE_EQ(s[StallType::Base], 1.0);
@@ -102,7 +102,7 @@ TEST(CpiStack, MemoryStallSplitsByMissDistribution)
 
     CollectorResult inputs = collectInputs(kernel, config);
     IntervalProfile p =
-        buildIntervalProfile(kernel.warps()[0], inputs, config);
+        buildIntervalProfile(kernel.warp(0), inputs, config);
     CpiStack s = buildSingleWarpStack(p, inputs, config);
 
     // All memory stall cycles split 0.75 / 0.25 between L1 and DRAM.

@@ -49,7 +49,7 @@ TEST(CrossValidation, SingleWarpComputeCyclesExact)
 
     CollectorResult inputs = collectInputs(kernel, config);
     IntervalProfile profile =
-        buildIntervalProfile(kernel.warps()[0], inputs, config);
+        buildIntervalProfile(kernel.warp(0), inputs, config);
     GpuTiming sim(kernel, config, SchedulingPolicy::RoundRobin);
     TimingStats stats = sim.run();
 

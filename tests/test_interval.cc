@@ -30,7 +30,7 @@ IntervalProfile
 profileOf(const KernelTrace &kernel, const HardwareConfig &config)
 {
     CollectorResult inputs = collectInputs(kernel, config);
-    return buildIntervalProfile(kernel.warps()[0], inputs, config);
+    return buildIntervalProfile(kernel.warp(0), inputs, config);
 }
 
 TEST(Interval, NoStallsIsOneInterval)
@@ -199,9 +199,8 @@ TEST(Interval, EveryInstructionBelongsToExactlyOneInterval)
     auto profiles = buildAllProfiles(kernel, inputs, config);
     ASSERT_EQ(profiles.size(), kernel.numWarps());
     for (std::uint32_t w = 0; w < profiles.size(); ++w) {
-        EXPECT_EQ(profiles[w].totalInsts(),
-                  kernel.warps()[w].insts.size());
-        EXPECT_EQ(profiles[w].warpId, kernel.warps()[w].warpId);
+        EXPECT_EQ(profiles[w].totalInsts(), kernel.warp(w).numInsts());
+        EXPECT_EQ(profiles[w].warpId, kernel.warp(w).warpId());
     }
 }
 

@@ -105,11 +105,11 @@ TEST(TraceBuilder, ResolvesRegisterDependencies)
     b.globalStore(pc_st, addrs, {y});
     b.finish();
 
-    const WarpTrace &warp = kernel.warps()[0];
-    ASSERT_EQ(warp.insts.size(), 3u);
-    EXPECT_EQ(warp.insts[0].deps[0], noDep);
-    EXPECT_EQ(warp.insts[1].deps[0], 0);
-    EXPECT_EQ(warp.insts[2].deps[0], 1);
+    WarpView warp = kernel.warp(0);
+    ASSERT_EQ(warp.numInsts(), 3u);
+    EXPECT_EQ(warp.deps(0)[0], noDep);
+    EXPECT_EQ(warp.deps(1)[0], 0);
+    EXPECT_EQ(warp.deps(2)[0], 1);
     EXPECT_TRUE(kernel.validate());
 }
 
@@ -128,11 +128,11 @@ TEST(TraceBuilder, KeepsYoungestProducersWhenOverflowing)
     b.compute(pc_many, {r0, r1, r2, r3});
     b.finish();
 
-    const WarpInst &inst = kernel.warps()[0].insts[4];
+    const DepArray &deps = kernel.warp(0).deps(4);
     // The three youngest producers (indices 3, 2, 1) are kept.
-    EXPECT_EQ(inst.deps[0], 3);
-    EXPECT_EQ(inst.deps[1], 2);
-    EXPECT_EQ(inst.deps[2], 1);
+    EXPECT_EQ(deps[0], 3);
+    EXPECT_EQ(deps[1], 2);
+    EXPECT_EQ(deps[2], 1);
 }
 
 TEST(TraceBuilder, DeduplicatesSameProducer)
@@ -144,9 +144,9 @@ TEST(TraceBuilder, DeduplicatesSameProducer)
     Reg r = b.compute(pc);
     b.compute(pc, {r, r, r});
     b.finish();
-    const WarpInst &inst = kernel.warps()[0].insts[1];
-    EXPECT_EQ(inst.deps[0], 0);
-    EXPECT_EQ(inst.deps[1], noDep);
+    const DepArray &deps = kernel.warp(0).deps(1);
+    EXPECT_EQ(deps[0], 0);
+    EXPECT_EQ(deps[1], noDep);
 }
 
 TEST(TraceBuilder, CoalescesLoadAddresses)
@@ -160,8 +160,8 @@ TEST(TraceBuilder, CoalescesLoadAddresses)
         addrs.push_back(0x4000 + t * 4);
     b.globalLoad(pc_ld, addrs);
     b.finish();
-    EXPECT_EQ(kernel.warps()[0].insts[0].numRequests(), 1u);
-    EXPECT_EQ(kernel.warps()[0].insts[0].activeThreads, 32u);
+    EXPECT_EQ(kernel.warp(0).numRequests(0), 1u);
+    EXPECT_EQ(kernel.warp(0).activeThreads(0), 32u);
 }
 
 TEST(WarpTrace, ValidateCatchesForwardDeps)
@@ -171,7 +171,7 @@ TEST(WarpTrace, ValidateCatchesForwardDeps)
     inst.op = Opcode::IntAlu;
     inst.activeThreads = 32;
     inst.deps[0] = 5; // forward reference
-    warp.insts.push_back(inst);
+    warp.addInst(inst);
     EXPECT_FALSE(warp.validate());
 }
 
@@ -181,7 +181,7 @@ TEST(WarpTrace, ValidateCatchesMemInstWithoutLines)
     WarpInst inst;
     inst.op = Opcode::GlobalLoad;
     inst.activeThreads = 32;
-    warp.insts.push_back(inst);
+    warp.addInst(inst); // memory instruction with an empty line slice
     EXPECT_FALSE(warp.validate());
 }
 
@@ -196,8 +196,8 @@ TEST(WarpTrace, CountsMemoryWork)
     Reg r = b.globalLoad(pc_ld, addrs);
     b.compute(pc_add, {r});
     b.finish();
-    EXPECT_EQ(kernel.warps()[0].numGlobalMemInsts(), 1u);
-    EXPECT_EQ(kernel.warps()[0].numGlobalMemRequests(), 3u);
+    EXPECT_EQ(kernel.warp(0).numGlobalMemInsts(), 1u);
+    EXPECT_EQ(kernel.warp(0).numGlobalMemRequests(), 3u);
 }
 
 TEST(KernelTrace, BlockToCoreAssignmentRoundRobin)
@@ -254,17 +254,16 @@ TEST(TraceIo, RoundTripPreservesEverything)
     ASSERT_EQ(copy.numStaticInsts(), kernel.numStaticInsts());
     EXPECT_EQ(copy.staticInsts()[0].label, "in");
     for (std::uint32_t w = 0; w < copy.numWarps(); ++w) {
-        const auto &a = kernel.warps()[w];
-        const auto &b2 = copy.warps()[w];
-        ASSERT_EQ(a.insts.size(), b2.insts.size());
-        EXPECT_EQ(a.warpId, b2.warpId);
-        EXPECT_EQ(a.blockId, b2.blockId);
-        for (std::size_t i = 0; i < a.insts.size(); ++i) {
-            EXPECT_EQ(a.insts[i].pc, b2.insts[i].pc);
-            EXPECT_EQ(a.insts[i].deps, b2.insts[i].deps);
-            EXPECT_EQ(a.insts[i].lines, b2.insts[i].lines);
-            EXPECT_EQ(a.insts[i].activeThreads,
-                      b2.insts[i].activeThreads);
+        WarpView a = kernel.warp(w);
+        WarpView b2 = copy.warp(w);
+        ASSERT_EQ(a.numInsts(), b2.numInsts());
+        EXPECT_EQ(a.warpId(), b2.warpId());
+        EXPECT_EQ(a.blockId(), b2.blockId());
+        for (std::size_t i = 0; i < a.numInsts(); ++i) {
+            EXPECT_EQ(a.pc(i), b2.pc(i));
+            EXPECT_EQ(a.deps(i), b2.deps(i));
+            EXPECT_TRUE(a.lines(i) == b2.lines(i));
+            EXPECT_EQ(a.activeThreads(i), b2.activeThreads(i));
         }
     }
     EXPECT_TRUE(copy.validate());

@@ -72,11 +72,11 @@ TEST(Workloads, StressKernelsGenerateValidPhasedTraces)
         EXPECT_TRUE(kernel.validate()) << w.name;
         // Phased kernels must actually have phases: both memory and
         // a long compute-only stretch.
-        const auto &insts = kernel.warps()[0].insts;
+        WarpView warp = kernel.warp(0);
         std::size_t longest_compute_run = 0, run = 0;
         std::size_t mem_insts = 0;
-        for (const auto &inst : insts) {
-            if (isGlobalMemory(inst.op)) {
+        for (std::size_t i = 0; i < warp.numInsts(); ++i) {
+            if (isGlobalMemory(warp.op(i))) {
                 ++mem_insts;
                 longest_compute_run =
                     std::max(longest_compute_run, run);
@@ -138,12 +138,12 @@ TEST(Workloads, GenerationDeterministic)
         KernelTrace b = w.generate(config);
         ASSERT_EQ(a.numWarps(), b.numWarps()) << name;
         for (std::uint32_t i = 0; i < a.numWarps(); ++i) {
-            const auto &wa = a.warps()[i];
-            const auto &wb = b.warps()[i];
-            ASSERT_EQ(wa.insts.size(), wb.insts.size()) << name;
-            for (std::size_t k = 0; k < wa.insts.size(); ++k) {
-                EXPECT_EQ(wa.insts[k].pc, wb.insts[k].pc);
-                EXPECT_EQ(wa.insts[k].lines, wb.insts[k].lines);
+            WarpView wa = a.warp(i);
+            WarpView wb = b.warp(i);
+            ASSERT_EQ(wa.numInsts(), wb.numInsts()) << name;
+            for (std::size_t k = 0; k < wa.numInsts(); ++k) {
+                EXPECT_EQ(wa.pc(k), wb.pc(k));
+                EXPECT_TRUE(wa.lines(k) == wb.lines(k));
             }
         }
     }
@@ -155,11 +155,11 @@ TEST(Workloads, MemoryDivergenceFlagsAccurate)
     for (const auto &w : evaluationWorkloads()) {
         KernelTrace kernel = w.generate(config);
         std::uint32_t max_degree = 0;
-        for (const auto &warp : kernel.warps()) {
-            for (const auto &inst : warp.insts) {
-                if (isGlobalMemory(inst.op)) {
+        for (WarpView warp : kernel.warps()) {
+            for (std::size_t i = 0; i < warp.numInsts(); ++i) {
+                if (isGlobalMemory(warp.op(i))) {
                     max_degree = std::max(max_degree,
-                                          inst.numRequests());
+                                          warp.numRequests(i));
                 }
             }
         }
@@ -178,8 +178,8 @@ TEST(Workloads, ControlDivergenceProducesVaryingLengths)
          {"bfs_kernel1", "micro_control_divergent", "lud_diagonal"}) {
         KernelTrace kernel = workloadByName(name).generate(config);
         std::set<std::size_t> lengths;
-        for (const auto &warp : kernel.warps())
-            lengths.insert(warp.insts.size());
+        for (WarpView warp : kernel.warps())
+            lengths.insert(warp.numInsts());
         EXPECT_GT(lengths.size(), 2u) << name;
     }
 }
@@ -190,8 +190,8 @@ TEST(Workloads, UniformKernelsHaveUniformLengths)
     KernelTrace kernel =
         workloadByName("cfd_step_factor").generate(config);
     std::set<std::size_t> lengths;
-    for (const auto &warp : kernel.warps())
-        lengths.insert(warp.insts.size());
+    for (WarpView warp : kernel.warps())
+        lengths.insert(warp.numInsts());
     EXPECT_EQ(lengths.size(), 1u);
 }
 
@@ -250,11 +250,10 @@ TEST(Archetypes, PointerChaseIsFullySerial)
     params.chainLength = 10;
     params.computeBetween = 0;
     KernelTrace kernel = pointerChaseKernel("chase", params, config);
-    const auto &insts = kernel.warps()[0].insts;
-    ASSERT_EQ(insts.size(), 10u);
-    for (std::size_t i = 1; i < insts.size(); ++i)
-        EXPECT_EQ(insts[i].deps[0],
-                  static_cast<std::int32_t>(i - 1));
+    WarpView warp = kernel.warp(0);
+    ASSERT_EQ(warp.numInsts(), 10u);
+    for (std::size_t i = 1; i < warp.numInsts(); ++i)
+        EXPECT_EQ(warp.deps(i)[0], static_cast<std::int32_t>(i - 1));
 }
 
 TEST(Archetypes, TransposeNaiveStoresFullyDivergent)
@@ -264,9 +263,10 @@ TEST(Archetypes, TransposeNaiveStoresFullyDivergent)
     params.tilesPerWarp = 3;
     params.viaShared = false;
     KernelTrace kernel = transposeKernel("tn", params, config);
-    for (const auto &inst : kernel.warps()[0].insts) {
-        if (inst.op == Opcode::GlobalStore) {
-            EXPECT_EQ(inst.numRequests(), 32u);
+    WarpView warp = kernel.warp(0);
+    for (std::size_t i = 0; i < warp.numInsts(); ++i) {
+        if (warp.op(i) == Opcode::GlobalStore) {
+            EXPECT_EQ(warp.numRequests(i), 32u);
         }
     }
 }
@@ -279,8 +279,9 @@ TEST(Archetypes, ReductionShrinksActiveMask)
     params.levels = 3;
     KernelTrace kernel = reductionKernel("red", params, config);
     std::set<std::uint32_t> masks;
-    for (const auto &inst : kernel.warps()[1].insts)
-        masks.insert(inst.activeThreads);
+    WarpView warp = kernel.warp(1);
+    for (std::size_t i = 0; i < warp.numInsts(); ++i)
+        masks.insert(warp.activeThreads(i));
     // Full warp plus the halved levels 16, 8, 4.
     EXPECT_TRUE(masks.count(32));
     EXPECT_TRUE(masks.count(16));
