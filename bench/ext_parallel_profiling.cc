@@ -196,7 +196,10 @@ main(int argc, char **argv)
         for (const HardwareConfig &point : points) {
             auto r = predictSuite(suite, point, GpuMechOptions{}, jobs,
                                   cached ? &cache : nullptr);
-            all.insert(all.end(), r.begin(), r.end());
+            for (const KernelPrediction &p : r) {
+                p.status.orDie();
+                all.push_back(p.result);
+            }
         }
         return all;
     };

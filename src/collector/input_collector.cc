@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "mem/cache.hh"
@@ -128,6 +129,8 @@ initProfiles(CollectorResult &result, const KernelTrace &kernel)
 CollectorResult
 collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
 {
+    evalCheckpoint(FaultSite::Collect);
+
     CollectorResult result;
     initProfiles(result, kernel);
 
@@ -156,6 +159,7 @@ collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
 
     bool progress = true;
     while (progress) {
+        deadlineCheckpoint();
         progress = false;
         for (auto &cur : cursors) {
             // Advance to this warp's next global-memory instruction.
@@ -259,6 +263,8 @@ collectInputsParallel(const KernelTrace &kernel,
     }
     if (jobs <= 1 || num_warps == 0 || !mask_fits)
         return collectInputs(kernel, config);
+
+    evalCheckpoint(FaultSite::Collect);
 
     CollectorResult result;
     initProfiles(result, kernel);
@@ -375,6 +381,7 @@ collectInputsParallel(const KernelTrace &kernel,
     std::vector<std::size_t> pos(num_warps, 0);
     bool progress = true;
     while (progress) {
+        deadlineCheckpoint();
         progress = false;
         for (std::uint32_t w = 0; w < num_warps; ++w) {
             if (pos[w] >= warp_recs[w].size())

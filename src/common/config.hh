@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.hh"
+
 namespace gpumech
 {
 
@@ -121,6 +123,17 @@ struct HardwareConfig
 
     /** Table I baseline configuration. */
     static HardwareConfig baseline();
+
+    /**
+     * Range-check every field against the domains the models and the
+     * timing simulator assume (positive organization counts,
+     * power-of-two cache geometry, nonzero DRAM bandwidth, MSHR count
+     * > 0, ...). Returns StatusCode::InvalidArgument naming the
+     * offending field; the harness validates each kernel's
+     * configuration before evaluation so a bad sweep point fails that
+     * point instead of aborting the run.
+     */
+    Status validate() const;
 
     /**
      * Copy of this configuration with a different issue width; keeps

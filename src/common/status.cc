@@ -1,0 +1,63 @@
+#include "common/status.hh"
+
+#include "common/logging.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::InvalidArgument:
+        return "invalid_argument";
+      case StatusCode::NotFound:
+        return "not_found";
+      case StatusCode::ParseError:
+        return "parse_error";
+      case StatusCode::TruncatedInput:
+        return "truncated_input";
+      case StatusCode::Overflow:
+        return "overflow";
+      case StatusCode::OutOfRange:
+        return "out_of_range";
+      case StatusCode::DuplicateHeader:
+        return "duplicate_header";
+      case StatusCode::FailedValidation:
+        return "failed_validation";
+      case StatusCode::DeadlineExceeded:
+        return "deadline_exceeded";
+      case StatusCode::FaultInjected:
+        return "fault_injected";
+      case StatusCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(statusCode, msg(context, ": ", text));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return msg(gpumech::toString(statusCode), ": ", text);
+}
+
+void
+Status::orDie() const
+{
+    if (!ok())
+        fatal(toString());
+}
+
+} // namespace gpumech

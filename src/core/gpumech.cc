@@ -1,6 +1,8 @@
 #include "core/gpumech.hh"
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace gpumech
 {
@@ -75,8 +77,14 @@ GpuMechProfiler::GpuMechProfiler(
     std::shared_ptr<const CollectorResult> precollected)
     : kernel(kernel), config(config)
 {
-    if (kernel.numWarps() == 0)
-        fatal("GpuMechProfiler: kernel has no warps");
+    if (kernel.numWarps() == 0) {
+        // Thrown (not fatal) so the per-kernel containment boundary in
+        // the harness can fail just this kernel.
+        throw StatusException(
+            Status(StatusCode::FailedValidation,
+                   msg("GpuMechProfiler: kernel '", kernel.name(),
+                       "' has no warps")));
+    }
     collected = precollected
         ? std::move(precollected)
         : std::make_shared<const CollectorResult>(

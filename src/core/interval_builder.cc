@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -63,6 +64,8 @@ buildIntervalProfile(const WarpView &warp, const CollectorResult &inputs,
     std::size_t interval_first = 0;
 
     for (std::size_t k = 0; k < num_insts; ++k) {
+        if (k % deadlineCheckStride == 0)
+            deadlineCheckpoint();
         // Dependence-constrained earliest issue (Eq. 4).
         double dep_ready = 0.0;
         std::int32_t binding_dep = noDep;
@@ -120,10 +123,14 @@ std::vector<IntervalProfile>
 buildAllProfiles(const KernelTrace &kernel, const CollectorResult &inputs,
                  const HardwareConfig &config)
 {
+    evalCheckpoint(FaultSite::Profile);
+
     std::vector<IntervalProfile> profiles;
     profiles.reserve(kernel.numWarps());
-    for (WarpView warp : kernel.warps())
+    for (WarpView warp : kernel.warps()) {
+        deadlineCheckpoint();
         profiles.push_back(buildIntervalProfile(warp, inputs, config));
+    }
     return profiles;
 }
 
@@ -139,6 +146,8 @@ buildAllProfilesParallel(const KernelTrace &kernel,
     // Tiny kernels are not worth the pool handoff.
     if (num_threads <= 1 || num_warps < parallelWarpThreshold)
         return buildAllProfiles(kernel, inputs, config);
+
+    evalCheckpoint(FaultSite::Profile);
 
     std::vector<IntervalProfile> profiles(num_warps);
     // Chunked dynamic scheduling on the shared pool: warps are claimed

@@ -39,6 +39,9 @@ allModels()
 double
 KernelEvaluation::error(ModelKind kind) const
 {
+    if (!status.ok())
+        panic(msg("error() on failed evaluation of ", kernel, ": ",
+                  status.toString()));
     auto it = predictedIpc.find(kind);
     if (it == predictedIpc.end())
         panic(msg("no prediction recorded for ", toString(kind)));
@@ -47,6 +50,34 @@ KernelEvaluation::error(ModelKind kind) const
 
 namespace
 {
+
+/**
+ * Per-kernel containment boundary. Installs the thread-local
+ * isolation frame (deadline token + fault plan) around @p fn and
+ * converts anything it throws into a returned Status, so one kernel's
+ * failure cannot take down its siblings or the process. A fresh token
+ * is minted per call: the deadline covers one kernel's evaluation,
+ * not the whole suite.
+ */
+template <typename Fn>
+Status
+runContained(const std::string &kernel_name,
+             const IsolationOptions &isolation, Fn &&fn)
+{
+    CancelToken token =
+        CancelToken::withTimeoutMs(isolation.kernelTimeoutMs);
+    ScopedEvalContext scope(kernel_name, token, isolation.faultPlan);
+    try {
+        fn();
+        return Status();
+    } catch (const StatusException &e) {
+        return e.status().withContext(msg("kernel ", kernel_name));
+    } catch (const std::exception &e) {
+        return Status(StatusCode::Internal,
+                      msg("kernel ", kernel_name,
+                          ": unexpected exception: ", e.what()));
+    }
+}
 
 /** Model predictions for one kernel given its (possibly cached)
  *  profiler. Evaluation goes through evaluateAt so a profiler cached
@@ -89,33 +120,38 @@ predictModels(KernelEvaluation &eval, const GpuMechProfiler &profiler,
 KernelEvaluation
 evaluateKernel(const Workload &workload, const HardwareConfig &config,
                SchedulingPolicy policy,
-               const std::vector<ModelKind> &models, InputCache *cache)
+               const std::vector<ModelKind> &models, InputCache *cache,
+               const IsolationOptions &isolation)
 {
     KernelEvaluation eval;
     eval.kernel = workload.name;
     eval.policy = policy;
 
-    if (cache) {
-        std::shared_ptr<const KernelTrace> kernel =
-            cache->trace(workload, config);
-        GpuTiming oracle(*kernel, config, policy);
+    eval.status = runContained(workload.name, isolation, [&] {
+        if (cache) {
+            std::shared_ptr<const KernelTrace> kernel =
+                cache->trace(workload, config);
+            GpuTiming oracle(*kernel, config, policy);
+            TimingStats stats = oracle.run();
+            eval.oracleCpi = stats.cpi();
+            eval.oracleIpc =
+                eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
+            ProfiledKernel pk = cache->profiler(workload, config);
+            predictModels(eval, *pk.profiler, config, policy, models);
+            return;
+        }
+
+        evalCheckpoint(FaultSite::Parse);
+        KernelTrace kernel = workload.generate(config);
+        GpuTiming oracle(kernel, config, policy);
         TimingStats stats = oracle.run();
         eval.oracleCpi = stats.cpi();
         eval.oracleIpc =
             eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
-        ProfiledKernel pk = cache->profiler(workload, config);
-        predictModels(eval, *pk.profiler, config, policy, models);
-        return eval;
-    }
 
-    KernelTrace kernel = workload.generate(config);
-    GpuTiming oracle(kernel, config, policy);
-    TimingStats stats = oracle.run();
-    eval.oracleCpi = stats.cpi();
-    eval.oracleIpc = eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
-
-    GpuMechProfiler profiler(kernel, config);
-    predictModels(eval, profiler, config, policy, models);
+        GpuMechProfiler profiler(kernel, config);
+        predictModels(eval, profiler, config, policy, models);
+    });
     return eval;
 }
 
@@ -123,11 +159,14 @@ std::vector<KernelEvaluation>
 evaluateSuite(const std::vector<Workload> &workloads,
               const HardwareConfig &config, SchedulingPolicy policy,
               const std::vector<ModelKind> &models, bool verbose,
-              unsigned jobs, InputCache *cache)
+              unsigned jobs, InputCache *cache,
+              const IsolationOptions &isolation)
 {
     // Each evaluation is independent: own trace, own timing oracle,
     // own profiler. Fan out over the shared pool; parallelMap keeps
-    // slot order, so results match the serial path exactly.
+    // slot order, so results match the serial path exactly. Failures
+    // are contained inside evaluateKernel, so one bad kernel never
+    // aborts the map.
     return parallelMap<KernelEvaluation>(
         workloads.size(),
         [&](std::size_t i) {
@@ -135,32 +174,91 @@ evaluateSuite(const std::vector<Workload> &workloads,
                 inform(msg("evaluating ", workloads[i].name, " (",
                            toString(policy), ")"));
             return evaluateKernel(workloads[i], config, policy, models,
-                                  cache);
+                                  cache, isolation);
         },
         1, jobs);
 }
 
-std::vector<GpuMechResult>
+std::vector<KernelPrediction>
 predictSuite(const std::vector<Workload> &workloads,
              const HardwareConfig &config,
              const GpuMechOptions &options, unsigned jobs,
-             InputCache *cache)
+             InputCache *cache, const IsolationOptions &isolation)
 {
-    return parallelMap<GpuMechResult>(
+    return parallelMap<KernelPrediction>(
         workloads.size(),
         [&](std::size_t i) {
-            if (cache) {
-                ProfiledKernel pk = cache->profiler(
-                    workloads[i], config, options.selection,
-                    options.numClusters);
-                return pk.profiler->evaluateAt(config, options.policy,
-                                               options.level,
-                                               options.modelSfu);
-            }
-            KernelTrace kernel = workloads[i].generate(config);
-            return runGpuMech(kernel, config, options);
+            KernelPrediction pred;
+            pred.kernel = workloads[i].name;
+            pred.status = runContained(
+                workloads[i].name, isolation, [&] {
+                    if (cache) {
+                        ProfiledKernel pk = cache->profiler(
+                            workloads[i], config, options.selection,
+                            options.numClusters);
+                        pred.result = pk.profiler->evaluateAt(
+                            config, options.policy, options.level,
+                            options.modelSfu);
+                        return;
+                    }
+                    evalCheckpoint(FaultSite::Parse);
+                    KernelTrace kernel =
+                        workloads[i].generate(config);
+                    pred.result = runGpuMech(kernel, config, options);
+                });
+            return pred;
         },
         1, jobs);
+}
+
+std::size_t
+countFailures(const std::vector<KernelEvaluation> &evals)
+{
+    std::size_t n = 0;
+    for (const auto &eval : evals)
+        n += eval.ok() ? 0 : 1;
+    return n;
+}
+
+std::size_t
+countFailures(const std::vector<KernelPrediction> &preds)
+{
+    std::size_t n = 0;
+    for (const auto &pred : preds)
+        n += pred.ok() ? 0 : 1;
+    return n;
+}
+
+namespace
+{
+
+template <typename Entry>
+std::string
+summarizeFailures(const std::vector<Entry> &entries)
+{
+    std::string out;
+    for (const auto &entry : entries) {
+        if (entry.ok())
+            continue;
+        if (!out.empty())
+            out += '\n';
+        out += msg(entry.kernel, ": ", entry.status.toString());
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+failureSummary(const std::vector<KernelEvaluation> &evals)
+{
+    return summarizeFailures(evals);
+}
+
+std::string
+failureSummary(const std::vector<KernelPrediction> &preds)
+{
+    return summarizeFailures(preds);
 }
 
 double
@@ -168,8 +266,10 @@ averageError(const std::vector<KernelEvaluation> &evals, ModelKind kind)
 {
     std::vector<double> errors;
     errors.reserve(evals.size());
-    for (const auto &eval : evals)
-        errors.push_back(eval.error(kind));
+    for (const auto &eval : evals) {
+        if (eval.ok())
+            errors.push_back(eval.error(kind));
+    }
     return mean(errors);
 }
 
@@ -179,8 +279,10 @@ fractionWithin(const std::vector<KernelEvaluation> &evals,
 {
     std::vector<double> errors;
     errors.reserve(evals.size());
-    for (const auto &eval : evals)
-        errors.push_back(eval.error(kind));
+    for (const auto &eval : evals) {
+        if (eval.ok())
+            errors.push_back(eval.error(kind));
+    }
     return fractionBelow(errors, threshold);
 }
 

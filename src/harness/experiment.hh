@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/isolation.hh"
+#include "common/status.hh"
 #include "core/gpumech.hh"
 #include "harness/input_cache.hh"
 #include "timing/gpu_timing.hh"
@@ -43,11 +45,35 @@ std::string toString(ModelKind kind);
 /** All five models in Table II order. */
 const std::vector<ModelKind> &allModels();
 
+/**
+ * Per-kernel fault-isolation knobs. Default-constructed options are
+ * free: no deadline, no fault plan, checkpoints reduce to one
+ * thread-local load.
+ */
+struct IsolationOptions
+{
+    /** Per-kernel deadline in milliseconds; 0 disables the watchdog. */
+    std::uint64_t kernelTimeoutMs = 0;
+
+    /**
+     * Deterministic fault schedule (tests / ext_fault_injection);
+     * nullptr injects nothing. Not owned; must outlive the run.
+     */
+    const FaultPlan *faultPlan = nullptr;
+};
+
 /** Per-kernel evaluation outcome. */
 struct KernelEvaluation
 {
     std::string kernel;
     SchedulingPolicy policy = SchedulingPolicy::RoundRobin;
+
+    /**
+     * Ok when the kernel evaluated fully; otherwise the contained
+     * failure (its code names the failing stage / injected site) and
+     * the numeric fields below are meaningless.
+     */
+    Status status;
 
     double oracleCpi = 0.0;
     double oracleIpc = 0.0;
@@ -55,7 +81,12 @@ struct KernelEvaluation
     /** Predicted IPC per model. */
     std::map<ModelKind, double> predictedIpc;
 
-    /** Relative performance error of one model. */
+    bool ok() const { return status.ok(); }
+
+    /**
+     * Relative performance error of one model. Panics on a failed
+     * evaluation (aggregators skip those).
+     */
     double error(ModelKind kind) const;
 };
 
@@ -70,13 +101,19 @@ struct KernelEvaluation
  *        collector result, and profiler are memoized across calls
  *        (results stay bit-identical — every cached artifact is a
  *        deterministic function of its key)
+ * @param isolation per-kernel deadline / fault plan. Any failure —
+ *        StatusException from a pipeline stage, deadline expiry,
+ *        injected fault, or an unexpected std::exception — is
+ *        contained: it is returned in KernelEvaluation::status and
+ *        never escapes to the caller.
  */
 KernelEvaluation evaluateKernel(const Workload &workload,
                                 const HardwareConfig &config,
                                 SchedulingPolicy policy,
                                 const std::vector<ModelKind> &models =
                                     allModels(),
-                                InputCache *cache = nullptr);
+                                InputCache *cache = nullptr,
+                                const IsolationOptions &isolation = {});
 
 /**
  * Evaluate a set of kernels; optionally logs per-kernel progress via
@@ -86,34 +123,68 @@ KernelEvaluation evaluateKernel(const Workload &workload,
  * they fan out across the shared thread pool. Output order and every
  * result are bit-identical to the serial path.
  *
+ * Failure containment: one kernel's failure (thrown Status, deadline,
+ * injected fault, unexpected exception) marks only that entry's
+ * status; every other kernel still evaluates and the suite returns
+ * normally. Surviving entries are bit-identical to a run without the
+ * failing kernel.
+ *
  * @param jobs total threads; 0 = defaultJobs() (GPUMECH_JOBS or
  *        hardware concurrency), 1 = serial
  * @param cache optional shared input cache (see evaluateKernel)
+ * @param isolation per-kernel deadline / fault plan
  */
 std::vector<KernelEvaluation>
 evaluateSuite(const std::vector<Workload> &workloads,
               const HardwareConfig &config, SchedulingPolicy policy,
               const std::vector<ModelKind> &models = allModels(),
               bool verbose = false, unsigned jobs = 0,
-              InputCache *cache = nullptr);
+              InputCache *cache = nullptr,
+              const IsolationOptions &isolation = {});
+
+/** Model-only prediction outcome for one kernel. */
+struct KernelPrediction
+{
+    std::string kernel;
+    Status status;        //!< Ok on success
+    GpuMechResult result; //!< meaningful only when status.ok()
+
+    bool ok() const { return status.ok(); }
+};
 
 /**
  * Model-only fast path: run full GPUMech (no oracle, no baselines)
  * over a set of kernels — the production use case where the paper's
  * ~97x model speedup matters. Parallel and cache-aware like
- * evaluateSuite; result i corresponds to workloads[i].
+ * evaluateSuite, with the same per-kernel failure containment; result
+ * i corresponds to workloads[i].
  */
-std::vector<GpuMechResult>
+std::vector<KernelPrediction>
 predictSuite(const std::vector<Workload> &workloads,
              const HardwareConfig &config,
              const GpuMechOptions &options = {}, unsigned jobs = 0,
-             InputCache *cache = nullptr);
+             InputCache *cache = nullptr,
+             const IsolationOptions &isolation = {});
 
-/** Mean relative error of one model over a set of evaluations. */
+/** Number of failed entries. */
+std::size_t countFailures(const std::vector<KernelEvaluation> &evals);
+std::size_t countFailures(const std::vector<KernelPrediction> &preds);
+
+/**
+ * Human-readable per-kernel failure lines ("kernel: code: message"),
+ * one per failed entry; empty string when everything succeeded.
+ */
+std::string failureSummary(const std::vector<KernelEvaluation> &evals);
+std::string failureSummary(const std::vector<KernelPrediction> &preds);
+
+/**
+ * Mean relative error of one model over the successful evaluations
+ * (failed kernels are excluded from the mean, not counted as zero).
+ */
 double averageError(const std::vector<KernelEvaluation> &evals,
                     ModelKind kind);
 
-/** Fraction of kernels with error below a threshold for one model. */
+/** Fraction of successful kernels with error below a threshold. */
 double fractionWithin(const std::vector<KernelEvaluation> &evals,
                       ModelKind kind, double threshold);
 

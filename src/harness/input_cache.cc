@@ -1,5 +1,6 @@
 #include "harness/input_cache.hh"
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
 
 namespace gpumech
@@ -9,15 +10,19 @@ std::shared_ptr<const KernelTrace>
 InputCache::trace(const Workload &workload,
                   const HardwareConfig &config)
 {
+    evalCheckpoint(FaultSite::Cache);
     return traces.getOrCompute(
-        msg(workload.name, '|', config.traceKey()),
-        [&] { return workload.generate(config); });
+        msg(workload.name, '|', config.traceKey()), [&] {
+            evalCheckpoint(FaultSite::Parse);
+            return workload.generate(config);
+        });
 }
 
 std::shared_ptr<const CollectorResult>
 InputCache::inputs(const Workload &workload,
                    const HardwareConfig &config)
 {
+    evalCheckpoint(FaultSite::Cache);
     return collected.getOrCompute(
         msg(workload.name, '|', config.collectorKey()), [&] {
             return collectInputsParallel(*trace(workload, config),
@@ -31,6 +36,7 @@ InputCache::profiler(const Workload &workload,
                      RepSelection selection,
                      std::uint32_t num_clusters)
 {
+    evalCheckpoint(FaultSite::Cache);
     std::string key =
         msg(workload.name, '|', config.collectorKey(),
             "|ir=", config.issueRate, '|', toString(selection), '|',

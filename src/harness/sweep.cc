@@ -12,7 +12,8 @@ namespace gpumech
 SweepResult
 runSweep(const std::vector<Workload> &workloads,
          const std::vector<SweepPoint> &points, SchedulingPolicy policy,
-         bool verbose, unsigned jobs, InputCache *cache)
+         bool verbose, unsigned jobs, InputCache *cache,
+         const IsolationOptions &isolation)
 {
     InputCache local;
     if (!cache)
@@ -35,7 +36,7 @@ runSweep(const std::vector<Workload> &workloads,
                     inform(msg("evaluating ", workload.name, " @ ",
                                point.label));
                 return evaluateKernel(workload, point.config, policy,
-                                      allModels(), cache);
+                                      allModels(), cache, isolation);
             },
             1, jobs);
 
@@ -45,6 +46,12 @@ runSweep(const std::vector<Workload> &workloads,
         std::vector<KernelEvaluation> point_evals(
             evals.begin() + p * workloads.size(),
             evals.begin() + (p + 1) * workloads.size());
+        for (const KernelEvaluation &eval : point_evals) {
+            if (!eval.ok()) {
+                result.failures.push_back(SweepFailure{
+                    points[p].label, eval.kernel, eval.status});
+            }
+        }
         for (ModelKind kind : allModels()) {
             result.averages[kind].push_back(
                 averageError(point_evals, kind));

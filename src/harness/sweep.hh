@@ -24,12 +24,29 @@ struct SweepPoint
     HardwareConfig config;
 };
 
+/** One contained per-cell failure of a sweep. */
+struct SweepFailure
+{
+    std::string point;  //!< sweep-point label
+    std::string kernel; //!< workload name
+    Status status;      //!< the contained failure
+};
+
 /** Average error of each model at each sweep point. */
 struct SweepResult
 {
     std::vector<std::string> labels;
     /** averages[model][point] = mean relative error. */
     std::map<ModelKind, std::vector<double>> averages;
+
+    /**
+     * Failed (point, kernel) cells. Averages are over the surviving
+     * kernels of each point; a point whose kernels all failed reports
+     * 0 (mean of nothing).
+     */
+    std::vector<SweepFailure> failures;
+
+    bool complete() const { return failures.empty(); }
 };
 
 /**
@@ -50,11 +67,15 @@ struct SweepResult
  * @param jobs total threads; 0 = defaultJobs(), 1 = serial
  * @param cache shared input cache; nullptr uses one private to this
  *        sweep
+ * @param isolation per-kernel deadline / fault plan; a failing cell
+ *        lands in SweepResult::failures, the rest of the grid still
+ *        runs
  */
 SweepResult runSweep(const std::vector<Workload> &workloads,
                      const std::vector<SweepPoint> &points,
                      SchedulingPolicy policy, bool verbose = false,
-                     unsigned jobs = 0, InputCache *cache = nullptr);
+                     unsigned jobs = 0, InputCache *cache = nullptr,
+                     const IsolationOptions &isolation = {});
 
 /** Render a sweep as a table (rows = models, columns = points). */
 void printSweep(std::ostream &os, const SweepResult &result);

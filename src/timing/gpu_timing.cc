@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
 
 namespace gpumech
@@ -371,7 +372,10 @@ GpuTiming::run()
     };
 
     std::vector<char> core_issued(cores.size(), 0);
+    std::uint64_t iterations = 0;
     while (true) {
+        if (iterations++ % deadlineCheckStride == 0)
+            deadlineCheckpoint();
         while (!events.empty() && events.top().cycle <= cycle) {
             FillEvent e = events.top();
             events.pop();

@@ -86,12 +86,23 @@ toString(Opcode op)
 Opcode
 opcodeFromString(const std::string &name)
 {
+    Opcode op;
+    if (!tryOpcodeFromString(name, op))
+        fatal(msg("unknown opcode mnemonic: ", name));
+    return op;
+}
+
+bool
+tryOpcodeFromString(const std::string &name, Opcode &op)
+{
     for (std::uint32_t i = 0; i < numOpcodes; ++i) {
-        auto op = static_cast<Opcode>(i);
-        if (toString(op) == name)
-            return op;
+        auto candidate = static_cast<Opcode>(i);
+        if (toString(candidate) == name) {
+            op = candidate;
+            return true;
+        }
     }
-    fatal(msg("unknown opcode mnemonic: ", name));
+    return false;
 }
 
 } // namespace gpumech

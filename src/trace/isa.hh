@@ -61,6 +61,13 @@ std::string toString(Opcode op);
 /** Parse a mnemonic produced by toString(); fatal on unknown input. */
 Opcode opcodeFromString(const std::string &name);
 
+/**
+ * Non-fatal mnemonic lookup: true and sets @p op on success. The
+ * trace parser uses this so an unknown mnemonic becomes a returned
+ * Status instead of process death.
+ */
+bool tryOpcodeFromString(const std::string &name, Opcode &op);
+
 } // namespace gpumech
 
 #endif // GPUMECH_TRACE_ISA_HH

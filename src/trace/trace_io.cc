@@ -1,9 +1,13 @@
 #include "trace/trace_io.hh"
 
+#include <cerrno>
+#include <cstdlib>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
+#include "common/isolation.hh"
 #include "common/logging.hh"
 
 namespace gpumech
@@ -13,30 +17,145 @@ namespace
 {
 
 /**
- * Read one whitespace-delimited token, failing loudly with context if
- * the stream is exhausted.
+ * Record-count cap. Counts above it are rejected as Overflow before
+ * any allocation happens, so a corrupt header cannot OOM the process
+ * by promising 10^18 instructions (the fuzz smoke loop exercises
+ * exactly this class).
  */
-std::string
-expectToken(std::istream &is, const char *context)
+constexpr std::uint64_t maxRecordCount = 1ull << 31;
+
+/**
+ * Whitespace tokenizer with 1-based line tracking. Reads the stream
+ * line by line so every token (and therefore every parse error)
+ * carries the line it came from.
+ */
+class Tokenizer
 {
-    std::string tok;
-    if (!(is >> tok))
-        fatal(msg("trace parse error: unexpected end of input in ",
-                  context));
-    return tok;
+  public:
+    explicit Tokenizer(std::istream &is) : is(is) {}
+
+    /** Line of the most recently returned token (1-based). */
+    std::size_t line() const { return lineNo; }
+
+    /**
+     * Next whitespace-delimited token; TruncatedInput with @p context
+     * when the stream is exhausted.
+     */
+    Status
+    next(std::string &tok, const char *context)
+    {
+        while (cursor >= tokens.size()) {
+            std::string text;
+            if (!std::getline(is, text)) {
+                return Status(
+                    StatusCode::TruncatedInput,
+                    msg("trace line ", lineNo,
+                        ": unexpected end of input in ", context));
+            }
+            ++lineNo;
+            tokens.clear();
+            cursor = 0;
+            std::istringstream split(text);
+            std::string piece;
+            while (split >> piece)
+                tokens.push_back(piece);
+        }
+        tok = tokens[cursor++];
+        return Status();
+    }
+
+  private:
+    std::istream &is;
+    std::vector<std::string> tokens;
+    std::size_t cursor = 0;
+    std::size_t lineNo = 0;
+};
+
+/** Error factory with line context. */
+Status
+parseError(StatusCode code, std::size_t line, const std::string &why)
+{
+    return Status(code, msg("trace line ", line, ": ", why));
 }
 
+/**
+ * Parse an unsigned field. Distinct failures: ParseError (not a
+ * number), OutOfRange (negative), Overflow (exceeds T or @p cap).
+ */
 template <typename T>
-T
-expectNumber(std::istream &is, const char *context)
+Status
+parseUnsigned(Tokenizer &toks, T &out, const char *context,
+              std::uint64_t cap = std::numeric_limits<T>::max())
 {
-    std::string tok = expectToken(is, context);
-    std::istringstream ss(tok);
-    T value;
-    if (!(ss >> value))
-        fatal(msg("trace parse error: expected number in ", context,
-                  ", got '", tok, "'"));
-    return value;
+    std::string tok;
+    GPUMECH_TRY(toks.next(tok, context));
+    if (tok[0] == '-') {
+        return parseError(StatusCode::OutOfRange, toks.line(),
+                          msg(context, " must be non-negative, got '",
+                              tok, "'"));
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+        return parseError(StatusCode::ParseError, toks.line(),
+                          msg("expected number in ", context, ", got '",
+                              tok, "'"));
+    }
+    std::uint64_t limit =
+        std::min<std::uint64_t>(cap, std::numeric_limits<T>::max());
+    if (errno == ERANGE || value > limit) {
+        return parseError(StatusCode::Overflow, toks.line(),
+                          msg(context, " overflows (got '", tok,
+                              "', max ", limit, ")"));
+    }
+    out = static_cast<T>(value);
+    return Status();
+}
+
+/** Parse a signed 32-bit field (dependency indices; -1 = none). */
+Status
+parseSigned(Tokenizer &toks, std::int32_t &out, const char *context)
+{
+    std::string tok;
+    GPUMECH_TRY(toks.next(tok, context));
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+        return parseError(StatusCode::ParseError, toks.line(),
+                          msg("expected number in ", context, ", got '",
+                              tok, "'"));
+    }
+    if (errno == ERANGE ||
+        value < std::numeric_limits<std::int32_t>::min() ||
+        value > std::numeric_limits<std::int32_t>::max()) {
+        return parseError(StatusCode::Overflow, toks.line(),
+                          msg(context, " overflows (got '", tok, "')"));
+    }
+    out = static_cast<std::int32_t>(value);
+    return Status();
+}
+
+/**
+ * Expect keyword @p want. A stray 'kernel' is classified as
+ * DuplicateHeader (one trace, one header); anything else is a
+ * ParseError.
+ */
+Status
+expectKeyword(Tokenizer &toks, const char *want, const char *context)
+{
+    std::string tok;
+    GPUMECH_TRY(toks.next(tok, context));
+    if (tok == want)
+        return Status();
+    if (tok == "kernel") {
+        return parseError(StatusCode::DuplicateHeader, toks.line(),
+                          msg("duplicate 'kernel' header (expected '",
+                              want, "')"));
+    }
+    return parseError(StatusCode::ParseError, toks.line(),
+                      msg("missing '", want, "' (got '", tok, "')"));
 }
 
 } // namespace
@@ -69,55 +188,94 @@ writeTrace(std::ostream &os, const KernelTrace &kernel)
     os << "end\n";
 }
 
-KernelTrace
-readTrace(std::istream &is)
+Result<KernelTrace>
+parseTrace(std::istream &is)
 {
-    std::string tok = expectToken(is, "header");
-    if (tok != "kernel")
-        fatal("trace parse error: missing 'kernel' header");
-    KernelTrace kernel(expectToken(is, "kernel name"));
+    evalCheckpoint(FaultSite::Parse);
 
-    tok = expectToken(is, "static header");
-    if (tok != "static")
-        fatal("trace parse error: missing 'static' section");
-    auto num_static = expectNumber<std::uint32_t>(is, "static count");
+    Tokenizer toks(is);
+    std::string tok;
+    GPUMECH_TRY(toks.next(tok, "header"));
+    if (tok != "kernel") {
+        return parseError(StatusCode::ParseError, toks.line(),
+                          "missing 'kernel' header");
+    }
+    GPUMECH_TRY(toks.next(tok, "kernel name"));
+    KernelTrace kernel(tok);
+
+    GPUMECH_TRY(expectKeyword(toks, "static", "static header"));
+    std::uint32_t num_static = 0;
+    GPUMECH_TRY(parseUnsigned(toks, num_static, "static count",
+                              maxRecordCount));
     for (std::uint32_t i = 0; i < num_static; ++i) {
-        auto pc = expectNumber<std::uint32_t>(is, "static pc");
-        if (pc != i)
-            fatal("trace parse error: static pcs must be sequential");
-        Opcode op = opcodeFromString(expectToken(is, "static opcode"));
-        std::string label = expectToken(is, "static label");
+        std::uint32_t pc = 0;
+        GPUMECH_TRY(parseUnsigned(toks, pc, "static pc"));
+        if (pc != i) {
+            return parseError(
+                StatusCode::OutOfRange, toks.line(),
+                msg("static pcs must be sequential (expected ", i,
+                    ", got ", pc, ")"));
+        }
+        GPUMECH_TRY(toks.next(tok, "static opcode"));
+        Opcode op;
+        if (!tryOpcodeFromString(tok, op)) {
+            return parseError(StatusCode::NotFound, toks.line(),
+                              msg("unknown opcode mnemonic '", tok,
+                                  "'"));
+        }
+        std::string label;
+        GPUMECH_TRY(toks.next(label, "static label"));
         kernel.addStatic(op, label == "-" ? "" : label);
     }
 
-    tok = expectToken(is, "warps header");
-    if (tok != "warps")
-        fatal("trace parse error: missing 'warps' section");
-    auto num_warps = expectNumber<std::uint32_t>(is, "warp count");
+    GPUMECH_TRY(expectKeyword(toks, "warps", "warps header"));
+    std::uint32_t num_warps = 0;
+    GPUMECH_TRY(parseUnsigned(toks, num_warps, "warp count",
+                              maxRecordCount));
+    if (num_warps == 0) {
+        return parseError(StatusCode::OutOfRange, toks.line(),
+                          "warp count must be positive");
+    }
     for (std::uint32_t w = 0; w < num_warps; ++w) {
-        tok = expectToken(is, "warp header");
-        if (tok != "warp")
-            fatal("trace parse error: missing 'warp' record");
+        GPUMECH_TRY(expectKeyword(toks, "warp", "warp header"));
         WarpTrace warp;
-        warp.warpId = expectNumber<std::uint32_t>(is, "warp id");
-        warp.blockId = expectNumber<std::uint32_t>(is, "block id");
-        auto n = expectNumber<std::uint64_t>(is, "inst count");
+        GPUMECH_TRY(parseUnsigned(toks, warp.warpId, "warp id"));
+        GPUMECH_TRY(parseUnsigned(toks, warp.blockId, "block id"));
+        std::uint64_t n = 0;
+        GPUMECH_TRY(parseUnsigned(toks, n, "inst count",
+                                  maxRecordCount));
+        if (n == 0) {
+            return parseError(
+                StatusCode::OutOfRange, toks.line(),
+                msg("warp ", warp.warpId,
+                    ": instruction count must be positive"));
+        }
         warp.reserve(n, 0);
         std::vector<Addr> line_scratch;
         for (std::uint64_t i = 0; i < n; ++i) {
             WarpInst inst;
-            inst.pc = expectNumber<std::uint32_t>(is, "inst pc");
-            if (inst.pc >= kernel.numStaticInsts())
-                fatal("trace parse error: inst pc out of range");
+            GPUMECH_TRY(parseUnsigned(toks, inst.pc, "inst pc"));
+            if (inst.pc >= kernel.numStaticInsts()) {
+                return parseError(
+                    StatusCode::OutOfRange, toks.line(),
+                    msg("inst pc ", inst.pc,
+                        " out of range (static count ",
+                        kernel.numStaticInsts(), ")"));
+            }
             inst.op = kernel.opcodeOf(inst.pc);
-            inst.activeThreads =
-                expectNumber<std::uint32_t>(is, "active threads");
+            GPUMECH_TRY(parseUnsigned(toks, inst.activeThreads,
+                                      "active threads"));
             for (auto &d : inst.deps)
-                d = expectNumber<std::int32_t>(is, "dep index");
-            auto num_lines = expectNumber<std::uint32_t>(is, "line count");
+                GPUMECH_TRY(parseSigned(toks, d, "dep index"));
+            std::uint32_t num_lines = 0;
+            GPUMECH_TRY(parseUnsigned(toks, num_lines, "line count",
+                                      maxRecordCount));
             line_scratch.clear();
-            for (std::uint32_t l = 0; l < num_lines; ++l)
-                line_scratch.push_back(expectNumber<Addr>(is, "line addr"));
+            for (std::uint32_t l = 0; l < num_lines; ++l) {
+                Addr addr = 0;
+                GPUMECH_TRY(parseUnsigned(toks, addr, "line addr"));
+                line_scratch.push_back(addr);
+            }
             if (num_lines > 0) {
                 warp.addMemInst(inst, line_scratch.data(), num_lines);
             } else {
@@ -127,12 +285,32 @@ readTrace(std::istream &is)
         kernel.addWarp(warp);
     }
 
-    tok = expectToken(is, "trailer");
-    if (tok != "end")
-        fatal("trace parse error: missing 'end' trailer");
-    if (!kernel.validate())
-        fatal("trace parse error: trace failed validation");
+    GPUMECH_TRY(expectKeyword(toks, "end", "trailer"));
+    if (!kernel.validate()) {
+        return parseError(StatusCode::FailedValidation, toks.line(),
+                          msg("kernel '", kernel.name(),
+                              "' failed structural validation"));
+    }
     return kernel;
+}
+
+Result<KernelTrace>
+parseTraceString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseTrace(is);
+}
+
+KernelTrace
+readTrace(std::istream &is)
+{
+    return parseTrace(is).valueOrDie();
+}
+
+KernelTrace
+traceFromString(const std::string &text)
+{
+    return parseTraceString(text).valueOrDie();
 }
 
 std::string
@@ -141,13 +319,6 @@ traceToString(const KernelTrace &kernel)
     std::ostringstream os;
     writeTrace(os, kernel);
     return os.str();
-}
-
-KernelTrace
-traceFromString(const std::string &text)
-{
-    std::istringstream is(text);
-    return readTrace(is);
 }
 
 } // namespace gpumech

@@ -5,6 +5,21 @@
  * The on-disk format lets traces be produced once (the paper's
  * "per-input-basis" profiling) and re-consumed across hardware
  * configuration sweeps, and makes traces inspectable in tests.
+ *
+ * Parsing returns Status instead of dying: a batch service feeding
+ * thousands of on-disk traces through the model must degrade one
+ * malformed file to one failed kernel. Each malformed-input class
+ * maps to a distinct StatusCode with the 1-based line number in the
+ * message:
+ *
+ *   TruncatedInput  input ends mid-record
+ *   ParseError      non-numeric field / unexpected keyword
+ *   NotFound        unknown opcode mnemonic
+ *   Overflow        numeric field exceeds its type or the record cap
+ *   OutOfRange      negative count, zero warp/instruction count,
+ *                   instruction pc >= static count, non-sequential pcs
+ *   DuplicateHeader second 'kernel' header inside one trace
+ *   FailedValidation parsed structure fails KernelTrace::validate()
  */
 
 #ifndef GPUMECH_TRACE_TRACE_IO_HH
@@ -13,6 +28,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hh"
 #include "trace/kernel_trace.hh"
 
 namespace gpumech
@@ -21,18 +37,23 @@ namespace gpumech
 /** Write a kernel trace in the text format. */
 void writeTrace(std::ostream &os, const KernelTrace &kernel);
 
+/** Parse a kernel trace from the text format (Status-returning). */
+Result<KernelTrace> parseTrace(std::istream &is);
+
+/** Convenience: parse from a string. */
+Result<KernelTrace> parseTraceString(const std::string &text);
+
 /**
- * Parse a kernel trace from the text format.
- *
- * Calls fatal() on malformed input.
+ * CLI-level wrapper around parseTrace: fatal() on malformed input.
+ * Library code should call parseTrace and propagate the Status.
  */
 KernelTrace readTrace(std::istream &is);
 
+/** CLI-level wrapper around parseTraceString; fatal on error. */
+KernelTrace traceFromString(const std::string &text);
+
 /** Convenience: serialize to a string. */
 std::string traceToString(const KernelTrace &kernel);
-
-/** Convenience: parse from a string. */
-KernelTrace traceFromString(const std::string &text);
 
 } // namespace gpumech
 

@@ -1,5 +1,8 @@
 #include "workloads/workload.hh"
 
+#include <set>
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace gpumech
@@ -48,14 +51,23 @@ allWorkloads()
     return workloads;
 }
 
-const Workload &
-workloadByName(const std::string &name)
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const auto &w : allWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
-    fatal(msg("unknown workload: ", name));
+    return nullptr;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    const Workload *w = findWorkload(name);
+    if (!w)
+        fatal(msg("unknown workload: ", name));
+    return *w;
 }
 
 std::vector<Workload>
@@ -67,6 +79,26 @@ workloadsBySuite(const std::string &suite)
             result.push_back(w);
     }
     return result;
+}
+
+Result<std::vector<Workload>>
+suiteByName(const std::string &suite)
+{
+    std::vector<Workload> result = workloadsBySuite(suite);
+    if (!result.empty())
+        return result;
+    std::set<std::string> known;
+    for (const auto &w : allWorkloads())
+        known.insert(w.suite);
+    std::ostringstream names;
+    const char *sep = "";
+    for (const auto &s : known) {
+        names << sep << s;
+        sep = ", ";
+    }
+    return Status(StatusCode::NotFound,
+                  msg("unknown suite '", suite, "' (known suites: ",
+                      names.str(), ")"));
 }
 
 std::vector<Workload>

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/status.hh"
 #include "trace/kernel_trace.hh"
 
 namespace gpumech
@@ -56,8 +57,17 @@ const std::vector<Workload> &allWorkloads();
 /** Look up a workload by name; fatal if absent. */
 const Workload &workloadByName(const std::string &name);
 
+/** Non-fatal lookup: nullptr when no workload has @p name. */
+const Workload *findWorkload(const std::string &name);
+
 /** Evaluation workloads of one suite. */
 std::vector<Workload> workloadsBySuite(const std::string &suite);
+
+/**
+ * Status-returning suite lookup: NotFound (listing the known suites)
+ * when @p suite names no registered workload.
+ */
+Result<std::vector<Workload>> suiteByName(const std::string &suite);
 
 /** Evaluation workloads flagged control-divergent (Figure 7 set). */
 std::vector<Workload> controlDivergentWorkloads();

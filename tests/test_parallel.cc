@@ -17,6 +17,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "core/interval_builder.hh"
 #include "harness/sweep.hh"
@@ -82,6 +83,98 @@ TEST(ThreadPoolTest, ExceptionsPropagateToCaller)
     std::atomic<int> ran{0};
     pool.parallelFor(10, [&](std::size_t) { ran++; });
     EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionTypeAndMessageSurviveRethrow)
+{
+    // The containment boundary in the harness catches StatusException
+    // by type to recover the Status; the pool must rethrow the
+    // original exception object, not flatten it to std::exception.
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t i) {
+            if (i == 21) {
+                throw StatusException(Status(StatusCode::FaultInjected,
+                                             "planted at 21"));
+            }
+        });
+        FAIL() << "exception was swallowed";
+    } catch (const StatusException &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::FaultInjected);
+        EXPECT_EQ(e.status().message(), "planted at 21");
+    }
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrown)
+{
+    // Every iteration throws; exactly one exception must surface and
+    // the pool must not terminate on the discarded ones.
+    ThreadPool pool(4);
+    std::atomic<int> attempts{0};
+    try {
+        pool.parallelFor(100, [&](std::size_t) {
+            attempts++;
+            throw std::runtime_error("each");
+        });
+        FAIL() << "exception was swallowed";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "each");
+    }
+    EXPECT_GE(attempts.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPropagatesAndStaysUsable)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelMap<int>(32,
+                                       [](std::size_t i) -> int {
+                                           if (i == 7)
+                                               throw std::logic_error(
+                                                   "map");
+                                           return static_cast<int>(i);
+                                       }),
+                 std::logic_error);
+    auto out =
+        pool.parallelMap<int>(8, [](std::size_t i) {
+            return static_cast<int>(i) * 2;
+        });
+    ASSERT_EQ(out.size(), 8u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPoolTest, InnerExceptionEscapesNestedParallelFor)
+{
+    // A throw inside a nested loop must unwind through both levels
+    // without deadlocking the pool.
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [&](std::size_t) {
+                             pool.parallelFor(8, [](std::size_t j) {
+                                 if (j == 3)
+                                     throw std::runtime_error("inner");
+                             });
+                         }),
+        std::runtime_error);
+
+    std::atomic<int> ran{0};
+    pool.parallelFor(16, [&](std::size_t) { ran++; });
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SerialInlinePathPropagatesExceptions)
+{
+    // jobs == 1 bypasses the pool entirely; the error contract must
+    // not differ between the inline and pooled paths.
+    EXPECT_THROW(parallelFor(
+                     4,
+                     [](std::size_t i) {
+                         if (i == 2)
+                             throw std::runtime_error("serial");
+                     },
+                     1, 1),
+                 std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ParallelMapPreservesOrder)
@@ -304,9 +397,11 @@ TEST(ParallelSuite, PredictSuiteMatchesPerKernelRuns)
             auto got = predictSuite(suite, config, options, jobs, c);
             ASSERT_EQ(got.size(), expected.size());
             for (std::size_t i = 0; i < got.size(); ++i) {
-                EXPECT_EQ(got[i].cpi, expected[i].cpi);
-                EXPECT_EQ(got[i].ipc, expected[i].ipc);
-                EXPECT_EQ(got[i].repWarpIndex,
+                ASSERT_TRUE(got[i].ok()) << got[i].status.toString();
+                EXPECT_EQ(got[i].kernel, suite[i].name);
+                EXPECT_EQ(got[i].result.cpi, expected[i].cpi);
+                EXPECT_EQ(got[i].result.ipc, expected[i].ipc);
+                EXPECT_EQ(got[i].result.repWarpIndex,
                           expected[i].repWarpIndex);
             }
         }

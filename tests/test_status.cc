@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Status / Result<T> error layer: code/message plumbing,
+ * context chaining, the propagation macros, and the StatusException
+ * carrier the containment boundaries rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/status.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage)
+{
+    Status s(StatusCode::ParseError, "bad token");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::ParseError);
+    EXPECT_EQ(s.message(), "bad token");
+    EXPECT_EQ(s.toString(), "parse_error: bad token");
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_EQ(toString(StatusCode::Ok), "ok");
+    EXPECT_EQ(toString(StatusCode::InvalidArgument),
+              "invalid_argument");
+    EXPECT_EQ(toString(StatusCode::NotFound), "not_found");
+    EXPECT_EQ(toString(StatusCode::ParseError), "parse_error");
+    EXPECT_EQ(toString(StatusCode::TruncatedInput), "truncated_input");
+    EXPECT_EQ(toString(StatusCode::Overflow), "overflow");
+    EXPECT_EQ(toString(StatusCode::OutOfRange), "out_of_range");
+    EXPECT_EQ(toString(StatusCode::DuplicateHeader),
+              "duplicate_header");
+    EXPECT_EQ(toString(StatusCode::FailedValidation),
+              "failed_validation");
+    EXPECT_EQ(toString(StatusCode::DeadlineExceeded),
+              "deadline_exceeded");
+    EXPECT_EQ(toString(StatusCode::FaultInjected), "fault_injected");
+    EXPECT_EQ(toString(StatusCode::Internal), "internal");
+}
+
+TEST(Status, WithContextPrependsOutermostFirst)
+{
+    Status s(StatusCode::NotFound, "no such opcode");
+    Status wrapped =
+        s.withContext("parsing trace").withContext("kernel k1");
+    EXPECT_EQ(wrapped.code(), StatusCode::NotFound);
+    EXPECT_EQ(wrapped.message(),
+              "kernel k1: parsing trace: no such opcode");
+}
+
+TEST(Status, WithContextIsNoOpOnOk)
+{
+    Status s = Status().withContext("should vanish");
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.message(), "");
+}
+
+TEST(ResultT, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultT, HoldsError)
+{
+    Result<int> r(Status(StatusCode::Overflow, "too big"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Overflow);
+}
+
+TEST(ResultT, MoveOnlyValueWorks)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> v = std::move(r).value();
+    EXPECT_EQ(*v, 7);
+}
+
+namespace macros
+{
+
+Status
+failAt(int depth)
+{
+    if (depth <= 0)
+        return Status(StatusCode::OutOfRange, "bottom");
+    GPUMECH_TRY(failAt(depth - 1));
+    return Status();
+}
+
+Result<int>
+half(int v)
+{
+    if (v % 2 != 0)
+        return Status(StatusCode::InvalidArgument, "odd");
+    return v / 2;
+}
+
+Status
+quarter(int v, int &out)
+{
+    GPUMECH_ASSIGN_OR_RETURN(int h, half(v));
+    GPUMECH_ASSIGN_OR_RETURN(out, half(h));
+    return Status();
+}
+
+} // namespace macros
+
+TEST(StatusMacros, TryPropagatesFirstError)
+{
+    EXPECT_TRUE(macros::failAt(0).ok() == false);
+    Status deep = macros::failAt(3);
+    EXPECT_EQ(deep.code(), StatusCode::OutOfRange);
+    EXPECT_EQ(deep.message(), "bottom");
+}
+
+TEST(StatusMacros, AssignOrReturnUnwrapsAndPropagates)
+{
+    int out = 0;
+    EXPECT_TRUE(macros::quarter(8, out).ok());
+    EXPECT_EQ(out, 2);
+    EXPECT_EQ(macros::quarter(7, out).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(macros::quarter(6, out).code(),
+              StatusCode::InvalidArgument); // fails at second step
+}
+
+TEST(StatusException, CarriesStatusAndRendersWhat)
+{
+    StatusException e(Status(StatusCode::DeadlineExceeded, "kernel x"));
+    EXPECT_EQ(e.status().code(), StatusCode::DeadlineExceeded);
+    EXPECT_STREQ(e.what(), "deadline_exceeded: kernel x");
+}
+
+TEST(StatusException, CatchableAsStdException)
+{
+    try {
+        throw StatusException(Status(StatusCode::Internal, "boom"));
+    } catch (const std::exception &e) {
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+        return;
+    }
+    FAIL() << "not caught";
+}
+
+TEST(StatusDeath, OrDieIsFatalWithCodeAndMessage)
+{
+    EXPECT_DEATH(Status(StatusCode::ParseError, "bad input").orDie(),
+                 "parse_error: bad input");
+    Status().orDie(); // Ok must be a no-op
+}
+
+} // namespace
+} // namespace gpumech

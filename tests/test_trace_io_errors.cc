@@ -1,7 +1,11 @@
 /**
  * @file
- * Error-path tests for the trace text format: malformed inputs must
- * fail loudly (fatal), never parse garbage silently.
+ * Error-path tests for the trace text format. parseTrace returns a
+ * Status instead of dying: each malformed-input class maps to a
+ * distinct StatusCode and the message carries the 1-based line the
+ * parser stopped at, so a batch service can log exactly what broke
+ * where. The fatal wrappers (traceFromString) stay covered by the
+ * death tests at the bottom.
  */
 
 #include <gtest/gtest.h>
@@ -28,73 +32,160 @@ goodTrace()
     return traceToString(kernel);
 }
 
+/** Expect a parse failure with @p code and @p needle in the message. */
+void
+expectFailure(const std::string &text, StatusCode code,
+              const std::string &needle)
+{
+    Result<KernelTrace> result = parseTraceString(text);
+    ASSERT_FALSE(result.ok()) << "input unexpectedly parsed";
+    EXPECT_EQ(result.status().code(), code)
+        << result.status().toString();
+    EXPECT_NE(result.status().message().find(needle),
+              std::string::npos)
+        << result.status().toString();
+}
+
 TEST(TraceIoErrors, GoodTraceParses)
 {
-    KernelTrace kernel = traceFromString(goodTrace());
-    EXPECT_EQ(kernel.name(), "good");
-    EXPECT_EQ(kernel.numWarps(), 1u);
+    Result<KernelTrace> result = parseTraceString(goodTrace());
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().name(), "good");
+    EXPECT_EQ(result.value().numWarps(), 1u);
 }
 
-TEST(TraceIoErrorsDeath, EmptyInput)
+TEST(TraceIoErrors, RoundTripPreservesEverything)
 {
-    EXPECT_DEATH(traceFromString(""), "unexpected end of input");
+    KernelTrace kernel =
+        std::move(parseTraceString(goodTrace())).value();
+    EXPECT_EQ(traceToString(kernel), goodTrace());
 }
 
-TEST(TraceIoErrorsDeath, MissingKernelHeader)
+TEST(TraceIoErrors, EmptyInputIsTruncated)
 {
-    EXPECT_DEATH(traceFromString("bogus stuff"), "missing 'kernel'");
+    expectFailure("", StatusCode::TruncatedInput,
+                  "unexpected end of input");
 }
 
-TEST(TraceIoErrorsDeath, UnknownOpcodeMnemonic)
+TEST(TraceIoErrors, MissingKernelHeader)
+{
+    expectFailure("bogus stuff", StatusCode::ParseError,
+                  "missing 'kernel' header");
+}
+
+TEST(TraceIoErrors, UnknownOpcodeMnemonic)
 {
     std::string text = goodTrace();
     auto pos = text.find("ld.global");
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 9, "ld.bogus1");
-    EXPECT_DEATH(traceFromString(text), "unknown opcode");
+    expectFailure(text, StatusCode::NotFound, "unknown opcode");
 }
 
-TEST(TraceIoErrorsDeath, TruncatedAfterHeader)
+TEST(TraceIoErrors, TruncatedMidRecord)
 {
     std::string text = goodTrace();
-    EXPECT_DEATH(traceFromString(text.substr(0, text.size() / 2)),
-                 "unexpected end of input");
+    expectFailure(text.substr(0, text.size() / 2),
+                  StatusCode::TruncatedInput,
+                  "unexpected end of input");
 }
 
-TEST(TraceIoErrorsDeath, MissingEndTrailer)
+TEST(TraceIoErrors, MissingEndTrailer)
 {
     std::string text = goodTrace();
     auto pos = text.rfind("end");
     ASSERT_NE(pos, std::string::npos);
-    text = text.substr(0, pos);
-    EXPECT_DEATH(traceFromString(text), "unexpected end of input");
+    expectFailure(text.substr(0, pos), StatusCode::TruncatedInput,
+                  "trailer");
 }
 
-TEST(TraceIoErrorsDeath, PcOutOfRange)
+TEST(TraceIoErrors, PcOutOfRange)
 {
-    // Corrupt the first instruction's pc to 99 (static count is 2).
+    // Corrupt the first instruction's pc to 9 (static count is 2).
     std::string text = goodTrace();
-    auto pos = text.find("warp 0 0 2\n");
+    std::string header = "warp 0 0 2\n";
+    auto pos = text.find(header);
     ASSERT_NE(pos, std::string::npos);
-    pos += std::string("warp 0 0 2\n").size();
-    text.replace(pos, 1, "9"); // pc "0..." -> "9..."
-    EXPECT_DEATH(traceFromString(text), "");
+    text.replace(pos + header.size(), 1, "9");
+    expectFailure(text, StatusCode::OutOfRange, "out of range");
 }
 
-TEST(TraceIoErrorsDeath, NonNumericWarpCount)
+TEST(TraceIoErrors, NonNumericWarpCount)
 {
     std::string text = goodTrace();
     auto pos = text.find("warps 1");
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 7, "warps x");
-    EXPECT_DEATH(traceFromString(text), "expected number");
+    expectFailure(text, StatusCode::ParseError, "expected number");
 }
 
-TEST(TraceIoErrorsDeath, NonSequentialStaticPcs)
+TEST(TraceIoErrors, NonSequentialStaticPcs)
 {
-    std::string text =
-        "kernel t\nstatic 2\n0 ialu -\n5 falu -\nwarps 0\nend\n";
-    EXPECT_DEATH(traceFromString(text), "sequential");
+    expectFailure(
+        "kernel t\nstatic 2\n0 ialu -\n5 falu -\nwarps 1\nend\n",
+        StatusCode::OutOfRange, "sequential");
+}
+
+TEST(TraceIoErrors, NegativeCountIsOutOfRange)
+{
+    expectFailure("kernel t\nstatic -3\n", StatusCode::OutOfRange,
+                  "non-negative");
+}
+
+TEST(TraceIoErrors, ZeroWarpCountIsOutOfRange)
+{
+    expectFailure("kernel t\nstatic 1\n0 ialu -\nwarps 0\nend\n",
+                  StatusCode::OutOfRange,
+                  "warp count must be positive");
+}
+
+TEST(TraceIoErrors, ZeroInstCountIsOutOfRange)
+{
+    expectFailure(
+        "kernel t\nstatic 1\n0 ialu -\nwarps 1\nwarp 0 0 0\nend\n",
+        StatusCode::OutOfRange, "instruction count must be positive");
+}
+
+TEST(TraceIoErrors, HugeCountIsOverflow)
+{
+    // A count beyond the record cap must be rejected before any
+    // allocation is attempted.
+    expectFailure("kernel t\nstatic 1\n0 ialu -\nwarps 1\n"
+                  "warp 0 0 99999999999999999999\n",
+                  StatusCode::Overflow, "overflows");
+}
+
+TEST(TraceIoErrors, CountAboveRecordCapIsOverflow)
+{
+    // Fits in uint64 but exceeds the sanity cap: same class.
+    expectFailure("kernel t\nstatic 1\n0 ialu -\nwarps 1\n"
+                  "warp 0 0 1099511627776\n",
+                  StatusCode::Overflow, "overflows");
+}
+
+TEST(TraceIoErrors, DuplicateKernelHeader)
+{
+    expectFailure("kernel t\nstatic 1\n0 ialu -\nkernel u\n",
+                  StatusCode::DuplicateHeader, "duplicate 'kernel'");
+}
+
+TEST(TraceIoErrors, ErrorsCarryLineNumbers)
+{
+    // The unknown opcode sits on line 4 of this input.
+    Result<KernelTrace> result = parseTraceString(
+        "kernel t\nstatic 2\n0 ialu -\n1 bogus -\nwarps 1\nend\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("trace line 4"),
+              std::string::npos)
+        << result.status().toString();
+}
+
+// The fatal() wrappers remain for the CLI; pin that they still die
+// with a useful message instead of silently parsing garbage.
+TEST(TraceIoErrorsDeath, FatalWrapperDiesOnMalformedInput)
+{
+    EXPECT_DEATH(traceFromString(""), "unexpected end of input");
+    EXPECT_DEATH(traceFromString("bogus stuff"), "missing 'kernel'");
 }
 
 } // namespace

@@ -1,0 +1,26 @@
+# Run the gpumech CLI and compare its exit code against an expected
+# value. Invoked by the cli_exit_* ctest entries (see CMakeLists.txt):
+#
+#   cmake -DGPUMECH_BIN=<path> "-DGPUMECH_ARGS=a;b;c"
+#         -DEXPECTED_CODE=N -P cli_exit_code.cmake
+#
+# The exit-code contract this pins: 0 full success, 2 partial success
+# (contained per-kernel failures), 1 total failure (bad arguments, bad
+# config, or every kernel failed).
+
+if(NOT DEFINED GPUMECH_BIN OR NOT DEFINED EXPECTED_CODE)
+    message(FATAL_ERROR "GPUMECH_BIN and EXPECTED_CODE are required")
+endif()
+
+execute_process(
+    COMMAND ${GPUMECH_BIN} ${GPUMECH_ARGS}
+    RESULT_VARIABLE actual_code
+    OUTPUT_VARIABLE run_output
+    ERROR_VARIABLE run_errors)
+
+if(NOT actual_code EQUAL EXPECTED_CODE)
+    message(FATAL_ERROR
+        "gpumech ${GPUMECH_ARGS} exited ${actual_code}, "
+        "expected ${EXPECTED_CODE}\nstdout:\n${run_output}\n"
+        "stderr:\n${run_errors}")
+endif()

@@ -11,6 +11,13 @@
  *   gpumech stack <kernel>             CPI stacks across warp counts
  *   gpumech dump-trace <kernel> <file> write the kernel trace to disk
  *   gpumech model-trace <file>         model a trace file
+ *   gpumech suite <suite>              evaluate a whole suite with
+ *                                      per-kernel fault isolation
+ *
+ * Exit codes (documented in README.md):
+ *   0  full success
+ *   1  total failure (bad arguments / config, or every kernel failed)
+ *   2  partial success (suite completed but some kernels failed)
  *
  * Common hardware options (all subcommands):
  *   --warps N        warps per core           (default 32)
@@ -26,6 +33,7 @@
  *                    concurrency; results are identical at any count)
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -53,7 +61,78 @@ configFrom(const ArgParser &args)
     config.dramBandwidthGBs =
         args.getDouble("bw", config.dramBandwidthGBs);
     config.sfuLanes = args.getUint("sfu-lanes", config.sfuLanes);
+    // Reject out-of-range values up front (exit 1) instead of letting
+    // a nonsense configuration panic deep inside the model.
+    config.validate().orDie();
     return config;
+}
+
+/** Owns the CLI-configured fault plan the IsolationOptions point at. */
+struct CliIsolation
+{
+    FaultPlan plan;
+    IsolationOptions options;
+};
+
+/**
+ * Parse --kernel-timeout-ms and --inject. The --inject value is a
+ * comma-separated list of kernel:site[:attempt[:stallMs]] specs
+ * (sites: parse, collect, profile, cache) — the same deterministic
+ * FaultPlan the tests use, exposed for reproducing failures by hand.
+ */
+void
+isolationFrom(const ArgParser &args, CliIsolation &iso)
+{
+    iso.options.kernelTimeoutMs =
+        args.getUint("kernel-timeout-ms", 0);
+    std::string specs = args.get("inject", "");
+    if (specs.empty())
+        return;
+    std::vector<std::string> items;
+    std::string item;
+    for (char c : specs + ",") {
+        if (c == ',') {
+            if (!item.empty())
+                items.push_back(item);
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    for (const std::string &spec : items) {
+        std::vector<std::string> parts;
+        std::string part;
+        for (char c : spec + ":") {
+            if (c == ':') {
+                parts.push_back(part);
+                part.clear();
+            } else {
+                part += c;
+            }
+        }
+        if (parts.size() < 2 || parts.size() > 4 ||
+            parts[0].empty()) {
+            fatal(msg("bad --inject spec '", spec,
+                      "' (use kernel:site[:attempt[:stallMs]])"));
+        }
+        FaultInjection injection;
+        injection.kernel = parts[0];
+        injection.site =
+            faultSiteFromString(parts[1]).valueOrDie();
+        if (parts.size() > 2) {
+            injection.attempt = static_cast<unsigned>(
+                std::strtoul(parts[2].c_str(), nullptr, 10));
+            if (injection.attempt == 0)
+                fatal(msg("bad --inject attempt in '", spec,
+                          "' (1-based)"));
+        }
+        if (parts.size() > 3) {
+            injection.stallMs =
+                std::strtoull(parts[3].c_str(), nullptr, 10);
+        }
+        iso.plan.add(std::move(injection));
+    }
+    iso.options.faultPlan = &iso.plan;
 }
 
 SchedulingPolicy
@@ -409,6 +488,97 @@ cmdModelTrace(const ArgParser &args)
     return 0;
 }
 
+int
+cmdSuite(const ArgParser &args)
+{
+    std::string name = args.positional(1);
+    if (name.empty())
+        fatal("usage: gpumech suite <suite> [--predict] "
+              "[--kernel-timeout-ms N] [--inject spec] [options]");
+    std::vector<Workload> workloads =
+        suiteByName(name).valueOrDie();
+    HardwareConfig config = configFrom(args);
+    SchedulingPolicy policy = policyFrom(args);
+    CliIsolation iso;
+    isolationFrom(args, iso);
+    unsigned jobs = args.getUint("jobs", 0);
+
+    std::size_t failed = 0;
+    Table failures({"kernel", "code", "detail"});
+
+    // Shared input cache, as a batch service would run: artifacts are
+    // memoized across kernels and every fault site (including the
+    // cache lookups) is live.
+    InputCache cache;
+
+    if (args.has("predict")) {
+        // Model-only fast path (no oracle simulation).
+        GpuMechOptions options;
+        options.policy = policy;
+        options.level = levelFrom(args);
+        options.modelSfu = args.has("model-sfu");
+        auto preds = predictSuite(workloads, config, options, jobs,
+                                  &cache, iso.options);
+        Table t({"kernel", "status", "CPI", "IPC/core"});
+        for (const KernelPrediction &pred : preds) {
+            if (pred.ok()) {
+                t.addRow({pred.kernel, "ok",
+                          fmtDouble(pred.result.cpi, 3),
+                          fmtDouble(pred.result.ipc, 4)});
+            } else {
+                ++failed;
+                t.addRow({pred.kernel, "FAILED", "-", "-"});
+                failures.addRow({pred.kernel,
+                                 toString(pred.status.code()),
+                                 pred.status.message()});
+            }
+        }
+        t.print(std::cout);
+        if (failed > 0) {
+            std::cout << "\n" << failed << "/" << preds.size()
+                      << " kernels failed:\n";
+            failures.print(std::cout);
+        }
+        if (failed == preds.size())
+            return 1;
+        return failed > 0 ? 2 : 0;
+    }
+
+    auto evals = evaluateSuite(workloads, config, policy, allModels(),
+                               args.has("verbose"), jobs, &cache,
+                               iso.options);
+    Table t({"kernel", "status", "oracle CPI", "GPUMech IPC",
+             "error"});
+    for (const KernelEvaluation &eval : evals) {
+        if (eval.ok()) {
+            t.addRow({eval.kernel, "ok", fmtDouble(eval.oracleCpi, 3),
+                      fmtDouble(eval.predictedIpc.at(
+                                    ModelKind::MT_MSHR_BAND),
+                                4),
+                      fmtPercent(eval.error(ModelKind::MT_MSHR_BAND))});
+        } else {
+            ++failed;
+            t.addRow({eval.kernel, "FAILED", "-", "-", "-"});
+            failures.addRow({eval.kernel, toString(eval.status.code()),
+                             eval.status.message()});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nmean error over " << evals.size() - failed
+              << " succeeding kernels: "
+              << fmtPercent(averageError(evals,
+                                         ModelKind::MT_MSHR_BAND))
+              << "\n";
+    if (failed > 0) {
+        std::cout << "\n" << failed << "/" << evals.size()
+                  << " kernels failed:\n";
+        failures.print(std::cout);
+    }
+    if (failed == evals.size())
+        return 1;
+    return failed > 0 ? 2 : 0;
+}
+
 void
 usage()
 {
@@ -425,21 +595,24 @@ usage()
         "  stack <kernel>           CPI stacks across warp counts\n"
         "  dump-trace <kernel> <f>  write the kernel trace to a file\n"
         "  model-trace <f>          model a trace file\n"
+        "  suite <suite>            evaluate every kernel of a suite\n"
+        "                           with per-kernel fault isolation\n"
+        "                           ([--predict] model-only)\n"
         "options: --warps N --cores N --mshrs N --bw GBs\n"
         "         --sfu-lanes N --policy rr|gto --level mt|mshr|band\n"
         "         --model-sfu --json (model/simulate)\n"
         "         --jobs N (threads; default GPUMECH_JOBS or hardware\n"
-        "          concurrency)\n";
+        "          concurrency)\n"
+        "         --kernel-timeout-ms N (per-kernel deadline; 0 = off)\n"
+        "         --inject kernel:site[:attempt[:stallMs]][,...]\n"
+        "          (deterministic fault injection; sites: parse,\n"
+        "           collect, profile, cache)\n"
+        "exit codes: 0 success, 1 total failure, 2 partial (suite)\n";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const ArgParser &args)
 {
-    ArgParser args(argc, argv);
-    if (args.has("jobs"))
-        setDefaultJobs(args.getUint("jobs", 0));
     std::string cmd = args.positional(0);
     if (cmd == "list")
         return cmdList();
@@ -457,6 +630,26 @@ main(int argc, char **argv)
         return cmdDumpTrace(args);
     if (cmd == "model-trace")
         return cmdModelTrace(args);
+    if (cmd == "suite")
+        return cmdSuite(args);
     usage();
     return cmd.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("jobs"))
+        setDefaultJobs(args.getUint("jobs", 0));
+    try {
+        return dispatch(args);
+    } catch (const StatusException &e) {
+        // Single-kernel commands have no containment boundary; render
+        // the carried Status as a total failure.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Time-budgeted fuzz smoke test for the trace text parser.
+ *
+ * Starts from a corpus of valid serialized traces, applies random
+ * byte/line-level mutations, and feeds the result to parseTraceString.
+ * The contract under fuzz:
+ *
+ *  - the parser never crashes, never throws past the Result boundary,
+ *    and never allocates absurdly (count caps reject huge headers
+ *    before any reserve);
+ *  - every rejection carries a non-Ok StatusCode and a non-empty
+ *    message;
+ *  - every accepted input round-trips: serialize + re-parse succeeds
+ *    and reproduces the same text.
+ *
+ * Deterministic for a given --seed. The default --ms budget is small
+ * enough for ctest; CI runs a longer budget (see ci.yml).
+ *
+ * Usage: trace_fuzz [--ms N] [--seed N] [--verbose]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace gpumech
+{
+namespace
+{
+
+/** Small valid traces to mutate. */
+std::vector<std::string>
+buildCorpus()
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 1;
+    config.warpsPerCore = 2;
+    std::vector<std::string> corpus;
+    for (const char *name :
+         {"vectorAdd", "micro_stream", "micro_pointer_chase"}) {
+        const Workload *w = findWorkload(name);
+        if (w != nullptr)
+            corpus.push_back(traceToString(w->generate(config)));
+    }
+    // Minimal hand-rolled trace: exercises the header/trailer paths
+    // with almost no payload to mutate around.
+    corpus.push_back("kernel tiny\nstatic 1\n0 ialu -\n"
+                     "warps 1\nwarp 0 0 1\n0\nend\n");
+    return corpus;
+}
+
+std::string
+mutate(const std::string &base, Rng &rng)
+{
+    std::string text = base;
+    unsigned rounds = 1 + rng.nextBelow(4);
+    for (unsigned r = 0; r < rounds; ++r) {
+        if (text.empty())
+            break;
+        switch (rng.nextBelow(6)) {
+          case 0: // flip one byte to random printable ASCII
+            text[rng.nextBelow(text.size())] =
+                static_cast<char>(' ' + rng.nextBelow(95));
+            break;
+          case 1: // truncate at a random point
+            text.resize(rng.nextBelow(text.size() + 1));
+            break;
+          case 2: { // insert a huge or negative number
+            const char *payloads[] = {"99999999999999999999",
+                                      "1099511627776", "-7", "0"};
+            text.insert(rng.nextBelow(text.size()),
+                        payloads[rng.nextBelow(4)]);
+            break;
+          }
+          case 3: { // duplicate a random line
+            std::size_t start = text.rfind('\n', rng.nextBelow(text.size()));
+            start = (start == std::string::npos) ? 0 : start + 1;
+            std::size_t end = text.find('\n', start);
+            if (end == std::string::npos)
+                end = text.size();
+            text.insert(start, text.substr(start, end - start + 1));
+            break;
+          }
+          case 4: { // delete a random span
+            std::size_t at = rng.nextBelow(text.size());
+            text.erase(at, 1 + rng.nextBelow(16));
+            break;
+          }
+          case 5: { // splice in a keyword where it does not belong
+            const char *keywords[] = {"kernel x\n", "warps ",
+                                      "end\n", "static "};
+            text.insert(rng.nextBelow(text.size()),
+                        keywords[rng.nextBelow(4)]);
+            break;
+          }
+        }
+    }
+    return text;
+}
+
+/** Pure-noise input, no valid structure at all. */
+std::string
+garbage(Rng &rng)
+{
+    std::string text(rng.nextBelow(256), '\0');
+    for (char &c : text)
+        c = static_cast<char>(1 + rng.nextBelow(126));
+    return text;
+}
+
+int
+run(int argc, const char *const *argv)
+{
+    ArgParser args(argc, argv);
+    const std::uint64_t budget_ms = args.getUint("ms", 2000);
+    const std::uint64_t seed = args.getUint("seed", 1);
+    const bool verbose = args.has("verbose");
+
+    Rng rng(seed);
+    std::vector<std::string> corpus = buildCorpus();
+
+    std::map<std::string, std::size_t> outcomes;
+    std::size_t iterations = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(budget_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::string input =
+            (rng.nextBelow(8) == 0)
+                ? garbage(rng)
+                : mutate(corpus[rng.nextBelow(corpus.size())], rng);
+
+        Result<KernelTrace> result = parseTraceString(input);
+        if (result.ok()) {
+            outcomes["ok"]++;
+            // Accepted input must round-trip.
+            std::string text = traceToString(result.value());
+            Result<KernelTrace> again = parseTraceString(text);
+            if (!again.ok() || traceToString(again.value()) != text) {
+                std::fprintf(stderr,
+                             "round-trip failure after %zu iterations "
+                             "(seed %llu)\ninput:\n%s\n",
+                             iterations,
+                             static_cast<unsigned long long>(seed),
+                             input.c_str());
+                return 1;
+            }
+        } else {
+            const Status &s = result.status();
+            if (s.message().empty()) {
+                std::fprintf(stderr,
+                             "empty error message for code %s "
+                             "(seed %llu)\ninput:\n%s\n",
+                             toString(s.code()).c_str(),
+                             static_cast<unsigned long long>(seed),
+                             input.c_str());
+                return 1;
+            }
+            outcomes[toString(s.code())]++;
+        }
+        iterations++;
+    }
+
+    std::printf("trace_fuzz: %zu inputs in %llu ms (seed %llu)\n",
+                iterations,
+                static_cast<unsigned long long>(budget_ms),
+                static_cast<unsigned long long>(seed));
+    for (const auto &[code, count] : outcomes)
+        std::printf("  %-18s %zu\n", code.c_str(), count);
+    if (verbose && iterations == 0)
+        std::printf("  (budget too small to run any input)\n");
+    return 0;
+}
+
+} // namespace
+} // namespace gpumech
+
+int
+main(int argc, char **argv)
+{
+    return gpumech::run(argc, argv);
+}
