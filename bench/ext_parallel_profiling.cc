@@ -11,7 +11,12 @@
  *     pool at 1/2/4/8 threads (the original micro-measurement);
  *  2. model-only suite prediction (predictSuite) over an MSHR sweep,
  *     at 1/2/4/8 threads, with and without the shared input cache —
- *     the design-space-exploration workload the cache targets.
+ *     the design-space-exploration workload the cache targets;
+ *  3. observability overhead: the stress suite predicted with metrics
+ *     and span tracing fully on vs fully off. The layer's contract is
+ *     near-zero cost, so the bench fails if the enabled run costs more
+ *     than 2% — and the enabled run's metrics snapshot feeds a
+ *     "stages" stage-attribution object into the JSON output.
  *
  * Every parallel/cached result is verified identical to the serial
  * uncached baseline before times are reported. Results go to stdout
@@ -31,8 +36,10 @@
 #include "common/args.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 #include "core/interval_builder.hh"
 #include "harness/experiment.hh"
 #include "workloads/workload.hh"
@@ -256,6 +263,70 @@ main(int argc, char **argv)
               << "x the serial uncached baseline (cache removes "
                  "repeated trace generation, cache simulation and "
                  "warp profiling; threads add on multi-core hosts).\n";
+
+    // ---- 3. observability overhead on the stress suite -------------
+    // Model-only prediction of the whole stress suite with metrics and
+    // span tracing fully on vs fully off. The layer's contract is one
+    // relaxed load + branch when off and shard-local writes when on;
+    // neither may move the needle on real work, so >= 2% fails the
+    // bench. Best-of timing keeps scheduler noise out of the ratio.
+    std::vector<Workload> stress = suiteByName("stress").valueOrDie();
+    HardwareConfig stress_cfg = HardwareConfig::baseline();
+    auto run_stress = [&] {
+        InputCache cache;
+        auto r = predictSuite(stress, stress_cfg, GpuMechOptions{}, 4,
+                              &cache);
+        for (const KernelPrediction &p : r)
+            p.status.orDie();
+    };
+    setDefaultJobs(4);
+    double off_ms = timeMs(reps, run_stress);
+    Metrics::enable(true);
+    TraceLog::enable(true);
+    Metrics::reset();
+    TraceLog::clear();
+    double on_ms = timeMs(reps, run_stress);
+    std::vector<MetricSnapshot> snap = Metrics::snapshot();
+    std::size_t num_events = TraceLog::collect().size();
+    Metrics::enable(false);
+    TraceLog::enable(false);
+    setDefaultJobs(0);
+
+    double overhead = off_ms > 0.0 ? (on_ms - off_ms) / off_ms : 0.0;
+    std::cout << "\n-- observability overhead (stress suite, "
+              << stress.size() << " kernels, metrics+tracing) --\n";
+    Table obs_table({"observability", "ms"});
+    obs_table.addRow({"off", fmtDouble(off_ms, 2)});
+    obs_table.addRow({"on", fmtDouble(on_ms, 2)});
+    obs_table.print(std::cout);
+    std::cout << "overhead: " << fmtPercent(overhead) << " ("
+              << num_events << " spans buffered)\n";
+
+    json.beginObject("observability");
+    json.field("suite", "stress");
+    json.field("off_ms", off_ms);
+    json.field("on_ms", on_ms);
+    json.field("overhead", overhead);
+    json.field("spans", static_cast<std::uint64_t>(num_events));
+    // Stage attribution from the enabled run: where the wall time of
+    // the last timed repetition's pipeline actually went.
+    json.beginObject("stages");
+    for (const MetricSnapshot &m : snap) {
+        if (m.name.rfind("stage.", 0) != 0 ||
+            m.kind != MetricKind::Histogram || m.hist.count == 0)
+            continue;
+        json.beginObject(m.name);
+        json.field("count", m.hist.count);
+        json.field("total_ms", m.hist.sum);
+        json.field("mean_ms", m.hist.mean());
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+
+    if (overhead >= 0.02)
+        fatal(msg("observability overhead ", fmtPercent(overhead),
+                  " exceeds the 2% budget"));
 
     std::ofstream out(out_path);
     if (!out)

@@ -50,6 +50,16 @@ CancelToken::withTimeoutMs(std::uint64_t ms)
     return token;
 }
 
+double
+CancelToken::remainingMs() const
+{
+    if (!deadline)
+        return 0.0;
+    return std::chrono::duration<double, std::milli>(
+               *deadline - std::chrono::steady_clock::now())
+        .count();
+}
+
 FaultPlan::FaultPlan(FaultPlan &&other) noexcept
 {
     std::lock_guard<std::mutex> lock(other.mu);

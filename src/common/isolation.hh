@@ -78,6 +78,13 @@ class CancelToken
                std::chrono::steady_clock::now() >= *deadline;
     }
 
+    /**
+     * Milliseconds until the deadline (negative once past it). Only
+     * meaningful when active(); feeds the harness's deadline-margin
+     * histogram so near-timeout kernels are visible before they fail.
+     */
+    double remainingMs() const;
+
   private:
     std::shared_ptr<const std::chrono::steady_clock::time_point>
         deadline;

@@ -1,11 +1,55 @@
 #include "common/json.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
 
 namespace gpumech
 {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          case '\r':
+            r += "\\r";
+            break;
+          case '\b':
+            r += "\\b";
+            break;
+          case '\f':
+            r += "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
 
 void
 JsonWriter::openObject()
@@ -25,27 +69,7 @@ JsonWriter::comma()
 std::string
 JsonWriter::escape(const std::string &s)
 {
-    std::string r;
-    r.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            r += "\\\"";
-            break;
-          case '\\':
-            r += "\\\\";
-            break;
-          case '\n':
-            r += "\\n";
-            break;
-          case '\t':
-            r += "\\t";
-            break;
-          default:
-            r += c;
-        }
-    }
-    return r;
+    return jsonEscape(s);
 }
 
 void
@@ -82,6 +106,10 @@ void
 JsonWriter::field(const std::string &key, double value)
 {
     comma();
+    if (!std::isfinite(value)) {
+        out << "\"" << escape(key) << "\":null";
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", value);
     out << "\"" << escape(key) << "\":" << buf;

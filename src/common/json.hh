@@ -17,6 +17,15 @@
 namespace gpumech
 {
 
+/**
+ * Escape a string for embedding in a JSON string literal. Handles the
+ * short escapes (`"` `\` `\n` `\t` `\r` `\b` `\f`) and emits every
+ * other control character below 0x20 as `\u00XX`, so arbitrary bytes
+ * (e.g. parser context captured into Status messages) cannot produce
+ * invalid JSON.
+ */
+std::string jsonEscape(const std::string &s);
+
 /** Streaming writer for one JSON object tree. */
 class JsonWriter
 {
@@ -31,6 +40,12 @@ class JsonWriter
 
     void field(const std::string &key, const std::string &value);
     void field(const std::string &key, const char *value);
+
+    /**
+     * Numeric field. Non-finite values (NaN, ±inf — e.g. degenerate
+     * rho→1 contention paths) are emitted as `null`: bare `nan`/`inf`
+     * tokens are not JSON and break every downstream consumer.
+     */
     void field(const std::string &key, double value);
     void field(const std::string &key, std::uint64_t value);
     void field(const std::string &key, bool value);

@@ -1,33 +1,65 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <mutex>
 
 namespace gpumech
 {
 
+namespace
+{
+
+/**
+ * Serializes message emission. Each message is assembled into one
+ * buffer and written with a single fwrite under this mutex, so lines
+ * from parallel evaluateSuite workers can never interleave mid-line
+ * (the old per-call fprintf gave no such guarantee once --jobs > 1).
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info: ", msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg);
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine("fatal: ", msg);
     std::exit(1);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine("panic: ", msg);
     std::abort();
 }
 

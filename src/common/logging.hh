@@ -5,6 +5,10 @@
  * fatal() is for user errors (bad configuration, invalid arguments) and
  * exits with code 1; panic() is for internal invariant violations and
  * aborts. inform()/warn() report status without stopping the program.
+ *
+ * Thread safety: every emitter assembles its full line and writes it
+ * with a single call under one process-wide mutex, so messages from
+ * parallel suite evaluation never interleave mid-line.
  */
 
 #ifndef GPUMECH_COMMON_LOGGING_HH

@@ -1,0 +1,382 @@
+#include "common/metrics.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace gpumech
+{
+
+std::string
+toString(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+void
+HistogramData::observe(double value)
+{
+    if (count == 0 || value < min)
+        min = value;
+    if (count == 0 || value > max)
+        max = value;
+    ++count;
+    sum += value;
+    double clamped = value < 1.0 ? 1.0 : value;
+    auto bucket = static_cast<std::size_t>(std::log2(clamped));
+    if (bucket >= numBuckets)
+        bucket = numBuckets - 1;
+    ++buckets[bucket];
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0 || other.min < min)
+        min = other.min;
+    if (count == 0 || other.max > max)
+        max = other.max;
+    count += other.count;
+    sum += other.sum;
+    for (std::size_t b = 0; b < numBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    auto rank = static_cast<std::uint64_t>(q * (count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < numBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            double upper = std::ldexp(1.0, static_cast<int>(b) + 1);
+            return std::min(std::max(upper, min), max);
+        }
+    }
+    return max;
+}
+
+// Defined below at namespace scope (it is the friend the header names).
+struct MetricsShard;
+
+namespace
+{
+
+/**
+ * Registry state. Leaked on purpose: thread-local shard destructors
+ * (pool workers exiting at process teardown) must be able to
+ * deregister after main() returns, so the registry can never be
+ * destroyed first.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> names;
+    std::vector<MetricKind> kinds;
+    std::vector<double> gauges; //!< parallel to names; gauges only
+    std::unordered_map<std::string, std::uint32_t> byName;
+    std::vector<MetricsShard *> shards;      //!< live threads
+    std::vector<HistogramData> retired;      //!< merged dead shards
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry;
+    return *r;
+}
+
+} // namespace
+
+/**
+ * Per-thread metric storage: one cell per registered metric, written
+ * without synchronization (only this thread touches it). Counters use
+ * the cell's count field; histograms use all of it.
+ */
+struct MetricsShard
+{
+    std::vector<HistogramData> cells;
+
+    MetricsShard()
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        reg.shards.push_back(this);
+    }
+
+    ~MetricsShard()
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        if (reg.retired.size() < cells.size())
+            reg.retired.resize(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            reg.retired[i].merge(cells[i]);
+        reg.shards.erase(std::find(reg.shards.begin(),
+                                   reg.shards.end(), this));
+    }
+
+    HistogramData &
+    cell(std::uint32_t index)
+    {
+        if (index >= cells.size())
+            cells.resize(index + 1);
+        return cells[index];
+    }
+};
+
+namespace
+{
+
+MetricsShard &
+localShard()
+{
+    thread_local MetricsShard shard;
+    return shard;
+}
+
+std::uint32_t
+registerMetric(const std::string &name, MetricKind kind)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.byName.find(name);
+    if (it != reg.byName.end()) {
+        if (reg.kinds[it->second] != kind) {
+            panic(msg("metric '", name, "' re-registered as ",
+                      toString(kind), " (was ",
+                      toString(reg.kinds[it->second]), ")"));
+        }
+        return it->second;
+    }
+    auto index = static_cast<std::uint32_t>(reg.names.size());
+    reg.names.push_back(name);
+    reg.kinds.push_back(kind);
+    reg.gauges.push_back(0.0);
+    reg.byName.emplace(name, index);
+    return index;
+}
+
+} // namespace
+
+std::atomic<bool> Metrics::enabledFlag{false};
+
+void
+Metrics::enable(bool on)
+{
+    enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+MetricId
+Metrics::counter(const std::string &name)
+{
+    return MetricId(registerMetric(name, MetricKind::Counter));
+}
+
+MetricId
+Metrics::gauge(const std::string &name)
+{
+    return MetricId(registerMetric(name, MetricKind::Gauge));
+}
+
+MetricId
+Metrics::histogram(const std::string &name)
+{
+    return MetricId(registerMetric(name, MetricKind::Histogram));
+}
+
+void
+Metrics::add(MetricId id, std::uint64_t delta)
+{
+    if (!id.valid())
+        return;
+    localShard().cell(id.index).count += delta;
+}
+
+void
+Metrics::set(MetricId id, double value)
+{
+    if (!id.valid())
+        return;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.gauges[id.index] = value;
+}
+
+void
+Metrics::observe(MetricId id, double value)
+{
+    if (!id.valid())
+        return;
+    localShard().cell(id.index).observe(value);
+}
+
+std::vector<MetricSnapshot>
+Metrics::snapshot()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<MetricSnapshot> out(reg.names.size());
+    for (std::size_t i = 0; i < reg.names.size(); ++i) {
+        out[i].name = reg.names[i];
+        out[i].kind = reg.kinds[i];
+        if (i < reg.retired.size())
+            out[i].hist.merge(reg.retired[i]);
+        for (const MetricsShard *shard : reg.shards) {
+            if (i < shard->cells.size())
+                out[i].hist.merge(shard->cells[i]);
+        }
+        switch (out[i].kind) {
+          case MetricKind::Counter:
+            out[i].value = static_cast<double>(out[i].hist.count);
+            out[i].hist = HistogramData{};
+            break;
+          case MetricKind::Gauge:
+            out[i].value = reg.gauges[i];
+            out[i].hist = HistogramData{};
+            break;
+          case MetricKind::Histogram:
+            out[i].value = out[i].hist.sum;
+            break;
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+Metrics::reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.retired.clear();
+    std::fill(reg.gauges.begin(), reg.gauges.end(), 0.0);
+    for (MetricsShard *shard : reg.shards)
+        shard->cells.clear();
+}
+
+ScopedTimerMs::ScopedTimerMs(const Histogram &hist) : hist(hist)
+{
+    if (Metrics::enabled()) {
+        armed = true;
+        startNs = monotonicNowNs();
+    }
+}
+
+ScopedTimerMs::~ScopedTimerMs()
+{
+    if (armed)
+        hist.observe(
+            static_cast<double>(monotonicNowNs() - startNs) / 1e6);
+}
+
+std::uint64_t
+monotonicNowNs()
+{
+    using namespace std::chrono;
+    static const steady_clock::time_point epoch = steady_clock::now();
+    return static_cast<std::uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now() - epoch)
+            .count());
+}
+
+std::string
+metricsToJson()
+{
+    JsonWriter json;
+    json.beginObject("metrics");
+    for (const MetricSnapshot &m : Metrics::snapshot()) {
+        json.beginObject(m.name);
+        json.field("kind", toString(m.kind));
+        switch (m.kind) {
+          case MetricKind::Counter:
+            json.field("value",
+                       static_cast<std::uint64_t>(m.value));
+            break;
+          case MetricKind::Gauge:
+            json.field("value", m.value);
+            break;
+          case MetricKind::Histogram:
+            json.field("count", m.hist.count);
+            json.field("sum", m.hist.sum);
+            json.field("mean", m.hist.mean());
+            json.field("min", m.hist.count ? m.hist.min : 0.0);
+            json.field("max", m.hist.count ? m.hist.max : 0.0);
+            json.field("p50", m.hist.quantile(0.50));
+            json.field("p95", m.hist.quantile(0.95));
+            break;
+        }
+        json.endObject();
+    }
+    json.endObject();
+    return json.finish();
+}
+
+void
+printMetricsSummary(std::ostream &os)
+{
+    std::vector<MetricSnapshot> all = Metrics::snapshot();
+
+    Table scalars({"metric", "kind", "value"});
+    Table hists(
+        {"histogram", "count", "total", "mean", "p50", "p95", "max"});
+    for (const MetricSnapshot &m : all) {
+        if (m.kind == MetricKind::Histogram) {
+            if (m.hist.count == 0)
+                continue;
+            hists.addRow({m.name, std::to_string(m.hist.count),
+                          fmtDouble(m.hist.sum, 2),
+                          fmtDouble(m.hist.mean(), 3),
+                          fmtDouble(m.hist.quantile(0.50), 3),
+                          fmtDouble(m.hist.quantile(0.95), 3),
+                          fmtDouble(m.hist.max, 3)});
+        } else {
+            scalars.addRow({m.name, toString(m.kind),
+                            m.kind == MetricKind::Counter
+                                ? std::to_string(
+                                      static_cast<std::uint64_t>(
+                                          m.value))
+                                : fmtDouble(m.value, 3)});
+        }
+    }
+    if (scalars.rows() > 0) {
+        os << "-- metrics: counters & gauges --\n";
+        scalars.print(os);
+    }
+    if (hists.rows() > 0) {
+        if (scalars.rows() > 0)
+            os << "\n";
+        os << "-- metrics: stage timers (ms unless noted) --\n";
+        hists.print(os);
+    }
+    if (scalars.rows() == 0 && hists.rows() == 0)
+        os << "-- metrics: nothing recorded --\n";
+}
+
+} // namespace gpumech

@@ -8,8 +8,42 @@
 #include <mutex>
 #include <thread>
 
+#include "common/metrics.hh"
+
 namespace gpumech
 {
+
+namespace
+{
+
+/**
+ * Pool instrumentation (all no-ops while metrics are disabled):
+ *  - pool.jobs / pool.chunks / pool.items: dispatched parallelFor
+ *    calls, dynamic chunks claimed, and loop iterations executed;
+ *  - pool.queue_wait.ms: submit-to-first-claim latency per job (how
+ *    long work sat before any thread picked it up);
+ *  - pool.drain.ms: busy time per drain call — the per-thread work
+ *    share, whose spread across calls exposes utilization imbalance;
+ *  - pool.concurrency: total parallelism of the most recent dispatch.
+ */
+struct PoolMetrics
+{
+    Counter jobs{"pool.jobs"};
+    Counter chunks{"pool.chunks"};
+    Counter items{"pool.items"};
+    Histogram queueWaitMs{"pool.queue_wait.ms"};
+    Histogram drainMs{"pool.drain.ms"};
+    Gauge concurrency{"pool.concurrency"};
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
 
 /**
  * One parallelFor invocation. Iterations are claimed in chunks from
@@ -29,6 +63,10 @@ struct ThreadPool::Job
     std::atomic<std::size_t> chunksDone{0};
     std::atomic<bool> failed{false};
 
+    /** Submission timestamp (0 when metrics were off at submit). */
+    std::uint64_t submitNs = 0;
+    std::atomic<bool> waitRecorded{false};
+
     std::mutex mu;
     std::condition_variable done;
     std::exception_ptr error; //!< first exception; guarded by mu
@@ -46,11 +84,27 @@ struct ThreadPool::State
 void
 ThreadPool::drain(Job &job)
 {
+    bool measure = Metrics::enabled();
+    std::uint64_t t0 = measure ? monotonicNowNs() : 0;
+    std::size_t claimed_chunks = 0;
+    std::size_t claimed_items = 0;
     for (;;) {
         std::size_t begin = job.next.fetch_add(job.chunk);
         if (begin >= job.n)
-            return;
+            break;
         std::size_t end = std::min(begin + job.chunk, job.n);
+        if (measure) {
+            if (job.submitNs != 0 &&
+                !job.waitRecorded.exchange(
+                    true, std::memory_order_relaxed)) {
+                poolMetrics().queueWaitMs.observe(
+                    static_cast<double>(monotonicNowNs() -
+                                        job.submitNs) /
+                    1e6);
+            }
+            ++claimed_chunks;
+            claimed_items += end - begin;
+        }
         if (!job.failed.load(std::memory_order_relaxed)) {
             try {
                 for (std::size_t i = begin; i < end; ++i)
@@ -68,6 +122,12 @@ ThreadPool::drain(Job &job)
             std::lock_guard<std::mutex> lock(job.mu);
             job.done.notify_all();
         }
+    }
+    if (measure && claimed_chunks > 0) {
+        poolMetrics().chunks.add(claimed_chunks);
+        poolMetrics().items.add(claimed_items);
+        poolMetrics().drainMs.observe(
+            static_cast<double>(monotonicNowNs() - t0) / 1e6);
     }
 }
 
@@ -142,6 +202,11 @@ ThreadPool::parallelFor(std::size_t n,
     auto job = std::make_shared<Job>();
     job->n = n;
     job->body = &body;
+    if (Metrics::enabled()) {
+        job->submitNs = monotonicNowNs();
+        poolMetrics().jobs.add();
+        poolMetrics().concurrency.set(concurrency());
+    }
     // ~4 chunks per thread balances dynamic-scheduling overhead
     // against tail imbalance.
     std::size_t targets = static_cast<std::size_t>(concurrency()) * 4;

@@ -1,0 +1,185 @@
+#include "common/trace_span.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace gpumech
+{
+
+// Defined below at namespace scope (it is the friend the header names).
+struct TraceShard;
+
+namespace
+{
+
+/** Leaked for the same teardown-ordering reason as the metrics one. */
+struct TraceRegistry
+{
+    std::mutex mu;
+    std::vector<TraceShard *> shards;
+    std::vector<TraceEvent> retired; //!< events of exited threads
+    std::uint32_t nextTid = 0;
+};
+
+TraceRegistry &
+traceRegistry()
+{
+    static TraceRegistry *r = new TraceRegistry;
+    return *r;
+}
+
+} // namespace
+
+/** Per-thread event buffer; only the owning thread appends. */
+struct TraceShard
+{
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+
+    TraceShard()
+    {
+        TraceRegistry &reg = traceRegistry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        tid = reg.nextTid++;
+        reg.shards.push_back(this);
+    }
+
+    ~TraceShard()
+    {
+        TraceRegistry &reg = traceRegistry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        reg.retired.insert(reg.retired.end(),
+                           std::make_move_iterator(events.begin()),
+                           std::make_move_iterator(events.end()));
+        reg.shards.erase(std::find(reg.shards.begin(),
+                                   reg.shards.end(), this));
+    }
+};
+
+namespace
+{
+
+TraceShard &
+localTraceShard()
+{
+    thread_local TraceShard shard;
+    return shard;
+}
+
+} // namespace
+
+std::atomic<bool> TraceLog::enabledFlag{false};
+
+void
+TraceLog::enable(bool on)
+{
+    enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+TraceLog::clear()
+{
+    TraceRegistry &reg = traceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.retired.clear();
+    for (TraceShard *shard : reg.shards)
+        shard->events.clear();
+}
+
+void
+TraceLog::record(TraceEvent event)
+{
+    TraceShard &shard = localTraceShard();
+    event.tid = shard.tid;
+    shard.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceLog::collect()
+{
+    TraceRegistry &reg = traceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<TraceEvent> all = reg.retired;
+    for (const TraceShard *shard : reg.shards) {
+        all.insert(all.end(), shard->events.begin(),
+                   shard->events.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tid != b.tid ? a.tid < b.tid
+                                        : a.startNs < b.startNs;
+              });
+    return all;
+}
+
+void
+TraceLog::writeChromeTrace(std::ostream &os)
+{
+    // Hand-rolled because JsonWriter models one object tree, not
+    // arrays; every string goes through jsonEscape so arbitrary kernel
+    // names stay valid JSON.
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    char buf[64];
+    for (const TraceEvent &event : collect()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(event.name)
+           << "\",\"cat\":\"stage\",\"ph\":\"X\"";
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(event.startNs) / 1e3);
+        os << ",\"ts\":" << buf;
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(event.durNs) / 1e3);
+        os << ",\"dur\":" << buf;
+        os << ",\"pid\":0,\"tid\":" << event.tid;
+        if (!event.detail.empty()) {
+            os << ",\"args\":{\"detail\":\""
+               << jsonEscape(event.detail) << "\"}";
+        }
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Span::Span(const char *stage, const std::string &detail) : stage(stage)
+{
+    tracing = TraceLog::enabled();
+    timing = Metrics::enabled();
+    if (!tracing && !timing)
+        return;
+    if (tracing)
+        this->detail = detail;
+    startNs = monotonicNowNs();
+}
+
+Span::~Span()
+{
+    if (!tracing && !timing)
+        return;
+    std::uint64_t dur = monotonicNowNs() - startNs;
+    if (timing) {
+        // Registration is memoized by name inside Metrics; spans are
+        // stage-granular (a handful per kernel), so the lookup is
+        // noise next to the stage itself.
+        Metrics::observe(Metrics::histogram(msg("stage.", stage,
+                                                ".ms")),
+                         static_cast<double>(dur) / 1e6);
+    }
+    if (tracing) {
+        TraceEvent event;
+        event.name = stage;
+        event.detail = std::move(detail);
+        event.startNs = startNs;
+        event.durNs = dur;
+        TraceLog::record(std::move(event));
+    }
+}
+
+} // namespace gpumech

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RAII stage tracing with Chrome trace-event export.
+ *
+ * A Span marks one pipeline stage of one kernel (parse / collect /
+ * profile / cache / contention / oracle) on the executing thread.
+ * Completed spans are buffered in thread-local shards and exported as
+ * Chrome trace-event JSON ("X" complete events, microsecond
+ * timestamps) — load the file in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing to see per-kernel, per-stage wall time across the
+ * worker pool.
+ *
+ * Cost model mirrors common/metrics.hh: constructing a Span while
+ * tracing and metrics are both disabled is one relaxed load + branch
+ * (no clock read, no allocation). When metrics are enabled a span also
+ * feeds the "stage.<name>.ms" histogram, so --metrics alone yields
+ * stage attribution without paying for event buffering.
+ *
+ * Spans never touch model state: enabling or disabling tracing cannot
+ * change any model output (bit-identical by construction).
+ */
+
+#ifndef GPUMECH_COMMON_TRACE_SPAN_HH
+#define GPUMECH_COMMON_TRACE_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpumech
+{
+
+/** One completed span (Chrome trace "X" event). */
+struct TraceEvent
+{
+    std::string name;     //!< stage name ("collect", ...)
+    std::string detail;   //!< kernel name or other context; may be ""
+    std::uint64_t startNs; //!< monotonicNowNs() at span open
+    std::uint64_t durNs;   //!< span duration
+    std::uint32_t tid;     //!< small sequential thread id
+};
+
+/** Process-wide trace-event collector (all members static). */
+class TraceLog
+{
+  public:
+    static bool enabled()
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Turn event buffering on/off (does not clear recorded events). */
+    static void enable(bool on);
+
+    /** Drop every buffered event. */
+    static void clear();
+
+    /**
+     * Merged copy of every buffered event, sorted by (tid, start).
+     * Like Metrics::snapshot(), call after parallel work returns.
+     */
+    static std::vector<TraceEvent> collect();
+
+    /**
+     * Write the buffered events as a Chrome trace-event JSON document:
+     * {"traceEvents":[...],"displayTimeUnit":"ms"}. Timestamps are
+     * microseconds from process start. Loadable in Perfetto.
+     */
+    static void writeChromeTrace(std::ostream &os);
+
+  private:
+    friend class Span;
+    friend struct TraceShard;
+
+    static void record(TraceEvent event);
+
+    static std::atomic<bool> enabledFlag;
+};
+
+/**
+ * RAII stage span. Records a TraceEvent when tracing is enabled and
+ * observes the "stage.<name>.ms" histogram when metrics are enabled;
+ * a no-op (one branch) when both are off.
+ *
+ * @p stage must be a string literal (stored by pointer until close);
+ * @p detail is copied only when the span is live.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *stage, const std::string &detail = "");
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *stage;
+    std::string detail;
+    std::uint64_t startNs = 0;
+    bool tracing = false;
+    bool timing = false;
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_TRACE_SPAN_HH

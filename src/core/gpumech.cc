@@ -3,6 +3,7 @@
 #include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
+#include "common/trace_span.hh"
 
 namespace gpumech
 {
@@ -30,6 +31,12 @@ assemble(const IntervalProfile &rep, std::uint32_t rep_index,
          const CollectorResult &inputs, const HardwareConfig &config,
          SchedulingPolicy policy, ModelLevel level, bool model_sfu)
 {
+    // The multi-warp + contention model evaluation — cheap analytic
+    // math, but it runs once per sweep point, so it gets its own
+    // stage span (the kernel name lives on the enclosing "kernel"
+    // span installed by the harness).
+    Span span("contention");
+
     GpuMechResult result;
     result.repWarpIndex = rep_index;
     result.repWarpPerf = rep.warpPerf(config.issueRate);
@@ -85,16 +92,22 @@ GpuMechProfiler::GpuMechProfiler(
                    msg("GpuMechProfiler: kernel '", kernel.name(),
                        "' has no warps")));
     }
-    collected = precollected
-        ? std::move(precollected)
-        : std::make_shared<const CollectorResult>(
-              collectInputsParallel(kernel, config, profile_threads));
-    warpProfiles = profile_threads == 1
-        ? buildAllProfiles(kernel, *collected, config)
-        : buildAllProfilesParallel(kernel, *collected, config,
-                                   profile_threads);
-    repWarp = selectRepresentative(warpProfiles, config, selection,
-                                   num_clusters);
+    if (precollected) {
+        collected = std::move(precollected);
+    } else {
+        Span span("collect", kernel.name());
+        collected = std::make_shared<const CollectorResult>(
+            collectInputsParallel(kernel, config, profile_threads));
+    }
+    {
+        Span span("profile", kernel.name());
+        warpProfiles = profile_threads == 1
+            ? buildAllProfiles(kernel, *collected, config)
+            : buildAllProfilesParallel(kernel, *collected, config,
+                                       profile_threads);
+        repWarp = selectRepresentative(warpProfiles, config, selection,
+                                       num_clusters);
+    }
     // Seed the evaluateAt memos with the profiling configuration's
     // artifacts so re-evaluating at (or near) it is free.
     collectorMemo.put(config.collectorKey(), collected);
@@ -124,10 +137,12 @@ GpuMechProfiler::evaluateAt(const HardwareConfig &new_config,
     // a configuration skips them entirely.
     std::shared_ptr<const CollectorResult> new_inputs =
         collectorMemo.getOrCompute(new_config.collectorKey(), [&] {
+            Span span("collect", kernel.name());
             return collectInputsParallel(kernel, new_config);
         });
     std::shared_ptr<const IntervalProfile> rep =
         repMemo.getOrCompute(repKey(new_config), [&] {
+            Span span("profile", kernel.name());
             return buildIntervalProfile(kernel.warp(repWarp),
                                         *new_inputs, new_config);
         });

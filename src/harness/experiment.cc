@@ -3,11 +3,34 @@
 #include "baselines/markov_chain.hh"
 #include "baselines/naive_interval.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 
 namespace gpumech
 {
+
+namespace
+{
+
+/** Harness-level observability (no-ops while metrics are disabled). */
+struct HarnessMetrics
+{
+    Counter kernels{"harness.kernels"};
+    Counter containedFailures{"harness.contained_failures"};
+    /** Margin left on the watchdog when a kernel finished in time. */
+    Histogram deadlineMarginMs{"harness.deadline_margin.ms"};
+};
+
+HarnessMetrics &
+harnessMetrics()
+{
+    static HarnessMetrics m;
+    return m;
+}
+
+} // namespace
 
 std::string
 toString(ModelKind kind)
@@ -67,12 +90,19 @@ runContained(const std::string &kernel_name,
     CancelToken token =
         CancelToken::withTimeoutMs(isolation.kernelTimeoutMs);
     ScopedEvalContext scope(kernel_name, token, isolation.faultPlan);
+    Span span("kernel", kernel_name);
+    harnessMetrics().kernels.add();
     try {
         fn();
+        if (token.active() && Metrics::enabled())
+            harnessMetrics().deadlineMarginMs.observe(
+                token.remainingMs());
         return Status();
     } catch (const StatusException &e) {
+        harnessMetrics().containedFailures.add();
         return e.status().withContext(msg("kernel ", kernel_name));
     } catch (const std::exception &e) {
+        harnessMetrics().containedFailures.add();
         return Status(StatusCode::Internal,
                       msg("kernel ", kernel_name,
                           ": unexpected exception: ", e.what()));
@@ -131,9 +161,12 @@ evaluateKernel(const Workload &workload, const HardwareConfig &config,
         if (cache) {
             std::shared_ptr<const KernelTrace> kernel =
                 cache->trace(workload, config);
-            GpuTiming oracle(*kernel, config, policy);
-            TimingStats stats = oracle.run();
-            eval.oracleCpi = stats.cpi();
+            {
+                Span span("oracle", workload.name);
+                GpuTiming oracle(*kernel, config, policy);
+                TimingStats stats = oracle.run();
+                eval.oracleCpi = stats.cpi();
+            }
             eval.oracleIpc =
                 eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
             ProfiledKernel pk = cache->profiler(workload, config);
@@ -142,10 +175,16 @@ evaluateKernel(const Workload &workload, const HardwareConfig &config,
         }
 
         evalCheckpoint(FaultSite::Parse);
-        KernelTrace kernel = workload.generate(config);
-        GpuTiming oracle(kernel, config, policy);
-        TimingStats stats = oracle.run();
-        eval.oracleCpi = stats.cpi();
+        KernelTrace kernel = [&] {
+            Span span("parse", workload.name);
+            return workload.generate(config);
+        }();
+        {
+            Span span("oracle", workload.name);
+            GpuTiming oracle(kernel, config, policy);
+            TimingStats stats = oracle.run();
+            eval.oracleCpi = stats.cpi();
+        }
         eval.oracleIpc =
             eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
 
@@ -202,8 +241,10 @@ predictSuite(const std::vector<Workload> &workloads,
                         return;
                     }
                     evalCheckpoint(FaultSite::Parse);
-                    KernelTrace kernel =
-                        workloads[i].generate(config);
+                    KernelTrace kernel = [&] {
+                        Span span("parse", workloads[i].name);
+                        return workloads[i].generate(config);
+                    }();
                     pred.result = runGpuMech(kernel, config, options);
                 });
             return pred;

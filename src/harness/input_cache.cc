@@ -2,19 +2,57 @@
 
 #include "common/isolation.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 
 namespace gpumech
 {
+
+namespace
+{
+
+/**
+ * Cache observability, per key class. Lookups and misses are counted
+ * separately (hits = lookups - misses); MemoCache never evicts on
+ * capacity, so cache.evictions only counts entries dropped by an
+ * explicit clear(). cache.trace.bytes is the flat-trace heap footprint
+ * of freshly generated traces — what the cache is holding for reuse.
+ */
+struct CacheMetrics
+{
+    Counter traceLookups{"cache.trace.lookups"};
+    Counter traceMisses{"cache.trace.misses"};
+    Counter traceBytes{"cache.trace.bytes"};
+    Counter collectorLookups{"cache.collector.lookups"};
+    Counter collectorMisses{"cache.collector.misses"};
+    Counter profilerLookups{"cache.profiler.lookups"};
+    Counter profilerMisses{"cache.profiler.misses"};
+    Counter evictions{"cache.evictions"};
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
 
 std::shared_ptr<const KernelTrace>
 InputCache::trace(const Workload &workload,
                   const HardwareConfig &config)
 {
     evalCheckpoint(FaultSite::Cache);
+    cacheMetrics().traceLookups.add();
     return traces.getOrCompute(
         msg(workload.name, '|', config.traceKey()), [&] {
+            cacheMetrics().traceMisses.add();
+            Span span("parse", workload.name);
             evalCheckpoint(FaultSite::Parse);
-            return workload.generate(config);
+            KernelTrace kernel = workload.generate(config);
+            cacheMetrics().traceBytes.add(kernel.memoryFootprint());
+            return kernel;
         });
 }
 
@@ -23,10 +61,14 @@ InputCache::inputs(const Workload &workload,
                    const HardwareConfig &config)
 {
     evalCheckpoint(FaultSite::Cache);
+    cacheMetrics().collectorLookups.add();
     return collected.getOrCompute(
         msg(workload.name, '|', config.collectorKey()), [&] {
-            return collectInputsParallel(*trace(workload, config),
-                                         config);
+            cacheMetrics().collectorMisses.add();
+            std::shared_ptr<const KernelTrace> kernel =
+                trace(workload, config);
+            Span span("collect", workload.name);
+            return collectInputsParallel(*kernel, config);
         });
 }
 
@@ -37,16 +79,21 @@ InputCache::profiler(const Workload &workload,
                      std::uint32_t num_clusters)
 {
     evalCheckpoint(FaultSite::Cache);
+    cacheMetrics().profilerLookups.add();
     std::string key =
         msg(workload.name, '|', config.collectorKey(),
             "|ir=", config.issueRate, '|', toString(selection), '|',
             num_clusters);
     auto entry = profilers.getOrCompute(key, [&] {
+        cacheMetrics().profilerMisses.add();
         ProfiledKernel pk;
         pk.trace = trace(workload, config);
+        std::shared_ptr<const CollectorResult> collected =
+            inputs(workload, config);
+        Span span("profile", workload.name);
         pk.profiler = std::make_shared<const GpuMechProfiler>(
             *pk.trace, config, selection, num_clusters, 1,
-            inputs(workload, config));
+            std::move(collected));
         return pk;
     });
     return *entry;
@@ -55,6 +102,8 @@ InputCache::profiler(const Workload &workload,
 void
 InputCache::clear()
 {
+    cacheMetrics().evictions.add(traces.size() + collected.size() +
+                                 profilers.size());
     traces.clear();
     collected.clear();
     profilers.clear();

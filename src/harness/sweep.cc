@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 
@@ -22,6 +23,8 @@ runSweep(const std::vector<Workload> &workloads,
     // Flatten the (point x workload) grid so the pool balances across
     // both axes; aggregation below restores per-point order.
     std::size_t num_tasks = points.size() * workloads.size();
+    static const Counter sweep_cells("sweep.cells");
+    sweep_cells.add(num_tasks);
     if (verbose)
         inform(msg("sweep: ", points.size(), " points x ",
                    workloads.size(), " kernels"));

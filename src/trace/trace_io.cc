@@ -9,12 +9,33 @@
 
 #include "common/isolation.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 
 namespace gpumech
 {
 
 namespace
 {
+
+/**
+ * Parser throughput accounting (no-ops while metrics are disabled):
+ * lines and bytes consumed by successful parses, plus a per-parse
+ * MB/s histogram so ingestion regressions show up in --metrics.
+ */
+struct ParseMetrics
+{
+    Counter lines{"parse.lines"};
+    Counter bytes{"parse.bytes"};
+    Histogram mbPerS{"parse.mb_per_s"};
+};
+
+ParseMetrics &
+parseMetrics()
+{
+    static ParseMetrics m;
+    return m;
+}
 
 /**
  * Record-count cap. Counts above it are rejected as Overflow before
@@ -37,6 +58,9 @@ class Tokenizer
     /** Line of the most recently returned token (1-based). */
     std::size_t line() const { return lineNo; }
 
+    /** Bytes consumed so far (line text + one newline per line). */
+    std::uint64_t bytes() const { return bytesRead; }
+
     /**
      * Next whitespace-delimited token; TruncatedInput with @p context
      * when the stream is exhausted.
@@ -53,6 +77,7 @@ class Tokenizer
                         ": unexpected end of input in ", context));
             }
             ++lineNo;
+            bytesRead += text.size() + 1;
             tokens.clear();
             cursor = 0;
             std::istringstream split(text);
@@ -69,6 +94,7 @@ class Tokenizer
     std::vector<std::string> tokens;
     std::size_t cursor = 0;
     std::size_t lineNo = 0;
+    std::uint64_t bytesRead = 0;
 };
 
 /** Error factory with line context. */
@@ -193,6 +219,10 @@ parseTrace(std::istream &is)
 {
     evalCheckpoint(FaultSite::Parse);
 
+    Span span("parse");
+    bool measure = Metrics::enabled();
+    std::uint64_t t0 = measure ? monotonicNowNs() : 0;
+
     Tokenizer toks(is);
     std::string tok;
     GPUMECH_TRY(toks.next(tok, "header"));
@@ -290,6 +320,16 @@ parseTrace(std::istream &is)
         return parseError(StatusCode::FailedValidation, toks.line(),
                           msg("kernel '", kernel.name(),
                               "' failed structural validation"));
+    }
+    if (measure) {
+        parseMetrics().lines.add(toks.line());
+        parseMetrics().bytes.add(toks.bytes());
+        double sec =
+            static_cast<double>(monotonicNowNs() - t0) / 1e9;
+        if (sec > 0.0) {
+            parseMetrics().mbPerS.observe(
+                static_cast<double>(toks.bytes()) / 1e6 / sec);
+        }
     }
     return kernel;
 }

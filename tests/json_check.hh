@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON validator for tests.
+ *
+ * The production code only writes JSON (common/json.hh, the Chrome
+ * trace exporter); tests need an independent reader to assert the
+ * output is well-formed without trusting the writer's own escaping.
+ * Validation only — no DOM is built. Strict where it matters for the
+ * emitted dialects: string escapes, number syntax, matched brackets,
+ * no trailing commas, nothing after the top-level value.
+ */
+
+#ifndef GPUMECH_TESTS_JSON_CHECK_HH
+#define GPUMECH_TESTS_JSON_CHECK_HH
+
+#include <cctype>
+#include <string>
+
+namespace gpumech::testing
+{
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text(text) {}
+
+    /** True when the whole input is exactly one valid JSON value. */
+    bool
+    valid()
+    {
+        pos = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == text.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= text.size())
+            return false;
+        switch (text[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        while (pos < text.size()) {
+            unsigned char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control char: must be escaped
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return false;
+                char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text[pos])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    digits()
+    {
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        return pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+/** Convenience wrapper: is @p text exactly one valid JSON value? */
+inline bool
+isValidJson(const std::string &text)
+{
+    JsonChecker checker(text);
+    return checker.valid();
+}
+
+} // namespace gpumech::testing
+
+#endif // GPUMECH_TESTS_JSON_CHECK_HH

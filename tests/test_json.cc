@@ -5,12 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/json.hh"
+#include "json_check.hh"
 
 namespace gpumech
 {
 namespace
 {
+
+using testing::isValidJson;
 
 TEST(Json, EmptyObject)
 {
@@ -46,6 +52,66 @@ TEST(Json, EscapesSpecialCharacters)
     JsonWriter w;
     w.field("s", "a\"b\\c\nd");
     EXPECT_EQ(w.finish(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, EscapesAllControlCharacters)
+{
+    // \n and \t have short escapes; \r, \b, \f and the rest of the
+    // C0 range must come out as escapes too — a raw control byte
+    // inside a string is invalid JSON and used to leak through.
+    JsonWriter w;
+    w.field("s", std::string("a\rb\bc\fd\x01" "e\x1f" "f"));
+    std::string out = w.finish();
+    EXPECT_EQ(out,
+              "{\"s\":\"a\\rb\\bc\\fd\\u0001e\\u001ff\"}");
+    EXPECT_TRUE(isValidJson(out));
+}
+
+TEST(Json, EscapeCoversWholeC0Range)
+{
+    for (int c = 1; c < 0x20; ++c) {
+        JsonWriter w;
+        w.field("k", std::string(1, static_cast<char>(c)));
+        std::string out = w.finish();
+        EXPECT_TRUE(isValidJson(out)) << "control char " << c;
+        // No raw control byte may survive into the output.
+        for (char byte : out)
+            EXPECT_GE(static_cast<unsigned char>(byte), 0x20u)
+                << "control char " << c;
+    }
+}
+
+TEST(Json, JsonEscapeIsExposed)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("\r\n"), "\\r\\n");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x07')), "\\u0007");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    // NaN/Inf are not representable in JSON; emitting them raw
+    // produced documents every strict parser rejected.
+    JsonWriter w;
+    w.field("nan", std::nan(""));
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.field("ninf", -std::numeric_limits<double>::infinity());
+    w.field("fine", 1.5);
+    std::string out = w.finish();
+    EXPECT_EQ(out,
+              "{\"nan\":null,\"inf\":null,\"ninf\":null,"
+              "\"fine\":1.5}");
+    EXPECT_TRUE(isValidJson(out));
+}
+
+TEST(Json, CheckerRejectsMalformedDocuments)
+{
+    EXPECT_TRUE(isValidJson("{\"a\":[1,2,{\"b\":null}]}"));
+    EXPECT_FALSE(isValidJson("{\"a\":nan}"));
+    EXPECT_FALSE(isValidJson("{\"a\":1,}"));
+    EXPECT_FALSE(isValidJson("{\"a\":\"\x01\"}"));
+    EXPECT_FALSE(isValidJson("{\"a\":1} trailing"));
+    EXPECT_FALSE(isValidJson("{\"a\":"));
 }
 
 TEST(Json, DoubleFormattingIsCompact)

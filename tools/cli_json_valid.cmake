@@ -1,0 +1,53 @@
+# Run the gpumech CLI with the observability flags and validate that
+# both emitted files (--metrics-json and --trace-out) are well-formed
+# JSON, using `python3 -m json.tool` as an independent parser. Invoked
+# by the cli_observability_json ctest entry (see CMakeLists.txt):
+#
+#   cmake -DGPUMECH_BIN=<path> -DPYTHON3=<path> -DWORK_DIR=<dir>
+#         -P cli_json_valid.cmake
+#
+# This pins the contract that the hand-rolled Chrome trace writer and
+# the JsonWriter-based metrics report both produce output a strict
+# parser accepts (escaping, non-finite handling, nesting).
+
+if(NOT DEFINED GPUMECH_BIN OR NOT DEFINED PYTHON3 OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "GPUMECH_BIN, PYTHON3 and WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(metrics_json ${WORK_DIR}/metrics.json)
+set(trace_json ${WORK_DIR}/trace.json)
+
+execute_process(
+    COMMAND ${GPUMECH_BIN} suite micro --warps 4 --cores 2 --predict
+            --jobs 2 --metrics
+            --metrics-json ${metrics_json} --trace-out ${trace_json}
+    RESULT_VARIABLE run_code
+    OUTPUT_VARIABLE run_output
+    ERROR_VARIABLE run_errors)
+if(NOT run_code EQUAL 0)
+    message(FATAL_ERROR
+        "gpumech suite micro exited ${run_code}\nstdout:\n"
+        "${run_output}\nstderr:\n${run_errors}")
+endif()
+
+# The --metrics summary must have reached stderr.
+if(NOT run_errors MATCHES "metric")
+    message(FATAL_ERROR
+        "--metrics produced no summary on stderr:\n${run_errors}")
+endif()
+
+foreach(emitted ${metrics_json} ${trace_json})
+    if(NOT EXISTS ${emitted})
+        message(FATAL_ERROR "expected output file missing: ${emitted}")
+    endif()
+    execute_process(
+        COMMAND ${PYTHON3} -m json.tool ${emitted}
+        RESULT_VARIABLE json_code
+        OUTPUT_QUIET
+        ERROR_VARIABLE json_errors)
+    if(NOT json_code EQUAL 0)
+        message(FATAL_ERROR
+            "${emitted} is not valid JSON:\n${json_errors}")
+    endif()
+endforeach()

@@ -31,6 +31,13 @@
  *   --jobs N         worker threads for suite/sweep evaluation
  *                    (default: GPUMECH_JOBS env var, else hardware
  *                    concurrency; results are identical at any count)
+ *
+ * Observability (all subcommands; model outputs are bit-identical
+ * with or without these flags):
+ *   --metrics            print a metrics summary table to stderr
+ *   --metrics-json FILE  write the merged metrics registry as JSON
+ *   --trace-out FILE     write per-kernel, per-stage spans as Chrome
+ *                        trace-event JSON (open in Perfetto)
  */
 
 #include <cstdlib>
@@ -40,8 +47,10 @@
 #include "common/args.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 #include "harness/experiment.hh"
 #include "timing/gpu_timing.hh"
 #include "trace/trace_io.hh"
@@ -491,7 +500,10 @@ cmdModelTrace(const ArgParser &args)
 int
 cmdSuite(const ArgParser &args)
 {
+    // Accept both `gpumech suite stress` and `gpumech --suite stress`.
     std::string name = args.positional(1);
+    if (name.empty())
+        name = args.get("suite");
     if (name.empty())
         fatal("usage: gpumech suite <suite> [--predict] "
               "[--kernel-timeout-ms N] [--inject spec] [options]");
@@ -607,6 +619,10 @@ usage()
         "         --inject kernel:site[:attempt[:stallMs]][,...]\n"
         "          (deterministic fault injection; sites: parse,\n"
         "           collect, profile, cache)\n"
+        "         --metrics (summary table on stderr)\n"
+        "         --metrics-json FILE (metrics registry as JSON)\n"
+        "         --trace-out FILE (Chrome trace-event JSON of\n"
+        "          per-kernel stage spans; open in ui.perfetto.dev)\n"
         "exit codes: 0 success, 1 total failure, 2 partial (suite)\n";
 }
 
@@ -632,8 +648,43 @@ dispatch(const ArgParser &args)
         return cmdModelTrace(args);
     if (cmd == "suite")
         return cmdSuite(args);
+    if (cmd.empty() && args.has("suite"))
+        return cmdSuite(args);
     usage();
     return cmd.empty() ? 0 : 1;
+}
+
+/**
+ * Write/print the observability reports the flags asked for. Runs
+ * after dispatch() (success or failure) so a partially-failed suite
+ * still leaves a metrics file behind for diagnosis.
+ */
+void
+emitObservability(const ArgParser &args)
+{
+    std::string metrics_path = args.get("metrics-json");
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            warn(msg("cannot open ", metrics_path, " for writing"));
+        } else {
+            out << metricsToJson() << "\n";
+            inform(msg("wrote metrics to ", metrics_path));
+        }
+    }
+    std::string trace_path = args.get("trace-out");
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            warn(msg("cannot open ", trace_path, " for writing"));
+        } else {
+            TraceLog::writeChromeTrace(out);
+            inform(msg("wrote Chrome trace to ", trace_path,
+                       " (open in ui.perfetto.dev)"));
+        }
+    }
+    if (args.has("metrics"))
+        printMetricsSummary(std::cerr);
 }
 
 } // namespace
@@ -644,12 +695,21 @@ main(int argc, char **argv)
     ArgParser args(argc, argv);
     if (args.has("jobs"))
         setDefaultJobs(args.getUint("jobs", 0));
+    if (args.has("metrics") || !args.get("metrics-json").empty())
+        Metrics::enable(true);
+    if (!args.get("trace-out").empty())
+        TraceLog::enable(true);
+    int code = 0;
     try {
-        return dispatch(args);
+        code = dispatch(args);
     } catch (const StatusException &e) {
         // Single-kernel commands have no containment boundary; render
         // the carried Status as a total failure.
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        code = 1;
     }
+    // Emitted on the failure path too: a half-finished run's metrics
+    // and spans are exactly what you want when diagnosing it.
+    emitObservability(args);
+    return code;
 }
