@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
+#include <thread>
 
 #include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "mem/cache.hh"
+#include "trace/trace_io.hh"
 
 namespace gpumech
 {
@@ -422,6 +425,62 @@ collectInputsParallel(const KernelTrace &kernel,
     result.l1HitRate = l1_acc == 0.0 ? 0.0 : l1_hit / l1_acc;
     result.l2HitRate = l2.hitRate();
     return result;
+}
+
+void
+streamTraceSet(const std::vector<std::string> &paths,
+               const HardwareConfig &config,
+               const std::function<void(StreamedTrace &&)> &consume,
+               unsigned jobs)
+{
+    if (paths.empty())
+        return;
+
+    // Decode one file, converting an escaping checkpoint exception
+    // (fault plan / deadline under an installed EvalContext) into the
+    // file's Status so one bad file cannot take down the stream.
+    auto decode = [](const std::string &path) -> Result<KernelTrace> {
+        try {
+            return loadTraceFile(path);
+        } catch (const StatusException &e) {
+            return e.status();
+        }
+    };
+
+    std::optional<Result<KernelTrace>> pending = decode(paths[0]);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        Result<KernelTrace> current = std::move(*pending);
+        pending.reset();
+
+        // Kick off the next file's decode while this one is being
+        // collected (and consumed) — the decode/collect overlap that
+        // keeps at most two traces resident.
+        std::thread prefetch;
+        std::optional<Result<KernelTrace>> next;
+        if (i + 1 < paths.size()) {
+            prefetch = std::thread(
+                [&next, &decode, &paths, i] { next = decode(paths[i + 1]); });
+        }
+
+        StreamedTrace out;
+        out.path = paths[i];
+        if (!current.ok()) {
+            out.status = current.status();
+        } else {
+            out.kernel = std::move(current).value();
+            try {
+                out.inputs =
+                    collectInputsParallel(out.kernel, config, jobs);
+            } catch (const StatusException &e) {
+                out.status = e.status();
+            }
+        }
+        consume(std::move(out));
+
+        if (prefetch.joinable())
+            prefetch.join();
+        pending = std::move(next);
+    }
 }
 
 } // namespace gpumech

@@ -27,9 +27,12 @@
 #define GPUMECH_COLLECTOR_INPUT_COLLECTOR_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/status.hh"
 #include "mem/hierarchy.hh"
 #include "trace/kernel_trace.hh"
 
@@ -125,6 +128,39 @@ CollectorResult collectInputs(const KernelTrace &kernel,
 CollectorResult collectInputsParallel(const KernelTrace &kernel,
                                       const HardwareConfig &config,
                                       unsigned jobs = 0);
+
+/** One trace file's outcome in a streamed trace set. */
+struct StreamedTrace
+{
+    std::string path;
+
+    /** Decode or collection failure; kernel/inputs valid when ok(). */
+    Status status;
+
+    KernelTrace kernel;
+    CollectorResult inputs;
+};
+
+/**
+ * Stream a set of on-disk trace files (either format, see
+ * loadTraceFile) through the input collector with decode/collect
+ * overlap: while file k is being collected across the thread pool,
+ * file k+1 is decoded on a dedicated prefetch thread. At most two
+ * decoded traces are resident at once, so a trace set larger than
+ * memory streams through; @p consume is called once per path, in path
+ * order.
+ *
+ * Failures are contained per file: a malformed or missing file (or a
+ * fault-plan/deadline StatusException escaping decode or collection
+ * under an installed EvalContext) produces a StreamedTrace carrying
+ * the Status, and the stream moves on.
+ *
+ * @param jobs thread count for collectInputsParallel (0 = defaultJobs)
+ */
+void streamTraceSet(const std::vector<std::string> &paths,
+                    const HardwareConfig &config,
+                    const std::function<void(StreamedTrace &&)> &consume,
+                    unsigned jobs = 0);
 
 } // namespace gpumech
 

@@ -137,9 +137,10 @@ std::string
 HardwareConfig::traceKey() const
 {
     std::ostringstream os;
-    // "soa1" names the flat SoA trace layout; bumping it invalidates
-    // cached traces whose in-memory layout predates it.
-    os << "soa1|" << numCores << '|' << warpsPerCore << '|' << warpSize
+    // The layout token invalidates cached traces (and refuses .gmt
+    // files) whose SoA layout generation predates the engine's.
+    os << traceLayoutToken << '|' << numCores << '|' << warpsPerCore
+       << '|' << warpSize
        << '|' << simtWidth << '|' << l1LineBytes;
     return os.str();
 }

@@ -15,6 +15,16 @@
 namespace gpumech
 {
 
+/**
+ * Generation token of the flat SoA trace layout. Appears in
+ * HardwareConfig::traceKey() (so the InputCache never serves a trace
+ * whose in-memory layout predates the current engine) and in the .gmt
+ * binary trace header (so an on-disk trace packed under a different
+ * layout generation is refused at load rather than misdecoded). Bump
+ * when the SoA schema changes.
+ */
+inline constexpr char traceLayoutToken[] = "soa1";
+
 /** Warp scheduling policies modeled by GPUMech (Section IV-A). */
 enum class SchedulingPolicy
 {

@@ -1,0 +1,125 @@
+#include "common/mmap_file.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GPUMECH_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GPUMECH_HAVE_MMAP 0
+#endif
+
+namespace gpumech
+{
+
+MmapFile::~MmapFile()
+{
+    release();
+}
+
+MmapFile::MmapFile(MmapFile &&other) noexcept
+    : bytes(other.bytes), byteSize(other.byteSize),
+      isMapped(other.isMapped), fallback(std::move(other.fallback))
+{
+    other.bytes = nullptr;
+    other.byteSize = 0;
+    other.isMapped = false;
+}
+
+MmapFile &
+MmapFile::operator=(MmapFile &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        bytes = other.bytes;
+        byteSize = other.byteSize;
+        isMapped = other.isMapped;
+        fallback = std::move(other.fallback);
+        other.bytes = nullptr;
+        other.byteSize = 0;
+        other.isMapped = false;
+    }
+    return *this;
+}
+
+void
+MmapFile::release()
+{
+#if GPUMECH_HAVE_MMAP
+    if (isMapped && bytes != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(bytes), byteSize);
+#endif
+    bytes = nullptr;
+    byteSize = 0;
+    isMapped = false;
+    fallback.clear();
+}
+
+namespace
+{
+
+/** stdio fallback: read the whole file into @p buffer. */
+Status
+readWhole(const std::string &path, std::vector<std::uint8_t> &buffer)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr) {
+        return Status(StatusCode::NotFound,
+                      msg("cannot open '", path, "' for reading"));
+    }
+    buffer.clear();
+    std::uint8_t chunk[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), fp)) > 0)
+        buffer.insert(buffer.end(), chunk, chunk + got);
+    bool failed = std::ferror(fp) != 0;
+    std::fclose(fp);
+    if (failed) {
+        return Status(StatusCode::Internal,
+                      msg("read error on '", path, "'"));
+    }
+    return Status();
+}
+
+} // namespace
+
+Result<MmapFile>
+MmapFile::open(const std::string &path)
+{
+    MmapFile file;
+#if GPUMECH_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return Status(StatusCode::NotFound,
+                      msg("cannot open '", path, "' for reading"));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) &&
+        st.st_size > 0) {
+        void *addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr != MAP_FAILED) {
+            ::close(fd);
+            file.bytes = static_cast<const std::uint8_t *>(addr);
+            file.byteSize = static_cast<std::size_t>(st.st_size);
+            file.isMapped = true;
+            return file;
+        }
+    }
+    // Not a regular file, empty, or mmap refused: fall back below.
+    ::close(fd);
+#endif
+    GPUMECH_TRY(readWhole(path, file.fallback));
+    file.bytes = file.fallback.data();
+    file.byteSize = file.fallback.size();
+    file.isMapped = false;
+    return file;
+}
+
+} // namespace gpumech

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Read-only memory-mapped file with a buffered-read fallback.
+ *
+ * The binary trace loader wants the whole file as one contiguous byte
+ * range so section payloads can be copied column-at-a-time (or, for
+ * text traces, scanned in place) without a read-loop into an
+ * intermediate buffer. On POSIX systems the range is an mmap of the
+ * page cache — opening costs two syscalls and no copy; elsewhere (or
+ * when mmap fails, e.g. on a pipe or an empty file) the file is read
+ * into an owned buffer and the interface is unchanged.
+ *
+ * Errors are returned as Status (NotFound for a missing path,
+ * Internal for I/O failures), matching the trace-loading paths that
+ * consume this wrapper.
+ */
+
+#ifndef GPUMECH_COMMON_MMAP_FILE_HH
+#define GPUMECH_COMMON_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace gpumech
+{
+
+/** Move-only view of one whole file (mapped or buffered). */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile();
+
+    MmapFile(MmapFile &&other) noexcept;
+    MmapFile &operator=(MmapFile &&other) noexcept;
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /**
+     * Open @p path read-only and map (or read) its full contents.
+     * NotFound when the path does not exist or cannot be opened;
+     * Internal for read failures after open.
+     */
+    static Result<MmapFile> open(const std::string &path);
+
+    const std::uint8_t *data() const { return bytes; }
+    std::size_t size() const { return byteSize; }
+
+    /** True when backed by an actual mmap (false: owned buffer). */
+    bool mapped() const { return isMapped; }
+
+  private:
+    void release();
+
+    const std::uint8_t *bytes = nullptr;
+    std::size_t byteSize = 0;
+    bool isMapped = false;
+    std::vector<std::uint8_t> fallback; //!< owns bytes when !isMapped
+};
+
+} // namespace gpumech
+
+#endif // GPUMECH_COMMON_MMAP_FILE_HH

@@ -27,6 +27,10 @@ toString(StatusCode code)
         return "duplicate_header";
       case StatusCode::FailedValidation:
         return "failed_validation";
+      case StatusCode::VersionMismatch:
+        return "version_mismatch";
+      case StatusCode::ChecksumMismatch:
+        return "checksum_mismatch";
       case StatusCode::DeadlineExceeded:
         return "deadline_exceeded";
       case StatusCode::FaultInjected:

@@ -42,8 +42,12 @@ enum class StatusCode
     TruncatedInput,   //!< input ended mid-record
     Overflow,         //!< numeric field exceeds its type or a sane cap
     OutOfRange,       //!< value outside the valid domain (pc, counts)
-    DuplicateHeader,  //!< repeated 'kernel' header in one trace
+    DuplicateHeader,  //!< repeated 'kernel' header / section in a trace
     FailedValidation, //!< structurally parsed but semantically invalid
+    VersionMismatch,  //!< binary trace from a foreign format version,
+                      //!< endianness, or trace-layout generation
+    ChecksumMismatch, //!< binary trace section bytes fail their
+                      //!< recorded checksum (on-disk corruption)
     DeadlineExceeded, //!< per-kernel watchdog fired
     FaultInjected,    //!< deterministic fault-injection hook fired
     Internal,         //!< escaped exception mapped at a containment

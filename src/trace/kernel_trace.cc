@@ -62,6 +62,91 @@ KernelTrace::addWarp(const WarpTrace &warp)
                      warp.linePool.end());
 }
 
+Status
+KernelTrace::adoptColumns(std::vector<std::uint32_t> warp_ids,
+                          std::vector<std::uint32_t> warp_blocks,
+                          std::vector<std::uint32_t> warp_inst_counts,
+                          std::vector<std::uint32_t> inst_pcs,
+                          std::vector<std::uint32_t> inst_actives,
+                          std::vector<DepArray> inst_deps,
+                          std::vector<std::uint32_t> inst_line_counts,
+                          std::vector<Addr> line_pool)
+{
+    auto shapeError = [](const std::string &why) {
+        return Status(StatusCode::OutOfRange, why);
+    };
+    const std::size_t num_warps = warp_ids.size();
+    if (warp_blocks.size() != num_warps ||
+        warp_inst_counts.size() != num_warps) {
+        return shapeError(msg("warp column lengths disagree (ids ",
+                              warp_ids.size(), ", blocks ",
+                              warp_blocks.size(), ", counts ",
+                              warp_inst_counts.size(), ")"));
+    }
+    const std::size_t total = inst_pcs.size();
+    if (inst_actives.size() != total || inst_deps.size() != total ||
+        inst_line_counts.size() != total) {
+        return shapeError(
+            msg("instruction column lengths disagree (pcs ", total,
+                ", actives ", inst_actives.size(), ", deps ",
+                inst_deps.size(), ", line counts ",
+                inst_line_counts.size(), ")"));
+    }
+
+    // Warp windows: prefix sum over the per-warp instruction counts.
+    std::vector<WarpMeta> meta(num_warps);
+    std::uint64_t offset = 0;
+    for (std::size_t w = 0; w < num_warps; ++w) {
+        if (warp_inst_counts[w] == 0) {
+            return shapeError(msg("warp ", warp_ids[w],
+                                  ": instruction count must be "
+                                  "positive"));
+        }
+        meta[w].warpId = warp_ids[w];
+        meta[w].blockId = warp_blocks[w];
+        meta[w].instOffset = offset;
+        meta[w].instCount = warp_inst_counts[w];
+        offset += warp_inst_counts[w];
+    }
+    if (offset != total) {
+        return shapeError(msg("per-warp instruction counts sum to ",
+                              offset, " but the columns hold ", total,
+                              " instructions"));
+    }
+
+    // Opcode fixup from the static program, and line-slice offsets by
+    // prefix sum over the counts (zero-count instructions keep offset
+    // 0, matching addWarp's convention).
+    std::vector<Opcode> ops(total);
+    std::vector<std::uint64_t> line_off(total);
+    std::uint64_t line_cursor = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (inst_pcs[i] >= program.size()) {
+            return shapeError(msg("inst pc ", inst_pcs[i],
+                                  " out of range (static count ",
+                                  program.size(), ")"));
+        }
+        ops[i] = program[inst_pcs[i]].op;
+        line_off[i] = inst_line_counts[i] == 0 ? 0 : line_cursor;
+        line_cursor += inst_line_counts[i];
+    }
+    if (line_cursor != line_pool.size()) {
+        return shapeError(msg("line counts sum to ", line_cursor,
+                              " but the line pool holds ",
+                              line_pool.size(), " addresses"));
+    }
+
+    warpMeta_ = std::move(meta);
+    instPc_ = std::move(inst_pcs);
+    instOp_ = std::move(ops);
+    instActive_ = std::move(inst_actives);
+    instDeps_ = std::move(inst_deps);
+    instLineOff_ = std::move(line_off);
+    instLineCnt_ = std::move(inst_line_counts);
+    linePool_ = std::move(line_pool);
+    return Status();
+}
+
 WarpView
 KernelTrace::warp(std::uint32_t index) const
 {

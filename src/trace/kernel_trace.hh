@@ -171,6 +171,30 @@ class KernelTrace
      */
     void addWarp(const WarpTrace &warp);
 
+    /**
+     * Bulk column adoption for binary trace ingestion: install the
+     * kernel-level SoA arrays directly (one move per column, no
+     * per-record work) and recompute everything derivable — warp
+     * instruction windows and line-slice offsets by prefix sum, and
+     * per-instruction opcodes from the already-registered static
+     * program. This is the "pointer fixup" half of the mmap load path:
+     * the .gmt format stores only the non-derivable columns.
+     *
+     * The static program must be registered (addStatic) first.
+     * Returns OutOfRange when the column shapes disagree (mismatched
+     * warp/instruction totals, zero per-warp instruction counts, a pc
+     * beyond the static program, or a line-count sum that does not
+     * cover the pool). On error the trace is left empty.
+     */
+    Status adoptColumns(std::vector<std::uint32_t> warp_ids,
+                        std::vector<std::uint32_t> warp_blocks,
+                        std::vector<std::uint32_t> warp_inst_counts,
+                        std::vector<std::uint32_t> inst_pcs,
+                        std::vector<std::uint32_t> inst_actives,
+                        std::vector<DepArray> inst_deps,
+                        std::vector<std::uint32_t> inst_line_counts,
+                        std::vector<Addr> line_pool);
+
     /** View of one warp; fatal if out of range. */
     WarpView warp(std::uint32_t index) const;
 

@@ -2,15 +2,19 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <streambuf>
 
 #include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/mmap_file.hh"
 #include "common/trace_span.hh"
+#include "trace/gmt_format.hh"
 
 namespace gpumech
 {
@@ -351,6 +355,74 @@ KernelTrace
 traceFromString(const std::string &text)
 {
     return parseTraceString(text).valueOrDie();
+}
+
+namespace
+{
+
+/**
+ * Read-only streambuf over a borrowed byte range, so text traces
+ * loaded through MmapFile parse straight out of the mapping without
+ * first copying the file into a string.
+ */
+class MemStreamBuf : public std::streambuf
+{
+  public:
+    MemStreamBuf(const char *data, std::size_t size)
+    {
+        // istream never writes through a get-area-only streambuf; the
+        // const_cast satisfies setg's signature.
+        char *base = const_cast<char *>(data);
+        setg(base, base, base + size);
+    }
+};
+
+} // namespace
+
+bool
+hasGmtExtension(const std::string &path)
+{
+    const std::string ext = ".gmt";
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+Result<KernelTrace>
+loadTraceFile(const std::string &path)
+{
+    MmapFile file;
+    GPUMECH_ASSIGN_OR_RETURN(file, MmapFile::open(path));
+    if (looksLikeGmt(file.data(), file.size())) {
+        return parseGmtBuffer(file.data(), file.size());
+    }
+    MemStreamBuf buf(reinterpret_cast<const char *>(file.data()),
+                     file.size());
+    std::istream is(&buf);
+    return parseTrace(is);
+}
+
+Status
+writeTraceFile(const std::string &path, const KernelTrace &kernel,
+               bool varint_lines)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        return Status(StatusCode::Internal,
+                      msg("cannot open '", path, "' for writing"));
+    }
+    if (hasGmtExtension(path)) {
+        GmtWriteOptions options;
+        options.varintLines = varint_lines;
+        writeGmt(os, kernel, options);
+    } else {
+        writeTrace(os, kernel);
+    }
+    os.flush();
+    if (!os) {
+        return Status(StatusCode::Internal,
+                      msg("write to '", path, "' failed"));
+    }
+    return Status();
 }
 
 std::string

@@ -55,6 +55,30 @@ KernelTrace traceFromString(const std::string &text);
 /** Convenience: serialize to a string. */
 std::string traceToString(const KernelTrace &kernel);
 
+/**
+ * Load a trace file of either format, detected by content: files
+ * beginning with the .gmt magic decode through the binary columnar
+ * loader, anything else parses as text. Both paths read the file
+ * through one MmapFile (mmap where available, buffered fallback
+ * otherwise), so binary loads are column copies out of the page cache
+ * with no read loop. Errors follow the per-format contracts: the
+ * binary classes above plus NotFound for a missing path.
+ */
+Result<KernelTrace> loadTraceFile(const std::string &path);
+
+/**
+ * Write @p kernel to @p path, choosing the format by extension:
+ * ".gmt" writes the binary columnar format (with varint line-pool
+ * encoding when @p varint_lines is set), anything else writes text
+ * (@p varint_lines is then ignored). Internal on I/O failure.
+ */
+Status writeTraceFile(const std::string &path,
+                      const KernelTrace &kernel,
+                      bool varint_lines = false);
+
+/** True when @p path names the binary format by extension (".gmt"). */
+bool hasGmtExtension(const std::string &path);
+
 } // namespace gpumech
 
 #endif // GPUMECH_TRACE_TRACE_IO_HH

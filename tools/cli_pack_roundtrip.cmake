@@ -1,0 +1,59 @@
+# End-to-end pack/unpack round-trip through the gpumech CLI. Invoked
+# by the cli_pack_roundtrip ctest entry (see CMakeLists.txt):
+#
+#   cmake -DGPUMECH_BIN=<path> -DWORK_DIR=<dir> -P cli_pack_roundtrip.cmake
+#
+# Pins the tentpole round-trip contract at the binary boundary:
+#   dump-trace (text) -> pack -> unpack must reproduce the original
+#   text file byte-for-byte, for both the raw and varint encodings,
+# and the packed file must itself be a pack fixpoint (unpack -> pack
+# reproduces the same .gmt bytes).
+
+if(NOT DEFINED GPUMECH_BIN OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "GPUMECH_BIN and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+    execute_process(
+        COMMAND ${GPUMECH_BIN} ${ARGN}
+        RESULT_VARIABLE code
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+        message(FATAL_ERROR "gpumech ${ARGN} exited ${code}\n"
+                            "stdout:\n${out}\nstderr:\n${err}")
+    endif()
+endfunction()
+
+run_cli(dump-trace vectorAdd ${WORK_DIR}/ref.txt --warps 8 --cores 2)
+
+foreach(mode raw varint)
+    set(flags "")
+    if(mode STREQUAL varint)
+        set(flags --varint)
+    endif()
+    run_cli(pack ${WORK_DIR}/ref.txt ${WORK_DIR}/${mode}.gmt ${flags})
+    run_cli(unpack ${WORK_DIR}/${mode}.gmt ${WORK_DIR}/${mode}.txt)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/ref.txt ${WORK_DIR}/${mode}.txt
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "${mode}: unpack(pack(ref.txt)) differs from ref.txt")
+    endif()
+    # Pack fixpoint: repacking the packed file reproduces its bytes.
+    run_cli(pack ${WORK_DIR}/${mode}.gmt ${WORK_DIR}/${mode}2.gmt ${flags})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/${mode}.gmt ${WORK_DIR}/${mode}2.gmt
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${mode}: pack is not a fixpoint")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})

@@ -43,6 +43,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/args.hh"
 #include "common/json.hh"
@@ -51,8 +52,10 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/trace_span.hh"
+#include "collector/input_collector.hh"
 #include "harness/experiment.hh"
 #include "timing/gpu_timing.hh"
+#include "trace/gmt_format.hh"
 #include "trace/trace_io.hh"
 
 using namespace gpumech;
@@ -462,39 +465,142 @@ cmdDumpTrace(const ArgParser &args)
     std::string name = args.positional(1);
     std::string path = args.positional(2);
     if (name.empty() || path.empty())
-        fatal("usage: gpumech dump-trace <kernel> <file> [options]");
+        fatal("usage: gpumech dump-trace <kernel> <file> "
+              "[--varint] [options]");
     HardwareConfig config = configFrom(args);
     KernelTrace kernel = workloadByName(name).generate(config);
-    std::ofstream out(path);
-    if (!out)
-        fatal(msg("cannot open ", path, " for writing"));
-    writeTrace(out, kernel);
+    writeTraceFile(path, kernel, args.has("varint")).orDie();
     inform(msg("wrote ", kernel.numWarps(), " warps (",
-               kernel.totalInsts(), " insts) to ", path));
+               kernel.totalInsts(), " insts) to ", path,
+               hasGmtExtension(path) ? " (binary .gmt)" : " (text)"));
+    return 0;
+}
+
+int
+cmdPack(const ArgParser &args)
+{
+    std::string in = args.positional(1);
+    std::string out = args.positional(2);
+    if (in.empty() || out.empty())
+        fatal("usage: gpumech pack <trace-in> <trace-out.gmt> "
+              "[--varint]");
+    Result<KernelTrace> loaded = loadTraceFile(in);
+    if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.status().toString() << "\n";
+        return 1;
+    }
+    KernelTrace kernel = std::move(loaded).value();
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        fatal(msg("cannot open ", out, " for writing"));
+    GmtWriteOptions options;
+    options.varintLines = args.has("varint");
+    writeGmt(os, kernel, options);
+    os.flush();
+    if (!os)
+        fatal(msg("write to ", out, " failed"));
+    inform(msg("packed ", kernel.numWarps(), " warps (",
+               kernel.totalInsts(), " insts, ", kernel.totalLines(),
+               " line addresses) into ", out,
+               options.varintLines ? " (varint line pool)" : ""));
+    return 0;
+}
+
+int
+cmdUnpack(const ArgParser &args)
+{
+    std::string in = args.positional(1);
+    std::string out = args.positional(2);
+    if (in.empty() || out.empty())
+        fatal("usage: gpumech unpack <trace-in.gmt> <trace-out.txt>");
+    Result<KernelTrace> loaded = loadTraceFile(in);
+    if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.status().toString() << "\n";
+        return 1;
+    }
+    KernelTrace kernel = std::move(loaded).value();
+    std::ofstream os(out, std::ios::binary);
+    if (!os)
+        fatal(msg("cannot open ", out, " for writing"));
+    writeTrace(os, kernel);
+    os.flush();
+    if (!os)
+        fatal(msg("write to ", out, " failed"));
+    inform(msg("unpacked ", kernel.numWarps(), " warps (",
+               kernel.totalInsts(), " insts) into ", out));
     return 0;
 }
 
 int
 cmdModelTrace(const ArgParser &args)
 {
-    std::string path = args.positional(1);
-    if (path.empty())
-        fatal("usage: gpumech model-trace <file> [options]");
-    std::ifstream in(path);
-    if (!in)
-        fatal(msg("cannot open ", path));
-    KernelTrace kernel = readTrace(in);
-
+    if (args.numPositional() < 2)
+        fatal("usage: gpumech model-trace <file...> [options]");
     HardwareConfig config = configFrom(args);
     GpuMechOptions options;
     options.policy = policyFrom(args);
     options.level = levelFrom(args);
     options.modelSfu = args.has("model-sfu");
-    GpuMechResult r = runGpuMech(kernel, config, options);
-    std::cout << "kernel: " << kernel.name() << " (from " << path
-              << ")\n";
-    printModelResult(r, config, options.policy);
-    return 0;
+
+    if (args.numPositional() == 2) {
+        // Single file: full per-kernel report. Either format loads
+        // (detected by content, not extension).
+        std::string path = args.positional(1);
+        Result<KernelTrace> loaded = loadTraceFile(path);
+        if (!loaded.ok()) {
+            std::cerr << "error: " << loaded.status().toString()
+                      << "\n";
+            return 1;
+        }
+        KernelTrace kernel = std::move(loaded).value();
+        GpuMechResult r = runGpuMech(kernel, config, options);
+        std::cout << "kernel: " << kernel.name() << " (from " << path
+                  << ")\n";
+        printModelResult(r, config, options.policy);
+        return 0;
+    }
+
+    // Multiple files: stream the set through the collector with
+    // decode/collect overlap (at most two traces resident), modeling
+    // each kernel as it lands and containing per-file failures.
+    std::vector<std::string> paths;
+    for (std::size_t i = 1; i < args.numPositional(); ++i)
+        paths.push_back(args.positional(i));
+    unsigned jobs = args.getUint("jobs", 0);
+
+    std::size_t failed = 0;
+    Table t({"file", "kernel", "status", "CPI", "IPC/core"});
+    Table failures({"file", "code", "detail"});
+    streamTraceSet(
+        paths, config,
+        [&](StreamedTrace &&st) {
+            if (!st.status.ok()) {
+                ++failed;
+                t.addRow({st.path, "-", "FAILED", "-", "-"});
+                failures.addRow({st.path, toString(st.status.code()),
+                                 st.status.message()});
+                return;
+            }
+            GpuMechProfiler profiler(
+                st.kernel, config, options.selection,
+                options.numClusters, jobs,
+                std::make_shared<const CollectorResult>(
+                    std::move(st.inputs)));
+            GpuMechResult r = profiler.evaluate(
+                options.policy, options.level, options.modelSfu);
+            t.addRow({st.path, st.kernel.name(), "ok",
+                      fmtDouble(r.cpi, 3), fmtDouble(r.ipc, 4)});
+        },
+        jobs);
+    t.print(std::cout);
+    if (failed > 0) {
+        std::cout << "\n" << failed << "/" << paths.size()
+                  << " trace files failed:\n";
+        failures.print(std::cout);
+    }
+    if (failed == paths.size())
+        return 1;
+    return failed > 0 ? 2 : 0;
 }
 
 int
@@ -606,7 +712,16 @@ usage()
         "                            --values a,b,c [--oracle])\n"
         "  stack <kernel>           CPI stacks across warp counts\n"
         "  dump-trace <kernel> <f>  write the kernel trace to a file\n"
-        "  model-trace <f>          model a trace file\n"
+        "                           (binary .gmt when f ends in .gmt,\n"
+        "                            text otherwise; --varint packs\n"
+        "                            the .gmt line pool as deltas)\n"
+        "  pack <in> <out.gmt>      convert a trace file to the binary\n"
+        "                           columnar .gmt format [--varint]\n"
+        "  unpack <in.gmt> <out>    convert a binary trace to text\n"
+        "  model-trace <f...>       model trace files (text or .gmt,\n"
+        "                           detected by content; several files\n"
+        "                           stream with decode/collect overlap\n"
+        "                           and per-file fault containment)\n"
         "  suite <suite>            evaluate every kernel of a suite\n"
         "                           with per-kernel fault isolation\n"
         "                           ([--predict] model-only)\n"
@@ -644,6 +759,10 @@ dispatch(const ArgParser &args)
         return cmdStack(args);
     if (cmd == "dump-trace")
         return cmdDumpTrace(args);
+    if (cmd == "pack")
+        return cmdPack(args);
+    if (cmd == "unpack")
+        return cmdUnpack(args);
     if (cmd == "model-trace")
         return cmdModelTrace(args);
     if (cmd == "suite")

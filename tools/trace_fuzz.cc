@@ -1,25 +1,29 @@
 /**
  * @file
- * Time-budgeted fuzz smoke test for the trace text parser.
+ * Time-budgeted fuzz smoke test for the trace loaders (text parser
+ * and the binary .gmt decoder).
  *
- * Starts from a corpus of valid serialized traces, applies random
- * byte/line-level mutations, and feeds the result to parseTraceString.
- * The contract under fuzz:
+ * Starts from a corpus of valid serialized traces (text and packed
+ * .gmt, raw and varint), applies random mutations — byte/line edits
+ * for text, bit flips / truncations / span rewrites for .gmt — and
+ * feeds the result to the matching parser. The contract under fuzz:
  *
- *  - the parser never crashes, never throws past the Result boundary,
- *    and never allocates absurdly (count caps reject huge headers
- *    before any reserve);
+ *  - the parsers never crash, never throw past the Result boundary,
+ *    and never allocate absurdly (count caps reject huge headers and
+ *    section tables before any reserve);
  *  - every rejection carries a non-Ok StatusCode and a non-empty
  *    message;
  *  - every accepted input round-trips: serialize + re-parse succeeds
- *    and reproduces the same text.
+ *    and reproduces the same bytes (a fixpoint in its own format).
  *
  * Deterministic for a given --seed. The default --ms budget is small
  * enough for ctest; CI runs a longer budget (see ci.yml).
  *
- * Usage: trace_fuzz [--ms N] [--seed N] [--verbose]
+ * Usage: trace_fuzz [--ms N] [--seed N] [--format text|gmt|both]
+ *                   [--verbose]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -27,8 +31,10 @@
 #include <vector>
 
 #include "common/args.hh"
+#include "common/logging.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "trace/gmt_format.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -117,6 +123,77 @@ garbage(Rng &rng)
     return text;
 }
 
+/** Packed .gmt images of the text corpus, raw and varint encoded. */
+std::vector<std::string>
+buildGmtCorpus(const std::vector<std::string> &text_corpus)
+{
+    std::vector<std::string> corpus;
+    for (const std::string &text : text_corpus) {
+        Result<KernelTrace> parsed = parseTraceString(text);
+        if (!parsed.ok())
+            continue;
+        GmtWriteOptions raw, varint;
+        varint.varintLines = true;
+        corpus.push_back(gmtToString(parsed.value(), raw));
+        corpus.push_back(gmtToString(parsed.value(), varint));
+    }
+    return corpus;
+}
+
+/** Binary mutations: bit flips, truncations, span rewrites. */
+std::string
+mutateGmt(const std::string &base, Rng &rng)
+{
+    std::string bytes = base;
+    unsigned rounds = 1 + rng.nextBelow(4);
+    for (unsigned r = 0; r < rounds; ++r) {
+        if (bytes.empty())
+            break;
+        switch (rng.nextBelow(6)) {
+          case 0: // flip one bit anywhere
+            bytes[rng.nextBelow(bytes.size())] ^=
+                static_cast<char>(1 << rng.nextBelow(8));
+            break;
+          case 1: // flip one bit in the header/table region
+            bytes[rng.nextBelow(std::min<std::size_t>(bytes.size(),
+                                                      512))] ^=
+                static_cast<char>(1 << rng.nextBelow(8));
+            break;
+          case 2: // truncate at a random point
+            bytes.resize(rng.nextBelow(bytes.size() + 1));
+            break;
+          case 3: { // overwrite a short span with random bytes
+            std::size_t at = rng.nextBelow(bytes.size());
+            std::size_t n =
+                std::min(bytes.size() - at,
+                         std::size_t(1) + rng.nextBelow(16));
+            for (std::size_t i = 0; i < n; ++i)
+                bytes[at + i] =
+                    static_cast<char>(rng.nextBelow(256));
+            break;
+          }
+          case 4: { // zero a short span (fakes padding / kills magic)
+            std::size_t at = rng.nextBelow(bytes.size());
+            std::size_t n =
+                std::min(bytes.size() - at,
+                         std::size_t(1) + rng.nextBelow(16));
+            for (std::size_t i = 0; i < n; ++i)
+                bytes[at + i] = '\0';
+            break;
+          }
+          case 5: { // duplicate a span (shifts every later offset)
+            std::size_t at = rng.nextBelow(bytes.size());
+            std::size_t n =
+                std::min(bytes.size() - at,
+                         std::size_t(1) + rng.nextBelow(64));
+            bytes.insert(at, bytes.substr(at, n));
+            break;
+          }
+        }
+    }
+    return bytes;
+}
+
 int
 run(int argc, const char *const *argv)
 {
@@ -124,47 +201,80 @@ run(int argc, const char *const *argv)
     const std::uint64_t budget_ms = args.getUint("ms", 2000);
     const std::uint64_t seed = args.getUint("seed", 1);
     const bool verbose = args.has("verbose");
+    const std::string format = args.get("format", "both");
+    if (format != "text" && format != "gmt" && format != "both") {
+        std::fprintf(stderr,
+                     "unknown --format '%s' (use text, gmt or both)\n",
+                     format.c_str());
+        return 1;
+    }
 
     Rng rng(seed);
     std::vector<std::string> corpus = buildCorpus();
+    std::vector<std::string> gmt_corpus = buildGmtCorpus(corpus);
 
     std::map<std::string, std::size_t> outcomes;
     std::size_t iterations = 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(budget_ms);
     while (std::chrono::steady_clock::now() < deadline) {
-        std::string input =
-            (rng.nextBelow(8) == 0)
-                ? garbage(rng)
-                : mutate(corpus[rng.nextBelow(corpus.size())], rng);
+        const bool use_gmt =
+            format == "gmt" ||
+            (format == "both" && rng.nextBelow(2) == 0);
 
-        Result<KernelTrace> result = parseTraceString(input);
+        std::string input;
+        if (rng.nextBelow(8) == 0) {
+            // Pure noise; half the binary-mode noise keeps the magic
+            // so the .gmt header path (not just the sniff) is hit.
+            input = garbage(rng);
+            if (use_gmt && rng.nextBelow(2) == 0)
+                input.insert(0, "GMT!");
+        } else if (use_gmt) {
+            input = mutateGmt(
+                gmt_corpus[rng.nextBelow(gmt_corpus.size())], rng);
+        } else {
+            input = mutate(corpus[rng.nextBelow(corpus.size())], rng);
+        }
+
+        Result<KernelTrace> result = use_gmt
+                                         ? parseGmtString(input)
+                                         : parseTraceString(input);
+        const char *mode = use_gmt ? "gmt" : "text";
         if (result.ok()) {
-            outcomes["ok"]++;
-            // Accepted input must round-trip.
-            std::string text = traceToString(result.value());
-            Result<KernelTrace> again = parseTraceString(text);
-            if (!again.ok() || traceToString(again.value()) != text) {
+            outcomes[msg(mode, ":ok")]++;
+            // Accepted input must round-trip as a fixpoint of its own
+            // format's canonical serialization.
+            bool ok;
+            if (use_gmt) {
+                std::string bytes = gmtToString(result.value());
+                Result<KernelTrace> again = parseGmtString(bytes);
+                ok = again.ok() &&
+                     gmtToString(again.value()) == bytes;
+            } else {
+                std::string text = traceToString(result.value());
+                Result<KernelTrace> again = parseTraceString(text);
+                ok = again.ok() &&
+                     traceToString(again.value()) == text;
+            }
+            if (!ok) {
                 std::fprintf(stderr,
-                             "round-trip failure after %zu iterations "
-                             "(seed %llu)\ninput:\n%s\n",
-                             iterations,
-                             static_cast<unsigned long long>(seed),
-                             input.c_str());
+                             "%s round-trip failure after %zu "
+                             "iterations (seed %llu)\n",
+                             mode, iterations,
+                             static_cast<unsigned long long>(seed));
                 return 1;
             }
         } else {
             const Status &s = result.status();
             if (s.message().empty()) {
                 std::fprintf(stderr,
-                             "empty error message for code %s "
-                             "(seed %llu)\ninput:\n%s\n",
-                             toString(s.code()).c_str(),
-                             static_cast<unsigned long long>(seed),
-                             input.c_str());
+                             "empty error message for %s code %s "
+                             "(seed %llu)\n",
+                             mode, toString(s.code()).c_str(),
+                             static_cast<unsigned long long>(seed));
                 return 1;
             }
-            outcomes[toString(s.code())]++;
+            outcomes[msg(mode, ":", toString(s.code()))]++;
         }
         iterations++;
     }
