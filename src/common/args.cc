@@ -1,5 +1,6 @@
 #include "common/args.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -80,6 +81,34 @@ ArgParser::getUint(const std::string &name, std::uint32_t fallback) const
     if (end == nullptr || *end != '\0')
         fatal(msg("--", name, " expects an integer, got '", it->second,
                   "'"));
+    return static_cast<std::uint32_t>(v);
+}
+
+Result<std::uint32_t>
+ArgParser::getPositiveUint(const std::string &name,
+                           std::uint32_t fallback) const
+{
+    auto it = options.find(name);
+    if (it == options.end() || it->second.empty())
+        return fallback;
+    const std::string &value = it->second;
+    Status bad(StatusCode::InvalidArgument,
+               msg("--", name, " expects a positive integer, got '",
+                   value, "'"));
+    if (value.find_first_not_of("0123456789") != std::string::npos)
+        return bad;
+    // All digits; overflow is the only remaining failure mode.
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        v > 0xffffffffull) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("--", name, " value '", value,
+                          "' exceeds the 32-bit range"));
+    }
+    if (v == 0)
+        return bad;
     return static_cast<std::uint32_t>(v);
 }
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace gpumech
 {
 
@@ -45,6 +47,19 @@ class ArgParser
     /** Numeric value of --name; fatal on non-numeric input. */
     std::uint32_t getUint(const std::string &name,
                           std::uint32_t fallback) const;
+
+    /**
+     * Checked counterpart of getUint for count-valued options
+     * (--warps, --cores, --mshrs, --jobs): the value must be a plain
+     * decimal integer >= 1 that fits a uint32. Anything else —
+     * including "-1" (which getUint's strtoul would silently wrap to
+     * ~4e9) and "0" — returns StatusCode::InvalidArgument naming the
+     * flag, so front-ends can reject it before it reaches the engine.
+     * Absent/valueless options return @p fallback unchecked.
+     */
+    Result<std::uint32_t>
+    getPositiveUint(const std::string &name,
+                    std::uint32_t fallback) const;
 
     /** Floating-point value of --name; fatal on non-numeric input. */
     double getDouble(const std::string &name, double fallback) const;

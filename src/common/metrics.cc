@@ -306,12 +306,54 @@ monotonicNowNs()
             .count());
 }
 
+std::vector<MetricSnapshot>
+snapshotDelta(const std::vector<MetricSnapshot> &before,
+              const std::vector<MetricSnapshot> &after)
+{
+    std::vector<MetricSnapshot> delta;
+    delta.reserve(after.size());
+    // Both snapshots are sorted by name; walk them like a merge.
+    std::size_t b = 0;
+    for (const MetricSnapshot &m : after) {
+        while (b < before.size() && before[b].name < m.name)
+            ++b;
+        MetricSnapshot d = m;
+        if (b < before.size() && before[b].name == m.name) {
+            const MetricSnapshot &prev = before[b];
+            switch (m.kind) {
+              case MetricKind::Counter:
+                d.value = m.value - prev.value;
+                break;
+              case MetricKind::Gauge:
+                break; // keep the after level
+              case MetricKind::Histogram:
+                d.hist.count = m.hist.count - prev.hist.count;
+                d.hist.sum = m.hist.sum - prev.hist.sum;
+                for (std::size_t i = 0;
+                     i < HistogramData::numBuckets; ++i) {
+                    d.hist.buckets[i] =
+                        m.hist.buckets[i] - prev.hist.buckets[i];
+                }
+                break;
+            }
+        }
+        delta.push_back(std::move(d));
+    }
+    return delta;
+}
+
 std::string
 metricsToJson()
 {
+    return metricsToJson(Metrics::snapshot());
+}
+
+std::string
+metricsToJson(const std::vector<MetricSnapshot> &snapshot)
+{
     JsonWriter json;
     json.beginObject("metrics");
-    for (const MetricSnapshot &m : Metrics::snapshot()) {
+    for (const MetricSnapshot &m : snapshot) {
         json.beginObject(m.name);
         json.field("kind", toString(m.kind));
         switch (m.kind) {

@@ -239,11 +239,28 @@ class ScopedTimerMs
 std::uint64_t monotonicNowNs();
 
 /**
+ * Per-interval view: subtract @p before from @p after (both from
+ * Metrics::snapshot()). Counters and histogram count/sum/buckets
+ * subtract entrywise; gauges keep the after value (a gauge is a level,
+ * not a flow); histogram min/max are kept from @p after (extrema are
+ * not invertible). Metrics registered only in @p after appear as-is.
+ * The serve loop uses this to attribute registry activity to one
+ * request batch; like snapshot(), both endpoints must be taken while
+ * no instrumented work is in flight.
+ */
+std::vector<MetricSnapshot>
+snapshotDelta(const std::vector<MetricSnapshot> &before,
+              const std::vector<MetricSnapshot> &after);
+
+/**
  * Render the current snapshot as a JSON document:
  * {"metrics":{"<name>":{"kind":...,...}}}. Valid JSON by construction
  * (JsonWriter escaping + non-finite -> null).
  */
 std::string metricsToJson();
+
+/** Render an explicit (e.g. delta) snapshot as the same document. */
+std::string metricsToJson(const std::vector<MetricSnapshot> &snapshot);
 
 /**
  * Render the current snapshot as human-readable tables (counters and

@@ -35,6 +35,8 @@ toString(StatusCode code)
         return "deadline_exceeded";
       case StatusCode::FaultInjected:
         return "fault_injected";
+      case StatusCode::ResourceExhausted:
+        return "resource_exhausted";
       case StatusCode::Internal:
         return "internal";
     }

@@ -50,6 +50,8 @@ enum class StatusCode
                       //!< recorded checksum (on-disk corruption)
     DeadlineExceeded, //!< per-kernel watchdog fired
     FaultInjected,    //!< deterministic fault-injection hook fired
+    ResourceExhausted,//!< admission control shed the request
+                      //!< (serve queue full)
     Internal,         //!< escaped exception mapped at a containment
                       //!< boundary
 };

@@ -1,0 +1,38 @@
+#include "harness/session.hh"
+
+#include "harness/sweep.hh"
+
+namespace gpumech
+{
+
+std::vector<KernelEvaluation>
+evaluateSuite(EvalSession &session,
+              const std::vector<Workload> &workloads,
+              const HardwareConfig &config, SchedulingPolicy policy,
+              const std::vector<ModelKind> &models, bool verbose)
+{
+    return evaluateSuite(workloads, config, policy, models, verbose,
+                         session.jobs, &session.cache,
+                         session.isolation);
+}
+
+std::vector<KernelPrediction>
+predictSuite(EvalSession &session,
+             const std::vector<Workload> &workloads,
+             const HardwareConfig &config,
+             const GpuMechOptions &options)
+{
+    return predictSuite(workloads, config, options, session.jobs,
+                        &session.cache, session.isolation);
+}
+
+SweepResult
+runSweep(EvalSession &session, const std::vector<Workload> &workloads,
+         const std::vector<SweepPoint> &points, SchedulingPolicy policy,
+         bool verbose)
+{
+    return runSweep(workloads, points, policy, verbose, session.jobs,
+                    &session.cache, session.isolation);
+}
+
+} // namespace gpumech

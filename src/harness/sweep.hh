@@ -77,6 +77,17 @@ SweepResult runSweep(const std::vector<Workload> &workloads,
                      unsigned jobs = 0, InputCache *cache = nullptr,
                      const IsolationOptions &isolation = {});
 
+struct EvalSession;
+
+/**
+ * Session-based sweep: runSweep with the session's cache, jobs, and
+ * isolation defaults (see harness/session.hh).
+ */
+SweepResult runSweep(EvalSession &session,
+                     const std::vector<Workload> &workloads,
+                     const std::vector<SweepPoint> &points,
+                     SchedulingPolicy policy, bool verbose = false);
+
 /** Render a sweep as a table (rows = models, columns = points). */
 void printSweep(std::ostream &os, const SweepResult &result);
 

@@ -1,0 +1,710 @@
+#include "service/engine_session.hh"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "collector/input_collector.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "timing/gpu_timing.hh"
+#include "trace/gmt_format.hh"
+#include "trace/trace_io.hh"
+
+namespace gpumech
+{
+
+namespace
+{
+
+/** One reading of the session cache's hit/miss counters. */
+struct CacheCounters
+{
+    std::size_t traceHits = 0, traceMisses = 0;
+    std::size_t collectorHits = 0, collectorMisses = 0;
+    std::size_t profilerHits = 0, profilerMisses = 0;
+};
+
+CacheCounters
+readCounters(const InputCache &cache)
+{
+    CacheCounters c;
+    c.traceHits = cache.traceHits();
+    c.traceMisses = cache.traceMisses();
+    c.collectorHits = cache.collectorHits();
+    c.collectorMisses = cache.collectorMisses();
+    c.profilerHits = cache.profilerHits();
+    c.profilerMisses = cache.profilerMisses();
+    return c;
+}
+
+/** A total failure: exit-code 1 and the given status. */
+Response
+fail(Status status)
+{
+    Response resp;
+    resp.status = std::move(status);
+    resp.exitCode = 1;
+    return resp;
+}
+
+/** Workload lookup with the old CLI's message, as a Status. */
+Result<const Workload *>
+lookupWorkload(const std::string &name)
+{
+    const Workload *w = findWorkload(name);
+    if (w == nullptr) {
+        return Status(StatusCode::NotFound,
+                      msg("unknown workload: ", name));
+    }
+    return w;
+}
+
+/** Effective per-request isolation (request deadline/plan wins). */
+IsolationOptions
+isolationFor(const EvalSession &session, const Request &req)
+{
+    IsolationOptions iso = session.isolationFor(req.timeoutMs);
+    if (req.faultPlan)
+        iso.faultPlan = req.faultPlan.get();
+    return iso;
+}
+
+void
+printModelResult(std::ostream &os, const GpuMechResult &r,
+                 const HardwareConfig &config, SchedulingPolicy policy)
+{
+    os << "config: " << config.summary() << "\n";
+    os << "policy: " << toString(policy) << "\n";
+    os << "representative warp: " << r.repWarpIndex
+       << " (single-warp IPC " << fmtDouble(r.repWarpPerf, 4) << ", "
+       << r.repNumIntervals << " intervals)\n";
+    os << "CPI multithreading: " << fmtDouble(r.cpiMultithreading, 4)
+       << "\n";
+    os << "CPI contention:     " << fmtDouble(r.cpiContention, 4)
+       << "\n";
+    os << "CPI final:          " << fmtDouble(r.cpi, 4) << "  (IPC/core "
+       << fmtDouble(r.ipc, 4) << ")\n";
+    os << "CPI stack:          " << r.stack.toLine() << "\n";
+}
+
+Response
+handleList(std::ostream &os)
+{
+    Table t({"name", "suite", "ctrl-div", "mem-div", "description"});
+    for (const auto &w : allWorkloads()) {
+        t.addRow({w.name, w.suite, w.controlDivergent ? "yes" : "no",
+                  w.memoryDivergent ? "yes" : "no", w.description});
+    }
+    t.print(os);
+    return Response{};
+}
+
+Response
+handleModel(EvalSession &session, const Request &req, std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    // Warm path: trace + collector + warp profiles come from the
+    // session cache; only the (cheap) analytical evaluation runs per
+    // request. evaluateAt keeps the result bit-identical to the old
+    // CLI's runGpuMech (pinned by test_parallel and cli_golden).
+    ProfiledKernel pk = session.cache.profiler(*w, req.config);
+    GpuMechResult r = pk.profiler->evaluateAt(req.config, req.policy,
+                                              req.level, req.modelSfu);
+    const KernelTrace &kernel = *pk.trace;
+    if (req.json) {
+        JsonWriter json;
+        json.field("kernel", kernel.name());
+        json.field("policy", toString(req.policy));
+        json.field("level", toString(req.level));
+        json.field("warps",
+                   static_cast<std::uint64_t>(kernel.numWarps()));
+        json.field("insts", kernel.totalInsts());
+        json.field("cpi", r.cpi);
+        json.field("ipc", r.ipc);
+        json.field("cpi_multithreading", r.cpiMultithreading);
+        json.field("cpi_contention", r.cpiContention);
+        json.field("rep_warp",
+                   static_cast<std::uint64_t>(r.repWarpIndex));
+        json.beginObject("stack");
+        for (std::size_t i = 0; i < numStallTypes; ++i) {
+            json.field(toString(static_cast<StallType>(i)),
+                       r.stack.cpi[i]);
+        }
+        json.endObject();
+        os << json.finish() << "\n";
+        return Response{};
+    }
+    os << "kernel: " << kernel.name() << " (" << kernel.numWarps()
+       << " warps, " << kernel.totalInsts() << " insts)\n";
+    printModelResult(os, r, req.config, req.policy);
+    return Response{};
+}
+
+Response
+handleSimulate(EvalSession &session, const Request &req,
+               std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    std::shared_ptr<const KernelTrace> kernel =
+        session.cache.trace(*w, req.config);
+
+    GpuTiming sim(*kernel, req.config, req.policy);
+    TimingStats s = sim.run();
+    if (req.json) {
+        JsonWriter json;
+        json.field("kernel", kernel->name());
+        json.field("policy", toString(req.policy));
+        json.field("cycles", s.totalCycles);
+        json.field("insts", s.totalInsts);
+        json.field("cpi", s.cpi());
+        json.field("simd_efficiency", s.simdEfficiency());
+        json.beginObject("memory");
+        json.field("l1_accesses", s.l1Accesses);
+        json.field("l1_hits", s.l1Hits);
+        json.field("l2_accesses", s.l2Accesses);
+        json.field("l2_hits", s.l2Hits);
+        json.field("dram_reads", s.dramReads);
+        json.field("dram_writes", s.dramWrites);
+        json.field("avg_dram_queue_delay", s.avgDramQueueDelay);
+        json.field("mshr_peak", static_cast<std::uint64_t>(s.mshrPeak));
+        json.endObject();
+        json.beginObject("stall_cpi");
+        json.field("compute", s.computeStallCpi());
+        json.field("mem", s.memStallCpi());
+        json.field("mshr", s.mshrStallCpi());
+        json.field("sfu", s.sfuStallCpi());
+        json.endObject();
+        os << json.finish() << "\n";
+        return Response{};
+    }
+    os << "kernel: " << kernel->name() << "\n";
+    os << "config: " << req.config.summary() << "\n";
+    os << "cycles: " << s.totalCycles << "\n";
+    os << "CPI (per core): " << fmtDouble(s.cpi(), 4) << "\n";
+    os << "L1 hit rate: "
+       << fmtPercent(s.l1Accesses ? static_cast<double>(s.l1Hits) /
+                                        s.l1Accesses
+                                  : 0.0)
+       << ", L2 hit rate: "
+       << fmtPercent(s.l2Accesses ? static_cast<double>(s.l2Hits) /
+                                        s.l2Accesses
+                                  : 0.0)
+       << "\n";
+    os << "DRAM reads/writes: " << s.dramReads << "/" << s.dramWrites
+       << " (avg queue " << fmtDouble(s.avgDramQueueDelay, 1)
+       << " cycles)\n";
+    os << "MSHR peak/allocs/merges: " << s.mshrPeak << "/"
+       << s.mshrAllocs << "/" << s.mshrMerges << "\n";
+    os << "SIMD efficiency: " << fmtPercent(s.simdEfficiency()) << "\n";
+    os << "measured stall CPI: compute "
+       << fmtDouble(s.computeStallCpi(), 2) << ", mem "
+       << fmtDouble(s.memStallCpi(), 2) << ", MSHR "
+       << fmtDouble(s.mshrStallCpi(), 2) << ", SFU "
+       << fmtDouble(s.sfuStallCpi(), 2) << "\n";
+    return Response{};
+}
+
+Response
+handleSweep(EvalSession &session, const Request &req, std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    const HardwareConfig &base = req.config;
+
+    // Profile once at the base configuration; each point re-evaluates
+    // (Section VI-D). The warps axis changes the trace itself
+    // (occupancy), so those points profile at their own configuration
+    // — through the cache, so a repeated sweep is model-only.
+    ProfiledKernel base_pk = session.cache.profiler(*w, base);
+
+    std::vector<std::string> header{req.sweepParam, "model CPI",
+                                    "model IPC"};
+    if (req.oracle)
+        header.insert(header.end(), {"oracle CPI", "error"});
+    Table t(header);
+
+    for (double v : req.sweepValues) {
+        HardwareConfig config = base;
+        if (req.sweepParam == "warps") {
+            config.warpsPerCore = static_cast<std::uint32_t>(v);
+        } else if (req.sweepParam == "mshrs") {
+            config.numMshrs = static_cast<std::uint32_t>(v);
+        } else if (req.sweepParam == "bw") {
+            config.dramBandwidthGBs = v;
+        } else {
+            config.sfuLanes = static_cast<std::uint32_t>(v);
+        }
+
+        ProfiledKernel pk = req.sweepParam == "warps"
+                                ? session.cache.profiler(*w, config)
+                                : base_pk;
+        GpuMechResult r = pk.profiler->evaluateAt(
+            config, req.policy, ModelLevel::MT_MSHR_BAND, req.modelSfu);
+
+        std::vector<std::string> row{fmtDouble(v, 0),
+                                     fmtDouble(r.cpi, 3),
+                                     fmtDouble(r.ipc, 4)};
+        if (req.oracle) {
+            GpuTiming sim(*pk.trace, config, req.policy);
+            double oracle_cpi = sim.run().cpi();
+            row.push_back(fmtDouble(oracle_cpi, 3));
+            row.push_back(fmtPercent(std::abs(r.ipc - 1.0 / oracle_cpi) /
+                                     (1.0 / oracle_cpi)));
+        }
+        t.addRow(std::move(row));
+    }
+    os << "kernel: " << req.kernel << ", sweeping " << req.sweepParam
+       << "\n\n";
+    t.print(os);
+    return Response{};
+}
+
+Response
+handleCompare(EvalSession &session, const Request &req,
+              std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    KernelEvaluation eval =
+        evaluateKernel(*w, req.config, req.policy, allModels(),
+                       &session.cache, isolationFor(session, req));
+    if (!eval.ok())
+        return fail(eval.status);
+
+    os << "kernel: " << req.kernel << ", oracle CPI "
+       << fmtDouble(eval.oracleCpi, 3) << "\n\n";
+    Table t({"model", "predicted IPC", "error"});
+    for (ModelKind kind : allModels()) {
+        t.addRow({toString(kind),
+                  fmtDouble(eval.predictedIpc.at(kind), 4),
+                  fmtPercent(eval.error(kind))});
+    }
+    t.print(os);
+    Response resp;
+    resp.stats.kernels = 1;
+    return resp;
+}
+
+Response
+handleStack(EvalSession &session, const Request &req, std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    Table t({"warps", "BASE", "DEP", "L1", "L2", "DRAM", "MSHR",
+             "QUEUE", "SFU", "total CPI"});
+    for (std::uint32_t warps : {8u, 16u, 24u, 32u, 48u}) {
+        HardwareConfig config = req.config;
+        config.warpsPerCore = warps;
+        ProfiledKernel pk = session.cache.profiler(*w, config);
+        GpuMechResult r = pk.profiler->evaluateAt(
+            config, req.policy, ModelLevel::MT_MSHR_BAND, req.modelSfu);
+        t.addRow({std::to_string(warps),
+                  fmtDouble(r.stack[StallType::Base], 2),
+                  fmtDouble(r.stack[StallType::Dep], 2),
+                  fmtDouble(r.stack[StallType::L1], 2),
+                  fmtDouble(r.stack[StallType::L2], 2),
+                  fmtDouble(r.stack[StallType::Dram], 2),
+                  fmtDouble(r.stack[StallType::Mshr], 2),
+                  fmtDouble(r.stack[StallType::Queue], 2),
+                  fmtDouble(r.stack[StallType::Sfu], 2),
+                  fmtDouble(r.stack.total(), 2)});
+    }
+    os << "kernel: " << req.kernel << "\n\n";
+    t.print(os);
+    return Response{};
+}
+
+Response
+handleDumpTrace(EvalSession &session, const Request &req)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    const std::string &path = req.paths[0];
+    std::shared_ptr<const KernelTrace> kernel =
+        session.cache.trace(*w, req.config);
+    Status written = writeTraceFile(path, *kernel, req.varint);
+    if (!written.ok())
+        return fail(written);
+    inform(msg("wrote ", kernel->numWarps(), " warps (",
+               kernel->totalInsts(), " insts) to ", path,
+               hasGmtExtension(path) ? " (binary .gmt)" : " (text)"));
+    return Response{};
+}
+
+Response
+handlePack(const Request &req)
+{
+    const std::string &in = req.paths[0];
+    const std::string &out = req.paths[1];
+    Result<KernelTrace> loaded = loadTraceFile(in);
+    if (!loaded.ok())
+        return fail(loaded.status());
+    KernelTrace kernel = std::move(loaded).value();
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+        return fail(Status(StatusCode::InvalidArgument,
+                           msg("cannot open ", out, " for writing")));
+    }
+    GmtWriteOptions options;
+    options.varintLines = req.varint;
+    writeGmt(os, kernel, options);
+    os.flush();
+    if (!os) {
+        return fail(Status(StatusCode::Internal,
+                           msg("write to ", out, " failed")));
+    }
+    inform(msg("packed ", kernel.numWarps(), " warps (",
+               kernel.totalInsts(), " insts, ", kernel.totalLines(),
+               " line addresses) into ", out,
+               options.varintLines ? " (varint line pool)" : ""));
+    return Response{};
+}
+
+Response
+handleUnpack(const Request &req)
+{
+    const std::string &in = req.paths[0];
+    const std::string &out = req.paths[1];
+    Result<KernelTrace> loaded = loadTraceFile(in);
+    if (!loaded.ok())
+        return fail(loaded.status());
+    KernelTrace kernel = std::move(loaded).value();
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+        return fail(Status(StatusCode::InvalidArgument,
+                           msg("cannot open ", out, " for writing")));
+    }
+    writeTrace(os, kernel);
+    os.flush();
+    if (!os) {
+        return fail(Status(StatusCode::Internal,
+                           msg("write to ", out, " failed")));
+    }
+    inform(msg("unpacked ", kernel.numWarps(), " warps (",
+               kernel.totalInsts(), " insts) into ", out));
+    return Response{};
+}
+
+Response
+handleModelTrace(EvalSession &session, const Request &req,
+                 std::ostream &os)
+{
+    GpuMechOptions options;
+    options.policy = req.policy;
+    options.level = req.level;
+    options.modelSfu = req.modelSfu;
+
+    if (req.paths.size() == 1) {
+        // Single file: full per-kernel report. Either format loads
+        // (detected by content, not extension).
+        const std::string &path = req.paths[0];
+        Result<KernelTrace> loaded = loadTraceFile(path);
+        if (!loaded.ok())
+            return fail(loaded.status());
+        KernelTrace kernel = std::move(loaded).value();
+        GpuMechResult r = runGpuMech(kernel, req.config, options);
+        os << "kernel: " << kernel.name() << " (from " << path
+           << ")\n";
+        printModelResult(os, r, req.config, req.policy);
+        Response resp;
+        resp.stats.kernels = 1;
+        return resp;
+    }
+
+    // Multiple files: stream the set through the collector with
+    // decode/collect overlap (at most two traces resident), modeling
+    // each kernel as it lands and containing per-file failures.
+    unsigned jobs = session.jobsFor(req.jobs);
+
+    std::size_t failed = 0;
+    Table t({"file", "kernel", "status", "CPI", "IPC/core"});
+    Table failures({"file", "code", "detail"});
+    streamTraceSet(
+        req.paths, req.config,
+        [&](StreamedTrace &&st) {
+            if (!st.status.ok()) {
+                ++failed;
+                t.addRow({st.path, "-", "FAILED", "-", "-"});
+                failures.addRow({st.path, toString(st.status.code()),
+                                 st.status.message()});
+                return;
+            }
+            GpuMechProfiler profiler(
+                st.kernel, req.config, options.selection,
+                options.numClusters, jobs,
+                std::make_shared<const CollectorResult>(
+                    std::move(st.inputs)));
+            GpuMechResult r = profiler.evaluate(
+                options.policy, options.level, options.modelSfu);
+            t.addRow({st.path, st.kernel.name(), "ok",
+                      fmtDouble(r.cpi, 3), fmtDouble(r.ipc, 4)});
+        },
+        jobs);
+    t.print(os);
+    if (failed > 0) {
+        os << "\n" << failed << "/" << req.paths.size()
+           << " trace files failed:\n";
+        failures.print(os);
+    }
+    Response resp;
+    resp.stats.kernels = req.paths.size();
+    resp.stats.failed = failed;
+    if (failed == req.paths.size()) {
+        resp.exitCode = 1;
+        resp.status = Status(StatusCode::Internal,
+                             msg("all ", failed, " trace files failed"));
+    } else if (failed > 0) {
+        resp.exitCode = 2;
+    }
+    return resp;
+}
+
+Response
+handleSuite(EvalSession &session, const Request &req, std::ostream &os)
+{
+    std::vector<Workload> workloads;
+    {
+        Result<std::vector<Workload>> found = suiteByName(req.suite);
+        if (!found.ok())
+            return fail(found.status());
+        workloads = std::move(found).value();
+    }
+    IsolationOptions iso = isolationFor(session, req);
+    unsigned jobs = session.jobsFor(req.jobs);
+
+    std::size_t failed = 0;
+    Table failures({"kernel", "code", "detail"});
+    std::size_t total = 0;
+
+    if (req.predict) {
+        // Model-only fast path (no oracle simulation).
+        GpuMechOptions options;
+        options.policy = req.policy;
+        options.level = req.level;
+        options.modelSfu = req.modelSfu;
+        auto preds = predictSuite(workloads, req.config, options, jobs,
+                                  &session.cache, iso);
+        total = preds.size();
+        Table t({"kernel", "status", "CPI", "IPC/core"});
+        for (const KernelPrediction &pred : preds) {
+            if (pred.ok()) {
+                t.addRow({pred.kernel, "ok",
+                          fmtDouble(pred.result.cpi, 3),
+                          fmtDouble(pred.result.ipc, 4)});
+            } else {
+                ++failed;
+                t.addRow({pred.kernel, "FAILED", "-", "-"});
+                failures.addRow({pred.kernel,
+                                 toString(pred.status.code()),
+                                 pred.status.message()});
+            }
+        }
+        t.print(os);
+        if (failed > 0) {
+            os << "\n" << failed << "/" << preds.size()
+               << " kernels failed:\n";
+            failures.print(os);
+        }
+    } else {
+        auto evals =
+            evaluateSuite(workloads, req.config, req.policy,
+                          allModels(), req.verbose, jobs,
+                          &session.cache, iso);
+        total = evals.size();
+        Table t({"kernel", "status", "oracle CPI", "GPUMech IPC",
+                 "error"});
+        for (const KernelEvaluation &eval : evals) {
+            if (eval.ok()) {
+                t.addRow(
+                    {eval.kernel, "ok", fmtDouble(eval.oracleCpi, 3),
+                     fmtDouble(
+                         eval.predictedIpc.at(ModelKind::MT_MSHR_BAND),
+                         4),
+                     fmtPercent(eval.error(ModelKind::MT_MSHR_BAND))});
+            } else {
+                ++failed;
+                t.addRow({eval.kernel, "FAILED", "-", "-", "-"});
+                failures.addRow({eval.kernel,
+                                 toString(eval.status.code()),
+                                 eval.status.message()});
+            }
+        }
+        t.print(os);
+        os << "\nmean error over " << evals.size() - failed
+           << " succeeding kernels: "
+           << fmtPercent(averageError(evals, ModelKind::MT_MSHR_BAND))
+           << "\n";
+        if (failed > 0) {
+            os << "\n" << failed << "/" << evals.size()
+               << " kernels failed:\n";
+            failures.print(os);
+        }
+    }
+    Response resp;
+    resp.stats.kernels = total;
+    resp.stats.failed = failed;
+    if (failed == total && total > 0) {
+        resp.exitCode = 1;
+        resp.status = Status(StatusCode::Internal,
+                             msg("all ", failed, " kernels failed"));
+    } else if (failed > 0) {
+        resp.exitCode = 2;
+    }
+    return resp;
+}
+
+} // namespace
+
+EngineSession::EngineSession(const EngineOptions &options)
+{
+    eval.jobs = options.jobs;
+    eval.isolation.kernelTimeoutMs = options.kernelTimeoutMs;
+}
+
+Response
+EngineSession::dispatch(const Request &req)
+{
+    std::ostringstream os;
+    Response resp;
+    switch (req.verb) {
+      case Verb::List:
+        resp = handleList(os);
+        break;
+      case Verb::Model:
+      case Verb::Simulate:
+      case Verb::Sweep:
+      case Verb::Stack:
+        if (req.verb == Verb::Model)
+            resp = handleModel(eval, req, os);
+        else if (req.verb == Verb::Simulate)
+            resp = handleSimulate(eval, req, os);
+        else if (req.verb == Verb::Sweep)
+            resp = handleSweep(eval, req, os);
+        else
+            resp = handleStack(eval, req, os);
+        resp.stats.kernels = 1;
+        resp.stats.failed = resp.ok() ? 0 : 1;
+        break;
+      case Verb::Compare:
+        resp = handleCompare(eval, req, os);
+        break;
+      case Verb::DumpTrace:
+        resp = handleDumpTrace(eval, req);
+        break;
+      case Verb::Pack:
+        resp = handlePack(req);
+        break;
+      case Verb::Unpack:
+        resp = handleUnpack(req);
+        break;
+      case Verb::ModelTrace:
+        resp = handleModelTrace(eval, req, os);
+        break;
+      case Verb::Suite:
+        resp = handleSuite(eval, req, os);
+        break;
+      case Verb::Ping:
+        os << "pong\n";
+        break;
+      case Verb::Stats: {
+        JsonWriter json;
+        json.field("requests", handled.load());
+        json.beginObject("cache");
+        json.field("trace_hits",
+                   static_cast<std::uint64_t>(eval.cache.traceHits()));
+        json.field("trace_misses", static_cast<std::uint64_t>(
+                                       eval.cache.traceMisses()));
+        json.field("collector_hits", static_cast<std::uint64_t>(
+                                         eval.cache.collectorHits()));
+        json.field("collector_misses",
+                   static_cast<std::uint64_t>(
+                       eval.cache.collectorMisses()));
+        json.field("profiler_hits", static_cast<std::uint64_t>(
+                                        eval.cache.profilerHits()));
+        json.field("profiler_misses",
+                   static_cast<std::uint64_t>(
+                       eval.cache.profilerMisses()));
+        json.endObject();
+        os << json.finish() << "\n";
+        break;
+      }
+    }
+    resp.output = os.str();
+    // A failed request keeps whatever partial report it rendered —
+    // the old CLI printed partial-suite tables before exiting 2.
+    return resp;
+}
+
+Response
+EngineSession::handle(const Request &request)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const CacheCounters before = readCounters(eval.cache);
+
+    Response resp;
+    try {
+        resp = dispatch(request);
+    } catch (const StatusException &e) {
+        // Single-kernel handlers have no containment boundary below
+        // this one; the carried Status is a total failure.
+        resp = fail(e.status());
+    } catch (const std::exception &e) {
+        resp = fail(Status(StatusCode::Internal,
+                           msg("unhandled exception: ", e.what())));
+    }
+
+    const CacheCounters after = readCounters(eval.cache);
+    resp.stats.traceHits = after.traceHits - before.traceHits;
+    resp.stats.traceMisses = after.traceMisses - before.traceMisses;
+    resp.stats.collectorHits =
+        after.collectorHits - before.collectorHits;
+    resp.stats.collectorMisses =
+        after.collectorMisses - before.collectorMisses;
+    resp.stats.profilerHits =
+        after.profilerHits - before.profilerHits;
+    resp.stats.profilerMisses =
+        after.profilerMisses - before.profilerMisses;
+    resp.stats.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    handled.fetch_add(1);
+    return resp;
+}
+
+} // namespace gpumech

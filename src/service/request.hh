@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Typed request/response model shared by every front-end.
+ *
+ * The engine/front-end split (DESIGN.md section 13) factors the old
+ * monolithic CLI into three pieces:
+ *
+ *   front-end   parses its native surface (argv, a JSON line) into a
+ *               Request and renders the Response back out
+ *   Request     one evaluation order: a verb, its target (kernel /
+ *               suite / trace files), hardware-configuration
+ *               overrides, scheduling/model options, a per-request
+ *               deadline and fault plan, and a thread budget
+ *   Response    the outcome: a Status, the CLI exit-code semantics
+ *               (0 full success / 1 total failure / 2 partial), the
+ *               rendered report text, and per-request work counters
+ *
+ * Both parsers return Status instead of dying: a malformed request is
+ * one error response, never a dead process (the daemon) or an unclear
+ * crash (the CLI).
+ */
+
+#ifndef GPUMECH_SERVICE_REQUEST_HH
+#define GPUMECH_SERVICE_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/config.hh"
+#include "common/isolation.hh"
+#include "common/status.hh"
+#include "core/gpumech.hh"
+
+namespace gpumech
+{
+
+/** Every operation the evaluation service performs. */
+enum class Verb
+{
+    List,       //!< list registered workloads
+    Model,      //!< GPUMech prediction + CPI stack for one kernel
+    Simulate,   //!< detailed timing simulation for one kernel
+    Compare,    //!< all five models vs the oracle for one kernel
+    Sweep,      //!< sweep one hardware parameter for one kernel
+    Stack,      //!< CPI stacks across warp counts for one kernel
+    DumpTrace,  //!< write a kernel's trace to disk
+    Pack,       //!< convert a trace file to binary .gmt
+    Unpack,     //!< convert a binary trace to text
+    ModelTrace, //!< model one or more on-disk trace files
+    Suite,      //!< evaluate a whole suite with fault isolation
+    Ping,       //!< serve-only liveness probe
+    Stats,      //!< serve-only session/cache/metrics report
+};
+
+/** Stable verb name (the CLI subcommand / JSON "cmd" value). */
+std::string toString(Verb verb);
+
+/** Parse a verb name; NotFound on an unknown command. */
+Result<Verb> verbFromString(const std::string &name);
+
+/** One evaluation order, front-end agnostic. */
+struct Request
+{
+    Verb verb = Verb::List;
+
+    /** Client correlation id, echoed in the daemon's response. */
+    std::string id;
+
+    std::string kernel; //!< single-kernel verbs
+    std::string suite;  //!< Suite
+
+    /**
+     * File arguments: ModelTrace inputs (one or more), or
+     * [kernel-or-input, output] for DumpTrace / Pack / Unpack.
+     */
+    std::vector<std::string> paths;
+
+    /** Fully-resolved, validated machine description. */
+    HardwareConfig config = HardwareConfig::baseline();
+
+    SchedulingPolicy policy = SchedulingPolicy::RoundRobin;
+    ModelLevel level = ModelLevel::MT_MSHR_BAND;
+    bool modelSfu = false;
+
+    bool predict = false; //!< Suite: model-only fast path
+    bool oracle = false;  //!< Sweep: add oracle columns
+    bool verbose = false; //!< Suite: per-kernel progress on stderr
+    bool json = false;    //!< Model/Simulate: JSON report
+    bool varint = false;  //!< DumpTrace/Pack: varint line pool
+
+    std::string sweepParam = "warps";   //!< Sweep axis
+    std::vector<double> sweepValues;    //!< Sweep points
+
+    /** Worker threads for fan-out; 0 = session default. */
+    unsigned jobs = 0;
+
+    /** Per-request cooperative deadline; 0 = session default. */
+    std::uint64_t timeoutMs = 0;
+
+    /** Deterministic fault plan (--inject / "inject"); may be null. */
+    std::shared_ptr<FaultPlan> faultPlan;
+
+    /**
+     * Serve-only: attach a metrics-registry delta for this request.
+     * Forces the request to run alone (snapshots are only safe with
+     * no instrumented work in flight).
+     */
+    bool wantMetrics = false;
+};
+
+/** Per-request work counters for the response. */
+struct ResponseStats
+{
+    std::size_t kernels = 0; //!< kernels (or trace files) evaluated
+    std::size_t failed = 0;  //!< contained per-kernel failures
+
+    // InputCache activity attributable to this request.
+    std::uint64_t traceHits = 0, traceMisses = 0;
+    std::uint64_t collectorHits = 0, collectorMisses = 0;
+    std::uint64_t profilerHits = 0, profilerMisses = 0;
+
+    double wallMs = 0.0; //!< handling wall time
+};
+
+/** Outcome of one request. */
+struct Response
+{
+    /**
+     * Request-level outcome. Ok for exit codes 0 and 2 (a partial
+     * suite still produced a report); the failure for exit code 1.
+     */
+    Status status;
+
+    /** CLI exit-code semantics: 0 success, 1 total failure, 2 partial. */
+    int exitCode = 0;
+
+    /** True when admission control rejected the request unprocessed. */
+    bool shed = false;
+
+    /** Rendered report — byte-identical to the pre-split CLI stdout. */
+    std::string output;
+
+    /**
+     * Metrics-registry delta (a JSON document, carried as a string)
+     * when the request asked for one; empty otherwise.
+     */
+    std::string metricsJson;
+
+    ResponseStats stats;
+
+    bool ok() const { return status.ok(); }
+};
+
+/**
+ * Parse a command line into a Request. Errors (unknown command or
+ * workload-independent bad values: malformed/zero/negative --warps,
+ * --cores, --mshrs, --jobs, out-of-range configuration fields, bad
+ * --policy/--level/--inject) come back as InvalidArgument/NotFound
+ * instead of fatal(), so the CLI front-end owns the process exit.
+ */
+Result<Request> requestFromArgs(const ArgParser &args);
+
+/**
+ * Parse one JSON-lines request (the `gpumech_serve` protocol; see
+ * README "Serving"). Shape:
+ *
+ *   {"cmd":"model","kernel":"vectorAdd",
+ *    "config":{"warps":16,"cores":8,"mshrs":64,"bw":256,
+ *              "sfu_lanes":16},
+ *    "policy":"gto","level":"band","model_sfu":true,
+ *    "timeout_ms":500,"jobs":2,"json":false,
+ *    "id":"req-1"}
+ *
+ * plus per-verb fields: "suite" (+"predict","verbose"), "paths"
+ * (ModelTrace/DumpTrace/Pack/Unpack), "param"/"values" (Sweep),
+ * "oracle", "varint", "inject" (the --inject spec string).
+ */
+Result<Request> requestFromJson(const std::string &line);
+
+/**
+ * Parse a comma-separated --inject spec list
+ * (kernel:site[:attempt[:stallMs]]) into a FaultPlan. Empty input
+ * yields a null plan.
+ */
+Result<std::shared_ptr<FaultPlan>>
+parseInjectSpec(const std::string &specs);
+
+/**
+ * Render a response as one JSON line (no trailing newline): id, seq,
+ * ok/code/status (+error message when failed), shed flag when set,
+ * work counters, cache activity, wall time, and the rendered report
+ * text when @p include_output.
+ */
+std::string responseToJsonLine(const Response &response,
+                               const std::string &id,
+                               std::uint64_t seq,
+                               bool include_output);
+
+} // namespace gpumech
+
+#endif // GPUMECH_SERVICE_REQUEST_HH

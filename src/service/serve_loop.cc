@@ -1,0 +1,392 @@
+#include "service/serve_loop.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json_value.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/thread_pool.hh"
+
+namespace gpumech
+{
+
+namespace
+{
+
+std::atomic<bool> drainRequested{false};
+
+/**
+ * Best-effort id recovery for rejected lines: a request that fails
+ * semantic validation may still be well-formed JSON carrying the
+ * client's correlation id, and echoing it back lets the client match
+ * the error to its request instead of falling back to seq counting.
+ */
+std::string
+salvageRequestId(const std::string &line)
+{
+    Result<JsonValue> doc = parseJson(line);
+    if (!doc.ok() || !doc.value().isObject())
+        return "";
+    const JsonValue *id = doc.value().find("id");
+    return (id && id->isString()) ? id->string() : "";
+}
+
+/** One line-oriented connection (stdin/stdout or a socket fd). */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Next input line (no terminator); false on EOF/error/drain. */
+    virtual bool readLine(std::string &line) = 0;
+
+    /** Write one line + '\n'; false once the peer is gone. */
+    virtual bool writeLine(const std::string &line) = 0;
+};
+
+class StreamTransport : public Transport
+{
+  public:
+    StreamTransport(std::istream &in, std::ostream &out)
+        : in(in), out(out)
+    {}
+
+    bool
+    readLine(std::string &line) override
+    {
+        if (drainRequested.load(std::memory_order_relaxed))
+            return false;
+        return static_cast<bool>(std::getline(in, line));
+    }
+
+    bool
+    writeLine(const std::string &line) override
+    {
+        out << line << "\n";
+        out.flush();
+        return static_cast<bool>(out);
+    }
+
+  private:
+    std::istream &in;
+    std::ostream &out;
+};
+
+/** Buffered line I/O over a POSIX fd (Unix-socket connections). */
+class FdTransport : public Transport
+{
+  public:
+    explicit FdTransport(int fd) : fd(fd) {}
+
+    bool
+    readLine(std::string &line) override
+    {
+        line.clear();
+        for (;;) {
+            if (drainRequested.load(std::memory_order_relaxed))
+                return false;
+            std::size_t nl = buffer.find('\n');
+            if (nl != std::string::npos) {
+                line = buffer.substr(0, nl);
+                buffer.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue; // re-check the drain flag
+                return false;
+            }
+            if (n == 0) {
+                // EOF: deliver a final unterminated line, if any.
+                if (buffer.empty())
+                    return false;
+                line.swap(buffer);
+                return true;
+            }
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    bool
+    writeLine(const std::string &line) override
+    {
+        std::string data = line + "\n";
+        std::size_t off = 0;
+        while (off < data.size()) {
+            ssize_t n = ::write(fd, data.data() + off,
+                                data.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+  private:
+    int fd;
+    std::string buffer;
+};
+
+struct QueuedRequest
+{
+    std::uint64_t seq = 0;
+    Request request;
+};
+
+ServeSummary
+serveTransport(EngineSession &engine, Transport &transport,
+               const ServeOptions &options)
+{
+    const std::size_t max_queue = options.maxQueue > 0
+                                      ? options.maxQueue
+                                      : std::size_t{1};
+    const unsigned max_batch =
+        options.maxBatch > 0 ? options.maxBatch : 1u;
+
+    ServeSummary summary;
+    std::mutex mu;                // queue + summary
+    std::condition_variable cv;
+    std::deque<QueuedRequest> queue;
+    bool intake_done = false;
+    std::mutex write_mu;
+    std::atomic<bool> write_failed{false};
+
+    auto emit = [&](const Response &resp, const std::string &id,
+                    std::uint64_t seq) {
+        std::lock_guard<std::mutex> lock(write_mu);
+        if (!transport.writeLine(responseToJsonLine(
+                resp, id, seq, options.includeOutput)))
+            write_failed.store(true);
+    };
+
+    // Intake: parse lines, shed on a full queue, answer bad lines
+    // immediately. Runs concurrently with dispatch below.
+    std::thread reader([&] {
+        std::string line;
+        std::uint64_t seq = 0;
+        while (!write_failed.load() && transport.readLine(line)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue; // blank keep-alive line
+            ++seq;
+            Result<Request> parsed = requestFromJson(line);
+            if (!parsed.ok()) {
+                Response resp;
+                resp.status = parsed.status();
+                resp.exitCode = 1;
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    ++summary.received;
+                    ++summary.malformed;
+                }
+                emit(resp, salvageRequestId(line), seq);
+                continue;
+            }
+            Request req = std::move(parsed).value();
+            bool shed = false;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                ++summary.received;
+                if (queue.size() >= max_queue) {
+                    shed = true;
+                    ++summary.shed;
+                } else {
+                    queue.push_back({seq, std::move(req)});
+                }
+            }
+            if (shed) {
+                Response resp;
+                resp.status = Status(
+                    StatusCode::ResourceExhausted,
+                    msg("queue full (", max_queue,
+                        " pending); request shed"));
+                resp.exitCode = 1;
+                resp.shed = true;
+                emit(resp, req.id, seq);
+            } else {
+                cv.notify_one();
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            intake_done = true;
+        }
+        cv.notify_one();
+    });
+
+    // Dispatch: pop a batch, evaluate it on the shared pool, write
+    // the responses in seq order.
+    for (;;) {
+        std::vector<QueuedRequest> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock,
+                    [&] { return !queue.empty() || intake_done; });
+            if (queue.empty() && intake_done)
+                break;
+            // Metric-snapshot requests run alone: registry snapshots
+            // are only consistent with no instrumented work in flight.
+            while (!queue.empty() && batch.size() < max_batch) {
+                if (queue.front().request.wantMetrics &&
+                    !batch.empty())
+                    break;
+                batch.push_back(std::move(queue.front()));
+                queue.pop_front();
+                if (batch.back().request.wantMetrics)
+                    break;
+            }
+        }
+
+        std::vector<Response> responses;
+        if (batch.size() == 1) {
+            const Request &req = batch[0].request;
+            const bool with_metrics =
+                req.wantMetrics && Metrics::enabled();
+            std::vector<MetricSnapshot> before;
+            if (with_metrics)
+                before = Metrics::snapshot();
+            Response resp = engine.handle(req);
+            if (with_metrics) {
+                resp.metricsJson = metricsToJson(
+                    snapshotDelta(before, Metrics::snapshot()));
+            }
+            responses.push_back(std::move(resp));
+        } else {
+            responses = parallelMap<Response>(
+                batch.size(),
+                [&](std::size_t i) {
+                    return engine.handle(batch[i].request);
+                },
+                1, static_cast<unsigned>(batch.size()));
+        }
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                ++summary.evaluated;
+                if (!responses[i].ok())
+                    ++summary.failed;
+            }
+            emit(responses[i], batch[i].request.id, batch[i].seq);
+        }
+    }
+
+    reader.join();
+    return summary;
+}
+
+void
+accumulate(ServeSummary &total, const ServeSummary &part)
+{
+    total.received += part.received;
+    total.evaluated += part.evaluated;
+    total.failed += part.failed;
+    total.shed += part.shed;
+    total.malformed += part.malformed;
+}
+
+} // namespace
+
+ServeSummary
+serveLines(EngineSession &engine, std::istream &in, std::ostream &out,
+           const ServeOptions &options)
+{
+    StreamTransport transport(in, out);
+    return serveTransport(engine, transport, options);
+}
+
+Result<ServeSummary>
+serveUnixSocket(EngineSession &engine, const std::string &socket_path,
+                const ServeOptions &options)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("socket path too long (",
+                          socket_path.size(), " bytes, max ",
+                          sizeof(addr.sun_path) - 1, "): ",
+                          socket_path));
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status(StatusCode::Internal,
+                      msg("socket(): ", std::strerror(errno)));
+    }
+    ::unlink(socket_path.c_str()); // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        Status s(StatusCode::InvalidArgument,
+                 msg("bind(", socket_path,
+                     "): ", std::strerror(errno)));
+        ::close(fd);
+        return s;
+    }
+    if (::listen(fd, 8) != 0) {
+        Status s(StatusCode::Internal,
+                 msg("listen(", socket_path,
+                     "): ", std::strerror(errno)));
+        ::close(fd);
+        ::unlink(socket_path.c_str());
+        return s;
+    }
+
+    // One connection at a time; the engine's warm cache spans them.
+    ServeSummary total;
+    while (!drainRequested.load(std::memory_order_relaxed)) {
+        int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue; // drain flag re-checked above
+            Status s(StatusCode::Internal,
+                     msg("accept(): ", std::strerror(errno)));
+            ::close(fd);
+            ::unlink(socket_path.c_str());
+            return s;
+        }
+        FdTransport transport(client);
+        accumulate(total, serveTransport(engine, transport, options));
+        ::close(client);
+    }
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return total;
+}
+
+void
+requestServeDrain()
+{
+    drainRequested.store(true, std::memory_order_relaxed);
+}
+
+bool
+serveDraining()
+{
+    return drainRequested.load(std::memory_order_relaxed);
+}
+
+void
+resetServeDrain()
+{
+    drainRequested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace gpumech

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * JSON-lines serving loop for the gpumech_serve daemon.
+ *
+ * One reader thread pulls request lines off the transport (stdin or a
+ * Unix-domain socket connection) into a bounded queue; the caller's
+ * thread dispatches queued requests in small batches onto the shared
+ * thread pool. Admission control is load-shedding: when the queue is
+ * full, the request is answered immediately with
+ * StatusCode::ResourceExhausted ("shed":true) and never evaluated.
+ *
+ * Ordering: evaluated responses are written in request (seq) order.
+ * Shed and parse-error responses are written by the reader thread as
+ * they happen and may interleave; every response carries "seq" (the
+ * 1-based input line number) and the request's "id" for correlation.
+ *
+ * Draining: EOF on the transport — or requestServeDrain(), typically
+ * from a SIGTERM handler — stops intake; every already-queued request
+ * is still evaluated and answered before the loop returns.
+ */
+
+#ifndef GPUMECH_SERVICE_SERVE_LOOP_HH
+#define GPUMECH_SERVICE_SERVE_LOOP_HH
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "service/engine_session.hh"
+
+namespace gpumech
+{
+
+/** Serving knobs. */
+struct ServeOptions
+{
+    /**
+     * Admission bound: requests queued (not yet dispatched) before
+     * load-shedding kicks in. Minimum 1.
+     */
+    std::size_t maxQueue = 64;
+
+    /**
+     * Requests evaluated concurrently per dispatch round. 1 serializes
+     * handling (exact per-request cache attribution). Minimum 1.
+     */
+    unsigned maxBatch = 4;
+
+    /** Echo the rendered report in each response's "output" field. */
+    bool includeOutput = true;
+};
+
+/** Totals of one serving run (logged by the daemon on exit). */
+struct ServeSummary
+{
+    std::uint64_t received = 0; //!< request lines read
+    std::uint64_t evaluated = 0;//!< requests handled by the engine
+    std::uint64_t failed = 0;   //!< evaluated with a non-ok status
+    std::uint64_t shed = 0;     //!< rejected by admission control
+    std::uint64_t malformed = 0;//!< lines that failed to parse
+};
+
+/**
+ * Serve JSON-lines requests from @p in, writing one JSON response line
+ * per request to @p out. Blocks until @p in reaches EOF (or a drain is
+ * requested) and the queue is fully drained. Returns the run's totals;
+ * the transport never kills the process — I/O failure just ends the
+ * run early.
+ */
+ServeSummary serveLines(EngineSession &engine, std::istream &in,
+                        std::ostream &out,
+                        const ServeOptions &options = {});
+
+/**
+ * Serve connections on a Unix-domain stream socket at @p socket_path
+ * (an existing file there is replaced). Connections are accepted one
+ * at a time, each served like serveLines until its EOF; the engine —
+ * and its warm cache — persists across connections. Returns the
+ * accumulated totals once a drain is requested, or a Status when the
+ * socket cannot be set up.
+ */
+Result<ServeSummary> serveUnixSocket(EngineSession &engine,
+                                     const std::string &socket_path,
+                                     const ServeOptions &options = {});
+
+/**
+ * Ask the serving loop to drain and return (async-signal-safe; the
+ * daemon's SIGTERM/SIGINT handler calls this). Intake stops at the
+ * next read; queued requests are still answered.
+ */
+void requestServeDrain();
+
+/** True once a drain has been requested. */
+bool serveDraining();
+
+/** Re-arm serving after a drain (tests run several loops per process). */
+void resetServeDrain();
+
+} // namespace gpumech
+
+#endif // GPUMECH_SERVICE_SERVE_LOOP_HH

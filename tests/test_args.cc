@@ -78,6 +78,37 @@ TEST(Args, ArgcArgvConstructorSkipsProgramName)
     EXPECT_EQ(a.getUint("warps", 0), 8u);
 }
 
+TEST(Args, GetPositiveUintAcceptsPlainPositiveIntegers)
+{
+    ArgParser a({"--warps", "16", "--mshrs=4294967295"});
+    auto warps = a.getPositiveUint("warps", 1);
+    ASSERT_TRUE(warps.ok());
+    EXPECT_EQ(warps.value(), 16u);
+    auto mshrs = a.getPositiveUint("mshrs", 1);
+    ASSERT_TRUE(mshrs.ok());
+    EXPECT_EQ(mshrs.value(), 4294967295u);
+    // Absent options return the fallback unchecked (0 = "auto").
+    auto jobs = a.getPositiveUint("jobs", 0);
+    ASSERT_TRUE(jobs.ok());
+    EXPECT_EQ(jobs.value(), 0u);
+}
+
+TEST(Args, GetPositiveUintRejectsZeroNegativeAndJunk)
+{
+    // "-1" is the important case: strtoul silently wraps it to
+    // 4294967295, which getUint would accept.
+    for (const char *bad : {"0", "-1", "-2", "1.5", "eight", "1e3",
+                            "0x10", " 8", "4294967296"}) {
+        ArgParser a({"--warps", bad});
+        auto r = a.getPositiveUint("warps", 32);
+        EXPECT_FALSE(r.ok()) << "accepted --warps " << bad;
+        EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+        EXPECT_NE(r.status().message().find("--warps"),
+                  std::string::npos)
+            << r.status().message();
+    }
+}
+
 TEST(ArgsDeath, NonNumericValueIsFatal)
 {
     ArgParser a({"--warps", "eight"});

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Service-layer tests: the typed request model (argv and JSON-lines
+ * parsers, including the checked count-valued options), the
+ * EngineSession front-end contract (warm-cache reuse, containment,
+ * exit-code semantics), the response serialization, and the serving
+ * loop (ordering, malformed lines, admission control, drain).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json_value.hh"
+#include "service/engine_session.hh"
+#include "service/serve_loop.hh"
+
+using namespace gpumech;
+
+namespace
+{
+
+Request
+mustParseArgs(const std::vector<std::string> &tokens)
+{
+    Result<Request> r = requestFromArgs(ArgParser(tokens));
+    EXPECT_TRUE(r.ok()) << r.status().toString();
+    return r.ok() ? std::move(r).value() : Request{};
+}
+
+StatusCode
+argsCode(const std::vector<std::string> &tokens)
+{
+    Result<Request> r = requestFromArgs(ArgParser(tokens));
+    return r.ok() ? StatusCode::Ok : r.status().code();
+}
+
+StatusCode
+jsonCode(const std::string &line)
+{
+    Result<Request> r = requestFromJson(line);
+    return r.ok() ? StatusCode::Ok : r.status().code();
+}
+
+TEST(RequestFromArgs, ParsesModelWithOverrides)
+{
+    Request req = mustParseArgs({"model", "vectorAdd", "--warps", "16",
+                                 "--cores", "8", "--mshrs", "64",
+                                 "--bw", "256", "--policy", "gto",
+                                 "--level", "mshr", "--model-sfu",
+                                 "--json"});
+    EXPECT_EQ(req.verb, Verb::Model);
+    EXPECT_EQ(req.kernel, "vectorAdd");
+    EXPECT_EQ(req.config.warpsPerCore, 16u);
+    EXPECT_EQ(req.config.numCores, 8u);
+    EXPECT_EQ(req.config.numMshrs, 64u);
+    EXPECT_DOUBLE_EQ(req.config.dramBandwidthGBs, 256.0);
+    EXPECT_EQ(req.policy, SchedulingPolicy::GreedyThenOldest);
+    EXPECT_EQ(req.level, ModelLevel::MT_MSHR);
+    EXPECT_TRUE(req.modelSfu);
+    EXPECT_TRUE(req.json);
+}
+
+TEST(RequestFromArgs, RejectsNonPositiveCounts)
+{
+    // The old getUint would strtoul-wrap "-1" to ~4e9; the checked
+    // parser must reject zero, negatives, and junk for every
+    // count-valued option (the --jobs case used to try to spawn
+    // billions of threads).
+    for (const char *flag : {"--warps", "--cores", "--mshrs", "--jobs"}) {
+        EXPECT_EQ(argsCode({"model", "vectorAdd", flag, "0"}),
+                  StatusCode::InvalidArgument)
+            << flag << " 0";
+        EXPECT_EQ(argsCode({"model", "vectorAdd", flag, "-1"}),
+                  StatusCode::InvalidArgument)
+            << flag << " -1";
+        EXPECT_EQ(argsCode({"model", "vectorAdd", flag, "abc"}),
+                  StatusCode::InvalidArgument)
+            << flag << " abc";
+        EXPECT_EQ(argsCode({"model", "vectorAdd", flag, "5000000000"}),
+                  StatusCode::InvalidArgument)
+            << flag << " overflow";
+    }
+    // Absent flags still mean "default".
+    EXPECT_EQ(argsCode({"model", "vectorAdd"}), StatusCode::Ok);
+}
+
+TEST(RequestFromArgs, RejectsBadEnumsAndSpecs)
+{
+    EXPECT_EQ(argsCode({"model", "vectorAdd", "--policy", "x"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"model", "vectorAdd", "--level", "x"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"suite", "micro", "--inject", "nosite"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"suite", "micro", "--inject", "k:parse:0"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"sweep", "vectorAdd", "--param", "bogus"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"bogus-command"}), StatusCode::NotFound);
+    EXPECT_EQ(argsCode({"model"}), StatusCode::InvalidArgument);
+}
+
+TEST(RequestFromArgs, SuiteAliasAndIsolation)
+{
+    Request req = mustParseArgs({"--suite", "micro",
+                                 "--kernel-timeout-ms", "250",
+                                 "--inject",
+                                 "micro_stream:collect:2:10"});
+    EXPECT_EQ(req.verb, Verb::Suite);
+    EXPECT_EQ(req.suite, "micro");
+    EXPECT_EQ(req.timeoutMs, 250u);
+    ASSERT_NE(req.faultPlan, nullptr);
+    ASSERT_EQ(req.faultPlan->injections().size(), 1u);
+    EXPECT_EQ(req.faultPlan->injections()[0].kernel, "micro_stream");
+    EXPECT_EQ(req.faultPlan->injections()[0].site,
+              FaultSite::Collect);
+    EXPECT_EQ(req.faultPlan->injections()[0].attempt, 2u);
+    EXPECT_EQ(req.faultPlan->injections()[0].stallMs, 10u);
+}
+
+TEST(RequestFromJson, ParsesDocumentedShape)
+{
+    Result<Request> r = requestFromJson(
+        R"({"cmd":"model","kernel":"vectorAdd",)"
+        R"("config":{"warps":16,"cores":8,"mshrs":64,"bw":256},)"
+        R"("policy":"gto","level":"band","model_sfu":true,)"
+        R"("timeout_ms":500,"jobs":2,"json":false,"id":"req-1"})");
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const Request &req = r.value();
+    EXPECT_EQ(req.verb, Verb::Model);
+    EXPECT_EQ(req.id, "req-1");
+    EXPECT_EQ(req.config.warpsPerCore, 16u);
+    EXPECT_EQ(req.config.numCores, 8u);
+    EXPECT_DOUBLE_EQ(req.config.dramBandwidthGBs, 256.0);
+    EXPECT_EQ(req.policy, SchedulingPolicy::GreedyThenOldest);
+    EXPECT_TRUE(req.modelSfu);
+    EXPECT_EQ(req.timeoutMs, 500u);
+    EXPECT_EQ(req.jobs, 2u);
+}
+
+TEST(RequestFromJson, RejectsBadRequests)
+{
+    EXPECT_EQ(jsonCode("not json"), StatusCode::ParseError);
+    EXPECT_EQ(jsonCode("[1,2]"), StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode("{}"), StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"bogus"})"), StatusCode::NotFound);
+    EXPECT_EQ(jsonCode(R"({"cmd":"model"})"),
+              StatusCode::InvalidArgument); // no kernel
+    EXPECT_EQ(jsonCode(R"({"cmd":"model","kernel":1})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(
+        jsonCode(R"({"cmd":"model","kernel":"k","config":{"warps":0}})"),
+        StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(
+                  R"({"cmd":"model","kernel":"k","config":{"warps":-4}})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(
+                  R"({"cmd":"model","kernel":"k","config":{"warps":1.5}})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"model","kernel":"k","timeout_ms":-1})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"pack","paths":["only-one"]})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"sweep","kernel":"k","values":["x"]})"),
+              StatusCode::InvalidArgument);
+}
+
+TEST(ResponseToJsonLine, RoundTripsThroughParser)
+{
+    Response resp;
+    resp.status = Status(StatusCode::NotFound, "unknown workload: x");
+    resp.exitCode = 1;
+    resp.output = "line \"quoted\"\n";
+    resp.stats.kernels = 3;
+    resp.stats.failed = 1;
+    resp.stats.profilerHits = 2;
+    resp.stats.wallMs = 1.25;
+
+    Result<JsonValue> parsed =
+        parseJson(responseToJsonLine(resp, "id-1", 7, true));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const JsonValue &v = parsed.value();
+    EXPECT_EQ(v.find("id")->string(), "id-1");
+    EXPECT_DOUBLE_EQ(v.find("seq")->number(), 7.0);
+    EXPECT_FALSE(v.find("ok")->boolean());
+    EXPECT_EQ(v.find("status")->string(), "not_found");
+    EXPECT_EQ(v.find("error")->string(), "unknown workload: x");
+    EXPECT_DOUBLE_EQ(v.find("kernels")->number(), 3.0);
+    EXPECT_DOUBLE_EQ(v.find("failed")->number(), 1.0);
+    EXPECT_DOUBLE_EQ(v.find("cache")->find("profiler_hits")->number(),
+                     2.0);
+    EXPECT_EQ(v.find("output")->string(), "line \"quoted\"\n");
+
+    // include_output=false drops the report but keeps the stats.
+    Result<JsonValue> bare =
+        parseJson(responseToJsonLine(resp, "id-1", 7, false));
+    ASSERT_TRUE(bare.ok());
+    EXPECT_EQ(bare.value().find("output"), nullptr);
+}
+
+Request
+modelRequest(const std::string &kernel)
+{
+    Request req;
+    req.verb = Verb::Model;
+    req.kernel = kernel;
+    req.config.warpsPerCore = 4;
+    req.config.numCores = 2;
+    return req;
+}
+
+TEST(EngineSession, WarmRepeatSkipsInputRebuild)
+{
+    EngineSession engine;
+    Response first = engine.handle(modelRequest("micro_stream"));
+    ASSERT_TRUE(first.ok()) << first.status.toString();
+    EXPECT_EQ(first.exitCode, 0);
+    EXPECT_GT(first.stats.collectorMisses, 0u);
+    EXPECT_GT(first.stats.profilerMisses, 0u);
+
+    Response second = engine.handle(modelRequest("micro_stream"));
+    ASSERT_TRUE(second.ok());
+    // The warm request re-evaluates the model only: no new trace /
+    // collector / profiler artifacts, and the same rendered bytes.
+    EXPECT_EQ(second.stats.traceMisses, 0u);
+    EXPECT_EQ(second.stats.collectorMisses, 0u);
+    EXPECT_EQ(second.stats.profilerMisses, 0u);
+    EXPECT_GT(second.stats.profilerHits, 0u);
+    EXPECT_EQ(second.output, first.output);
+    EXPECT_EQ(engine.requestsHandled(), 2u);
+}
+
+TEST(EngineSession, UnknownTargetsFailClosed)
+{
+    EngineSession engine;
+    Response resp = engine.handle(modelRequest("no_such_kernel"));
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status.code(), StatusCode::NotFound);
+    EXPECT_EQ(resp.exitCode, 1);
+
+    Request suite;
+    suite.verb = Verb::Suite;
+    suite.suite = "no_such_suite";
+    Response sresp = engine.handle(suite);
+    EXPECT_FALSE(sresp.ok());
+    EXPECT_EQ(sresp.exitCode, 1);
+}
+
+TEST(EngineSession, SuitePartialFailureKeepsExitCodeTwo)
+{
+    EngineSession engine;
+    Request req;
+    req.verb = Verb::Suite;
+    req.suite = "micro";
+    req.predict = true;
+    req.config.warpsPerCore = 4;
+    req.config.numCores = 2;
+    auto plan =
+        parseInjectSpec("micro_stream:collect").value();
+    req.faultPlan = plan;
+    Response resp = engine.handle(req);
+    EXPECT_TRUE(resp.ok()); // partial success still renders a report
+    EXPECT_EQ(resp.exitCode, 2);
+    EXPECT_EQ(resp.stats.failed, 1u);
+    EXPECT_GT(resp.stats.kernels, 1u);
+    EXPECT_NE(resp.output.find("FAILED"), std::string::npos);
+    EXPECT_NE(resp.output.find("fault_injected"), std::string::npos);
+}
+
+TEST(EngineSession, PerRequestDeadlineContained)
+{
+    EngineSession engine;
+    Request req;
+    req.verb = Verb::Suite;
+    req.suite = "micro";
+    req.predict = true;
+    req.config.warpsPerCore = 4;
+    req.config.numCores = 2;
+    req.timeoutMs = 30;
+    req.faultPlan =
+        parseInjectSpec("micro_stream:collect:1:500").value();
+    Response resp = engine.handle(req);
+    EXPECT_EQ(resp.exitCode, 2);
+    EXPECT_NE(resp.output.find("deadline_exceeded"),
+              std::string::npos)
+        << resp.output;
+}
+
+TEST(EngineSession, PingAndStats)
+{
+    EngineSession engine;
+    Request ping;
+    ping.verb = Verb::Ping;
+    Response presp = engine.handle(ping);
+    EXPECT_TRUE(presp.ok());
+    EXPECT_EQ(presp.output, "pong\n");
+
+    engine.handle(modelRequest("micro_stream"));
+    Request stats;
+    stats.verb = Verb::Stats;
+    Response sresp = engine.handle(stats);
+    ASSERT_TRUE(sresp.ok());
+    Result<JsonValue> doc = parseJson(sresp.output);
+    ASSERT_TRUE(doc.ok()) << sresp.output;
+    EXPECT_GE(doc.value().find("requests")->number(), 2.0);
+    EXPECT_GE(doc.value()
+                  .find("cache")
+                  ->find("profiler_misses")
+                  ->number(),
+              1.0);
+}
+
+TEST(ServeLoop, AnswersEveryLineInOrder)
+{
+    resetServeDrain();
+    EngineSession engine;
+    std::istringstream in(
+        R"({"cmd":"ping","id":"a"})" "\n"
+        "not json\n"
+        R"({"cmd":"model","kernel":"micro_stream",)"
+        R"("config":{"warps":4,"cores":2},"id":"b"})" "\n"
+        R"({"cmd":"model","kernel":"micro_stream",)"
+        R"("config":{"warps":4,"cores":2},"id":"c"})" "\n");
+    std::ostringstream out;
+    ServeOptions options;
+    options.maxBatch = 1; // serial dispatch: fully ordered output
+    ServeSummary summary = serveLines(engine, in, out, options);
+
+    EXPECT_EQ(summary.received, 4u);
+    EXPECT_EQ(summary.evaluated, 3u);
+    EXPECT_EQ(summary.malformed, 1u);
+    EXPECT_EQ(summary.shed, 0u);
+    EXPECT_EQ(summary.failed, 0u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::uint64_t last_seq = 0;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        Result<JsonValue> doc = parseJson(line);
+        ASSERT_TRUE(doc.ok()) << line;
+        std::uint64_t seq =
+            static_cast<std::uint64_t>(doc.value().find("seq")->number());
+        EXPECT_GT(seq, last_seq); // maxBatch=1 keeps strict seq order
+        last_seq = seq;
+        ++count;
+    }
+    EXPECT_EQ(count, 4u);
+
+    // The warm model request reused the first one's artifacts.
+    EXPECT_EQ(engine.session().cache.profilerMisses(), 1u);
+    EXPECT_GE(engine.session().cache.profilerHits(), 1u);
+}
+
+TEST(ServeLoop, ShedsWhenQueueIsFull)
+{
+    resetServeDrain();
+    EngineSession engine;
+    // First request stalls 300ms inside the engine (injected fault),
+    // with a queue bound of 1 and serial dispatch. The reader drains
+    // the remaining lines while the stall holds the dispatcher, so at
+    // least one later request must be shed.
+    std::ostringstream feed;
+    feed << R"({"cmd":"suite","suite":"micro","predict":true,)"
+         << R"("config":{"warps":4,"cores":2},)"
+         << R"("inject":"micro_stream:collect:1:300","id":"slow"})"
+         << "\n";
+    for (int i = 0; i < 4; ++i)
+        feed << R"({"cmd":"ping","id":"p)" << i << R"("})" << "\n";
+    std::istringstream in(feed.str());
+    std::ostringstream out;
+    ServeOptions options;
+    options.maxQueue = 1;
+    options.maxBatch = 1;
+    ServeSummary summary = serveLines(engine, in, out, options);
+
+    EXPECT_EQ(summary.received, 5u);
+    EXPECT_GE(summary.shed, 1u);
+    EXPECT_EQ(summary.evaluated + summary.shed, 5u);
+
+    // Every shed response says so, with ResourceExhausted.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t shed_seen = 0, responses = 0;
+    while (std::getline(lines, line)) {
+        Result<JsonValue> doc = parseJson(line);
+        ASSERT_TRUE(doc.ok()) << line;
+        ++responses;
+        const JsonValue *shed = doc.value().find("shed");
+        if (shed != nullptr && shed->boolean()) {
+            ++shed_seen;
+            EXPECT_EQ(doc.value().find("status")->string(),
+                      "resource_exhausted");
+            EXPECT_FALSE(doc.value().find("ok")->boolean());
+        }
+    }
+    EXPECT_EQ(responses, 5u);
+    EXPECT_EQ(shed_seen, summary.shed);
+}
+
+TEST(ServeLoop, DrainFlagStopsIntake)
+{
+    resetServeDrain();
+    requestServeDrain();
+    EXPECT_TRUE(serveDraining());
+    EngineSession engine;
+    std::istringstream in(R"({"cmd":"ping"})" "\n");
+    std::ostringstream out;
+    ServeSummary summary = serveLines(engine, in, out);
+    // Intake stopped before reading anything.
+    EXPECT_EQ(summary.received, 0u);
+    EXPECT_TRUE(out.str().empty());
+    resetServeDrain();
+}
+
+} // namespace

@@ -215,6 +215,56 @@ TEST(GmtFormat, ChunkedReaderMatchesBufferDecode)
     }
 }
 
+TEST(GmtFormat, ChunkedReaderRejectsTruncation)
+{
+    std::string bytes = gmtToString(sampleKernel());
+    // Cut inside the header, the section table, and a payload: the
+    // streaming decoder must fail closed at the stream's end rather
+    // than hand back a partial kernel.
+    for (std::size_t cut : {std::size_t(10), std::size_t(100),
+                            bytes.size() - 16}) {
+        std::istringstream is(bytes.substr(0, cut));
+        GmtChunkedReader reader(is, 1);
+        Result<KernelTrace> result = reader.read();
+        ASSERT_FALSE(result.ok()) << "cut at " << cut << " parsed";
+        EXPECT_EQ(result.status().code(), StatusCode::TruncatedInput)
+            << result.status().toString();
+        EXPECT_NE(result.status().message().find("gmt offset"),
+                  std::string::npos)
+            << result.status().toString();
+    }
+}
+
+TEST(GmtFormat, ChunkedReaderRejectsMidStreamCorruption)
+{
+    // Corrupt a payload section that is consumed only after streaming
+    // has begun (the header and table validate clean); both the raw
+    // and varint encodings must report the mismatch, not crash.
+    KernelTrace kernel = sampleKernel("srad_kernel1");
+    for (bool varint : {false, true}) {
+        GmtWriteOptions options;
+        options.varintLines = varint;
+        std::string bytes = gmtToString(kernel, options);
+        // Flip the recorded checksum of section 7 (inst_pcs) and
+        // re-seal the table so only the payload check can object.
+        std::size_t at = entryOf(bytes, 7);
+        auto sum = peek<std::uint64_t>(bytes, at + 32);
+        poke<std::uint64_t>(bytes, at + 32, sum ^ 1);
+        resealTable(bytes);
+
+        std::istringstream is(bytes);
+        GmtChunkedReader reader(is, 1);
+        Result<KernelTrace> result = reader.read();
+        ASSERT_FALSE(result.ok()) << "corrupt payload parsed";
+        EXPECT_EQ(result.status().code(),
+                  StatusCode::ChecksumMismatch)
+            << result.status().toString();
+        EXPECT_NE(result.status().message().find("inst_pcs"),
+                  std::string::npos)
+            << result.status().toString();
+    }
+}
+
 // ---- refusal paths --------------------------------------------------
 
 TEST(GmtFormat, RejectsBadMagic)
@@ -477,6 +527,57 @@ TEST_F(TraceFormatFiles, StreamTraceSetOrdersAndContainsFailures)
     EXPECT_EQ(ok, (std::vector<bool>{true, false, true}));
 
     // Streamed collection must be bit-identical to the serial engine.
+    CollectorResult ref_a = collectInputs(a, config);
+    CollectorResult ref_b = collectInputs(b, config);
+    EXPECT_EQ(inputs[0].pcLatency, ref_a.pcLatency);
+    EXPECT_EQ(inputs[0].avgMissLatency, ref_a.avgMissLatency);
+    EXPECT_EQ(inputs[2].pcLatency, ref_b.pcLatency);
+    EXPECT_EQ(inputs[2].avgMissLatency, ref_b.avgMissLatency);
+}
+
+TEST_F(TraceFormatFiles, StreamTraceSetContainsMidStreamCorruption)
+{
+    // Unlike the truncated file above, this .gmt has a pristine
+    // header and section table; the damage is only discovered while
+    // the payload streams. The failure must stay contained to its
+    // file with the corruption class intact, and the healthy
+    // neighbours must still evaluate.
+    HardwareConfig config = smallConfig();
+    KernelTrace a = sampleKernel("vectorAdd");
+    KernelTrace b = sampleKernel("micro_stream");
+    ASSERT_TRUE(writeTraceFile(path("a.gmt"), a, true).ok());
+    ASSERT_TRUE(writeTraceFile(path("b.gmt"), b, true).ok());
+    {
+        std::string bytes = gmtToString(a);
+        std::size_t at = entryOf(bytes, 7); // inst_pcs
+        auto sum = peek<std::uint64_t>(bytes, at + 32);
+        poke<std::uint64_t>(bytes, at + 32, sum ^ 1);
+        resealTable(bytes);
+        std::ofstream os(path("corrupt.gmt"), std::ios::binary);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::vector<std::string> paths{path("a.gmt"), path("corrupt.gmt"),
+                                   path("b.gmt")};
+    std::vector<bool> ok;
+    std::vector<Status> statuses;
+    std::vector<CollectorResult> inputs;
+    streamTraceSet(paths, config,
+                   [&](StreamedTrace &&st) {
+                       ok.push_back(st.status.ok());
+                       statuses.push_back(st.status);
+                       inputs.push_back(std::move(st.inputs));
+                   },
+                   2);
+
+    ASSERT_EQ(ok, (std::vector<bool>{true, false, true}));
+    EXPECT_EQ(statuses[1].code(), StatusCode::ChecksumMismatch)
+        << statuses[1].toString();
+    EXPECT_NE(statuses[1].message().find("inst_pcs"),
+              std::string::npos)
+        << statuses[1].toString();
+
     CollectorResult ref_a = collectInputs(a, config);
     CollectorResult ref_b = collectInputs(b, config);
     EXPECT_EQ(inputs[0].pcLatency, ref_a.pcLatency);

@@ -1,0 +1,67 @@
+# Compare gpumech CLI stdout byte-for-byte against the checked-in
+# golden transcripts in tests/golden/. Invoked by the cli_golden
+# ctest entry (see CMakeLists.txt):
+#
+#   cmake -DGPUMECH_BIN=<path> -DGOLDEN_DIR=<tests/golden>
+#         -DWORK_DIR=<dir> -P cli_golden.cmake
+#
+# The goldens were captured from the pre-refactor monolithic CLI, so
+# this test pins the engine/front-end split: every subcommand routed
+# through EngineSession must stay bit-identical to the original
+# in-process pipeline, including table layout, JSON field order, and
+# rounding.
+
+if(NOT DEFINED GPUMECH_BIN OR NOT DEFINED GOLDEN_DIR
+   OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR
+        "GPUMECH_BIN, GOLDEN_DIR and WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# "name|space-separated args" — one entry per golden file <name>.txt.
+set(cases
+    "list|list"
+    "model_kmeans|model kmeans_invert_mapping"
+    "model_srad_json|model srad_kernel1 --json --warps 16 --mshrs 64 --policy gto --level mshr"
+    "stack_micro|stack micro_stream --warps 8 --cores 2"
+    "suite_micro_predict|suite micro --predict --warps 4 --cores 2"
+    "sweep_micro_mshrs|sweep micro_stream --param mshrs --values 8,16 --warps 4 --cores 2"
+    "simulate_micro_json|simulate micro_stream --warps 4 --cores 2 --json")
+
+foreach(case ${cases})
+    string(FIND "${case}" "|" sep)
+    string(SUBSTRING "${case}" 0 ${sep} name)
+    math(EXPR after "${sep} + 1")
+    string(SUBSTRING "${case}" ${after} -1 shown)
+    string(REPLACE " " ";" args "${shown}")
+
+    set(golden ${GOLDEN_DIR}/${name}.txt)
+    if(NOT EXISTS ${golden})
+        message(FATAL_ERROR "golden file missing: ${golden}")
+    endif()
+
+    set(actual ${WORK_DIR}/${name}.txt)
+    execute_process(
+        COMMAND ${GPUMECH_BIN} ${args}
+        RESULT_VARIABLE run_code
+        OUTPUT_FILE ${actual}
+        ERROR_VARIABLE run_errors)
+    if(NOT run_code EQUAL 0)
+        message(FATAL_ERROR
+            "gpumech ${shown} exited ${run_code}\n"
+            "stderr:\n${run_errors}")
+    endif()
+
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${golden} ${actual}
+        RESULT_VARIABLE diff_code)
+    if(NOT diff_code EQUAL 0)
+        file(READ ${golden} want)
+        file(READ ${actual} got)
+        message(FATAL_ERROR
+            "gpumech ${shown} diverged from ${golden}\n"
+            "---- expected ----\n${want}\n"
+            "---- actual ----\n${got}")
+    endif()
+endforeach()

@@ -3,16 +3,28 @@
  * The `gpumech` command-line driver: model, simulate, and inspect
  * kernels without writing code.
  *
+ * This is a thin front-end over the evaluation-service core
+ * (src/service/): it parses argv into a service Request, hands it to
+ * an EngineSession, prints the rendered report, and maps the response
+ * onto the process exit code. The gpumech_serve daemon drives the same
+ * engine from JSON lines, so CLI output and daemon output are the same
+ * bytes (pinned by the cli_golden test).
+ *
  * Subcommands:
  *   gpumech list                       list registered workloads
  *   gpumech model <kernel>             GPUMech prediction + CPI stack
  *   gpumech simulate <kernel>          detailed timing simulation
  *   gpumech compare <kernel>           all five models vs the oracle
+ *   gpumech sweep <kernel>             sweep one hardware parameter
  *   gpumech stack <kernel>             CPI stacks across warp counts
  *   gpumech dump-trace <kernel> <file> write the kernel trace to disk
- *   gpumech model-trace <file>         model a trace file
+ *   gpumech pack <in> <out.gmt>        convert a trace to binary .gmt
+ *   gpumech unpack <in.gmt> <out>      convert a binary trace to text
+ *   gpumech model-trace <file...>      model trace files
  *   gpumech suite <suite>              evaluate a whole suite with
  *                                      per-kernel fault isolation
+ *                                      (`--suite <suite>` is an
+ *                                      equivalent spelling)
  *
  * Exit codes (documented in README.md):
  *   0  full success
@@ -28,9 +40,15 @@
  *   --policy rr|gto  scheduling policy        (default rr)
  *   --level mt|mshr|band                      (default band)
  *   --model-sfu      enable the SFU contention extension
- *   --jobs N         worker threads for suite/sweep evaluation
+ *   --jobs N         worker threads for suite/sweep evaluation, N >= 1
  *                    (default: GPUMECH_JOBS env var, else hardware
  *                    concurrency; results are identical at any count)
+ *
+ * Isolation (suite / compare / model-trace):
+ *   --kernel-timeout-ms N  per-kernel deadline; 0 = off
+ *   --inject kernel:site[:attempt[:stallMs]][,...]
+ *                          deterministic fault injection (sites:
+ *                          parse, collect, profile, cache)
  *
  * Observability (all subcommands; model outputs are bit-identical
  * with or without these flags):
@@ -40,662 +58,21 @@
  *                        trace-event JSON (open in Perfetto)
  */
 
-#include <cstdlib>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
 
 #include "common/args.hh"
-#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
-#include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/trace_span.hh"
-#include "collector/input_collector.hh"
-#include "harness/experiment.hh"
-#include "timing/gpu_timing.hh"
-#include "trace/gmt_format.hh"
-#include "trace/trace_io.hh"
+#include "service/engine_session.hh"
 
 using namespace gpumech;
 
 namespace
 {
-
-HardwareConfig
-configFrom(const ArgParser &args)
-{
-    HardwareConfig config = HardwareConfig::baseline();
-    config.warpsPerCore = args.getUint("warps", config.warpsPerCore);
-    config.numCores = args.getUint("cores", config.numCores);
-    config.numMshrs = args.getUint("mshrs", config.numMshrs);
-    config.dramBandwidthGBs =
-        args.getDouble("bw", config.dramBandwidthGBs);
-    config.sfuLanes = args.getUint("sfu-lanes", config.sfuLanes);
-    // Reject out-of-range values up front (exit 1) instead of letting
-    // a nonsense configuration panic deep inside the model.
-    config.validate().orDie();
-    return config;
-}
-
-/** Owns the CLI-configured fault plan the IsolationOptions point at. */
-struct CliIsolation
-{
-    FaultPlan plan;
-    IsolationOptions options;
-};
-
-/**
- * Parse --kernel-timeout-ms and --inject. The --inject value is a
- * comma-separated list of kernel:site[:attempt[:stallMs]] specs
- * (sites: parse, collect, profile, cache) — the same deterministic
- * FaultPlan the tests use, exposed for reproducing failures by hand.
- */
-void
-isolationFrom(const ArgParser &args, CliIsolation &iso)
-{
-    iso.options.kernelTimeoutMs =
-        args.getUint("kernel-timeout-ms", 0);
-    std::string specs = args.get("inject", "");
-    if (specs.empty())
-        return;
-    std::vector<std::string> items;
-    std::string item;
-    for (char c : specs + ",") {
-        if (c == ',') {
-            if (!item.empty())
-                items.push_back(item);
-            item.clear();
-        } else {
-            item += c;
-        }
-    }
-    for (const std::string &spec : items) {
-        std::vector<std::string> parts;
-        std::string part;
-        for (char c : spec + ":") {
-            if (c == ':') {
-                parts.push_back(part);
-                part.clear();
-            } else {
-                part += c;
-            }
-        }
-        if (parts.size() < 2 || parts.size() > 4 ||
-            parts[0].empty()) {
-            fatal(msg("bad --inject spec '", spec,
-                      "' (use kernel:site[:attempt[:stallMs]])"));
-        }
-        FaultInjection injection;
-        injection.kernel = parts[0];
-        injection.site =
-            faultSiteFromString(parts[1]).valueOrDie();
-        if (parts.size() > 2) {
-            injection.attempt = static_cast<unsigned>(
-                std::strtoul(parts[2].c_str(), nullptr, 10));
-            if (injection.attempt == 0)
-                fatal(msg("bad --inject attempt in '", spec,
-                          "' (1-based)"));
-        }
-        if (parts.size() > 3) {
-            injection.stallMs =
-                std::strtoull(parts[3].c_str(), nullptr, 10);
-        }
-        iso.plan.add(std::move(injection));
-    }
-    iso.options.faultPlan = &iso.plan;
-}
-
-SchedulingPolicy
-policyFrom(const ArgParser &args)
-{
-    std::string p = args.get("policy", "rr");
-    if (p == "rr")
-        return SchedulingPolicy::RoundRobin;
-    if (p == "gto")
-        return SchedulingPolicy::GreedyThenOldest;
-    fatal(msg("unknown policy '", p, "' (use rr or gto)"));
-}
-
-ModelLevel
-levelFrom(const ArgParser &args)
-{
-    std::string l = args.get("level", "band");
-    if (l == "mt")
-        return ModelLevel::MT;
-    if (l == "mshr")
-        return ModelLevel::MT_MSHR;
-    if (l == "band")
-        return ModelLevel::MT_MSHR_BAND;
-    fatal(msg("unknown model level '", l, "' (use mt, mshr or band)"));
-}
-
-int
-cmdList()
-{
-    Table t({"name", "suite", "ctrl-div", "mem-div", "description"});
-    for (const auto &w : allWorkloads()) {
-        t.addRow({w.name, w.suite, w.controlDivergent ? "yes" : "no",
-                  w.memoryDivergent ? "yes" : "no", w.description});
-    }
-    t.print(std::cout);
-    return 0;
-}
-
-void
-printModelResult(const GpuMechResult &r, const HardwareConfig &config,
-                 SchedulingPolicy policy)
-{
-    std::cout << "config: " << config.summary() << "\n";
-    std::cout << "policy: " << toString(policy) << "\n";
-    std::cout << "representative warp: " << r.repWarpIndex
-              << " (single-warp IPC " << fmtDouble(r.repWarpPerf, 4)
-              << ", " << r.repNumIntervals << " intervals)\n";
-    std::cout << "CPI multithreading: "
-              << fmtDouble(r.cpiMultithreading, 4) << "\n";
-    std::cout << "CPI contention:     " << fmtDouble(r.cpiContention, 4)
-              << "\n";
-    std::cout << "CPI final:          " << fmtDouble(r.cpi, 4)
-              << "  (IPC/core " << fmtDouble(r.ipc, 4) << ")\n";
-    std::cout << "CPI stack:          " << r.stack.toLine() << "\n";
-}
-
-int
-cmdModel(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    if (name.empty())
-        fatal("usage: gpumech model <kernel> [options]");
-    HardwareConfig config = configFrom(args);
-    KernelTrace kernel = workloadByName(name).generate(config);
-
-    GpuMechOptions options;
-    options.policy = policyFrom(args);
-    options.level = levelFrom(args);
-    options.modelSfu = args.has("model-sfu");
-    GpuMechResult r = runGpuMech(kernel, config, options);
-    if (args.has("json")) {
-        JsonWriter json;
-        json.field("kernel", kernel.name());
-        json.field("policy", toString(options.policy));
-        json.field("level", toString(options.level));
-        json.field("warps", static_cast<std::uint64_t>(kernel.numWarps()));
-        json.field("insts", kernel.totalInsts());
-        json.field("cpi", r.cpi);
-        json.field("ipc", r.ipc);
-        json.field("cpi_multithreading", r.cpiMultithreading);
-        json.field("cpi_contention", r.cpiContention);
-        json.field("rep_warp", static_cast<std::uint64_t>(r.repWarpIndex));
-        json.beginObject("stack");
-        for (std::size_t i = 0; i < numStallTypes; ++i) {
-            json.field(toString(static_cast<StallType>(i)),
-                       r.stack.cpi[i]);
-        }
-        json.endObject();
-        std::cout << json.finish() << "\n";
-        return 0;
-    }
-    std::cout << "kernel: " << kernel.name() << " ("
-              << kernel.numWarps() << " warps, " << kernel.totalInsts()
-              << " insts)\n";
-    printModelResult(r, config, options.policy);
-    return 0;
-}
-
-int
-cmdSimulate(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    if (name.empty())
-        fatal("usage: gpumech simulate <kernel> [options]");
-    HardwareConfig config = configFrom(args);
-    SchedulingPolicy policy = policyFrom(args);
-    KernelTrace kernel = workloadByName(name).generate(config);
-
-    GpuTiming sim(kernel, config, policy);
-    TimingStats s = sim.run();
-    if (args.has("json")) {
-        JsonWriter json;
-        json.field("kernel", kernel.name());
-        json.field("policy", toString(policy));
-        json.field("cycles", s.totalCycles);
-        json.field("insts", s.totalInsts);
-        json.field("cpi", s.cpi());
-        json.field("simd_efficiency", s.simdEfficiency());
-        json.beginObject("memory");
-        json.field("l1_accesses", s.l1Accesses);
-        json.field("l1_hits", s.l1Hits);
-        json.field("l2_accesses", s.l2Accesses);
-        json.field("l2_hits", s.l2Hits);
-        json.field("dram_reads", s.dramReads);
-        json.field("dram_writes", s.dramWrites);
-        json.field("avg_dram_queue_delay", s.avgDramQueueDelay);
-        json.field("mshr_peak",
-                   static_cast<std::uint64_t>(s.mshrPeak));
-        json.endObject();
-        json.beginObject("stall_cpi");
-        json.field("compute", s.computeStallCpi());
-        json.field("mem", s.memStallCpi());
-        json.field("mshr", s.mshrStallCpi());
-        json.field("sfu", s.sfuStallCpi());
-        json.endObject();
-        std::cout << json.finish() << "\n";
-        return 0;
-    }
-    std::cout << "kernel: " << kernel.name() << "\n";
-    std::cout << "config: " << config.summary() << "\n";
-    std::cout << "cycles: " << s.totalCycles << "\n";
-    std::cout << "CPI (per core): " << fmtDouble(s.cpi(), 4) << "\n";
-    std::cout << "L1 hit rate: "
-              << fmtPercent(s.l1Accesses
-                                ? static_cast<double>(s.l1Hits) /
-                                      s.l1Accesses
-                                : 0.0)
-              << ", L2 hit rate: "
-              << fmtPercent(s.l2Accesses
-                                ? static_cast<double>(s.l2Hits) /
-                                      s.l2Accesses
-                                : 0.0)
-              << "\n";
-    std::cout << "DRAM reads/writes: " << s.dramReads << "/"
-              << s.dramWrites << " (avg queue "
-              << fmtDouble(s.avgDramQueueDelay, 1) << " cycles)\n";
-    std::cout << "MSHR peak/allocs/merges: " << s.mshrPeak << "/"
-              << s.mshrAllocs << "/" << s.mshrMerges << "\n";
-    std::cout << "SIMD efficiency: " << fmtPercent(s.simdEfficiency())
-              << "\n";
-    std::cout << "measured stall CPI: compute "
-              << fmtDouble(s.computeStallCpi(), 2) << ", mem "
-              << fmtDouble(s.memStallCpi(), 2) << ", MSHR "
-              << fmtDouble(s.mshrStallCpi(), 2) << ", SFU "
-              << fmtDouble(s.sfuStallCpi(), 2) << "\n";
-    return 0;
-}
-
-int
-cmdSweep(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    std::string param = args.get("param", "warps");
-    std::string values = args.get("values", "8,16,24,32,48");
-    if (name.empty())
-        fatal("usage: gpumech sweep <kernel> --param "
-              "warps|mshrs|bw|sfu-lanes [--values a,b,c] [--oracle]");
-
-    std::vector<double> points;
-    std::string tok;
-    for (char c : values + ",") {
-        if (c == ',') {
-            if (!tok.empty())
-                points.push_back(std::strtod(tok.c_str(), nullptr));
-            tok.clear();
-        } else {
-            tok += c;
-        }
-    }
-    if (points.empty())
-        fatal("--values produced no sweep points");
-
-    HardwareConfig base = configFrom(args);
-    SchedulingPolicy policy = policyFrom(args);
-    bool with_oracle = args.has("oracle");
-
-    // Profile once at the base configuration; each point re-evaluates
-    // (Section VI-D).
-    KernelTrace kernel = workloadByName(name).generate(base);
-    GpuMechProfiler profiler(kernel, base);
-
-    std::vector<std::string> header{param, "model CPI", "model IPC"};
-    if (with_oracle)
-        header.insert(header.end(), {"oracle CPI", "error"});
-    Table t(header);
-
-    for (double v : points) {
-        HardwareConfig config = base;
-        if (param == "warps") {
-            config.warpsPerCore = static_cast<std::uint32_t>(v);
-        } else if (param == "mshrs") {
-            config.numMshrs = static_cast<std::uint32_t>(v);
-        } else if (param == "bw") {
-            config.dramBandwidthGBs = v;
-        } else if (param == "sfu-lanes") {
-            config.sfuLanes = static_cast<std::uint32_t>(v);
-        } else {
-            fatal(msg("unknown sweep parameter '", param, "'"));
-        }
-
-        // Changing the warp count changes the trace itself
-        // (occupancy), so regenerate and re-profile in that case.
-        GpuMechResult r;
-        KernelTrace swept_kernel("unused");
-        if (param == "warps") {
-            swept_kernel = workloadByName(name).generate(config);
-            r = runGpuMech(swept_kernel, config,
-                           GpuMechOptions{policy,
-                                          ModelLevel::MT_MSHR_BAND,
-                                          RepSelection::Clustering, 2,
-                                          args.has("model-sfu")});
-        } else {
-            r = profiler.evaluateAt(config, policy,
-                                    ModelLevel::MT_MSHR_BAND,
-                                    args.has("model-sfu"));
-        }
-
-        std::vector<std::string> row{fmtDouble(v, 0),
-                                     fmtDouble(r.cpi, 3),
-                                     fmtDouble(r.ipc, 4)};
-        if (with_oracle) {
-            const KernelTrace &k =
-                param == "warps" ? swept_kernel : kernel;
-            GpuTiming sim(k, config, policy);
-            double oracle_cpi = sim.run().cpi();
-            row.push_back(fmtDouble(oracle_cpi, 3));
-            row.push_back(
-                fmtPercent(std::abs(r.ipc - 1.0 / oracle_cpi) /
-                           (1.0 / oracle_cpi)));
-        }
-        t.addRow(std::move(row));
-    }
-    std::cout << "kernel: " << name << ", sweeping " << param << "\n\n";
-    t.print(std::cout);
-    return 0;
-}
-
-int
-cmdCompare(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    if (name.empty())
-        fatal("usage: gpumech compare <kernel> [options]");
-    HardwareConfig config = configFrom(args);
-    SchedulingPolicy policy = policyFrom(args);
-    KernelEvaluation eval =
-        evaluateKernel(workloadByName(name), config, policy);
-
-    std::cout << "kernel: " << name << ", oracle CPI "
-              << fmtDouble(eval.oracleCpi, 3) << "\n\n";
-    Table t({"model", "predicted IPC", "error"});
-    for (ModelKind kind : allModels()) {
-        t.addRow({toString(kind),
-                  fmtDouble(eval.predictedIpc.at(kind), 4),
-                  fmtPercent(eval.error(kind))});
-    }
-    t.print(std::cout);
-    return 0;
-}
-
-int
-cmdStack(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    if (name.empty())
-        fatal("usage: gpumech stack <kernel> [options]");
-    SchedulingPolicy policy = policyFrom(args);
-
-    Table t({"warps", "BASE", "DEP", "L1", "L2", "DRAM", "MSHR",
-             "QUEUE", "SFU", "total CPI"});
-    for (std::uint32_t warps : {8u, 16u, 24u, 32u, 48u}) {
-        HardwareConfig config = configFrom(args);
-        config.warpsPerCore = warps;
-        KernelTrace kernel = workloadByName(name).generate(config);
-        GpuMechOptions options;
-        options.policy = policy;
-        options.modelSfu = args.has("model-sfu");
-        GpuMechResult r = runGpuMech(kernel, config, options);
-        t.addRow({std::to_string(warps),
-                  fmtDouble(r.stack[StallType::Base], 2),
-                  fmtDouble(r.stack[StallType::Dep], 2),
-                  fmtDouble(r.stack[StallType::L1], 2),
-                  fmtDouble(r.stack[StallType::L2], 2),
-                  fmtDouble(r.stack[StallType::Dram], 2),
-                  fmtDouble(r.stack[StallType::Mshr], 2),
-                  fmtDouble(r.stack[StallType::Queue], 2),
-                  fmtDouble(r.stack[StallType::Sfu], 2),
-                  fmtDouble(r.stack.total(), 2)});
-    }
-    std::cout << "kernel: " << name << "\n\n";
-    t.print(std::cout);
-    return 0;
-}
-
-int
-cmdDumpTrace(const ArgParser &args)
-{
-    std::string name = args.positional(1);
-    std::string path = args.positional(2);
-    if (name.empty() || path.empty())
-        fatal("usage: gpumech dump-trace <kernel> <file> "
-              "[--varint] [options]");
-    HardwareConfig config = configFrom(args);
-    KernelTrace kernel = workloadByName(name).generate(config);
-    writeTraceFile(path, kernel, args.has("varint")).orDie();
-    inform(msg("wrote ", kernel.numWarps(), " warps (",
-               kernel.totalInsts(), " insts) to ", path,
-               hasGmtExtension(path) ? " (binary .gmt)" : " (text)"));
-    return 0;
-}
-
-int
-cmdPack(const ArgParser &args)
-{
-    std::string in = args.positional(1);
-    std::string out = args.positional(2);
-    if (in.empty() || out.empty())
-        fatal("usage: gpumech pack <trace-in> <trace-out.gmt> "
-              "[--varint]");
-    Result<KernelTrace> loaded = loadTraceFile(in);
-    if (!loaded.ok()) {
-        std::cerr << "error: " << loaded.status().toString() << "\n";
-        return 1;
-    }
-    KernelTrace kernel = std::move(loaded).value();
-    std::ofstream os(out, std::ios::binary);
-    if (!os)
-        fatal(msg("cannot open ", out, " for writing"));
-    GmtWriteOptions options;
-    options.varintLines = args.has("varint");
-    writeGmt(os, kernel, options);
-    os.flush();
-    if (!os)
-        fatal(msg("write to ", out, " failed"));
-    inform(msg("packed ", kernel.numWarps(), " warps (",
-               kernel.totalInsts(), " insts, ", kernel.totalLines(),
-               " line addresses) into ", out,
-               options.varintLines ? " (varint line pool)" : ""));
-    return 0;
-}
-
-int
-cmdUnpack(const ArgParser &args)
-{
-    std::string in = args.positional(1);
-    std::string out = args.positional(2);
-    if (in.empty() || out.empty())
-        fatal("usage: gpumech unpack <trace-in.gmt> <trace-out.txt>");
-    Result<KernelTrace> loaded = loadTraceFile(in);
-    if (!loaded.ok()) {
-        std::cerr << "error: " << loaded.status().toString() << "\n";
-        return 1;
-    }
-    KernelTrace kernel = std::move(loaded).value();
-    std::ofstream os(out, std::ios::binary);
-    if (!os)
-        fatal(msg("cannot open ", out, " for writing"));
-    writeTrace(os, kernel);
-    os.flush();
-    if (!os)
-        fatal(msg("write to ", out, " failed"));
-    inform(msg("unpacked ", kernel.numWarps(), " warps (",
-               kernel.totalInsts(), " insts) into ", out));
-    return 0;
-}
-
-int
-cmdModelTrace(const ArgParser &args)
-{
-    if (args.numPositional() < 2)
-        fatal("usage: gpumech model-trace <file...> [options]");
-    HardwareConfig config = configFrom(args);
-    GpuMechOptions options;
-    options.policy = policyFrom(args);
-    options.level = levelFrom(args);
-    options.modelSfu = args.has("model-sfu");
-
-    if (args.numPositional() == 2) {
-        // Single file: full per-kernel report. Either format loads
-        // (detected by content, not extension).
-        std::string path = args.positional(1);
-        Result<KernelTrace> loaded = loadTraceFile(path);
-        if (!loaded.ok()) {
-            std::cerr << "error: " << loaded.status().toString()
-                      << "\n";
-            return 1;
-        }
-        KernelTrace kernel = std::move(loaded).value();
-        GpuMechResult r = runGpuMech(kernel, config, options);
-        std::cout << "kernel: " << kernel.name() << " (from " << path
-                  << ")\n";
-        printModelResult(r, config, options.policy);
-        return 0;
-    }
-
-    // Multiple files: stream the set through the collector with
-    // decode/collect overlap (at most two traces resident), modeling
-    // each kernel as it lands and containing per-file failures.
-    std::vector<std::string> paths;
-    for (std::size_t i = 1; i < args.numPositional(); ++i)
-        paths.push_back(args.positional(i));
-    unsigned jobs = args.getUint("jobs", 0);
-
-    std::size_t failed = 0;
-    Table t({"file", "kernel", "status", "CPI", "IPC/core"});
-    Table failures({"file", "code", "detail"});
-    streamTraceSet(
-        paths, config,
-        [&](StreamedTrace &&st) {
-            if (!st.status.ok()) {
-                ++failed;
-                t.addRow({st.path, "-", "FAILED", "-", "-"});
-                failures.addRow({st.path, toString(st.status.code()),
-                                 st.status.message()});
-                return;
-            }
-            GpuMechProfiler profiler(
-                st.kernel, config, options.selection,
-                options.numClusters, jobs,
-                std::make_shared<const CollectorResult>(
-                    std::move(st.inputs)));
-            GpuMechResult r = profiler.evaluate(
-                options.policy, options.level, options.modelSfu);
-            t.addRow({st.path, st.kernel.name(), "ok",
-                      fmtDouble(r.cpi, 3), fmtDouble(r.ipc, 4)});
-        },
-        jobs);
-    t.print(std::cout);
-    if (failed > 0) {
-        std::cout << "\n" << failed << "/" << paths.size()
-                  << " trace files failed:\n";
-        failures.print(std::cout);
-    }
-    if (failed == paths.size())
-        return 1;
-    return failed > 0 ? 2 : 0;
-}
-
-int
-cmdSuite(const ArgParser &args)
-{
-    // Accept both `gpumech suite stress` and `gpumech --suite stress`.
-    std::string name = args.positional(1);
-    if (name.empty())
-        name = args.get("suite");
-    if (name.empty())
-        fatal("usage: gpumech suite <suite> [--predict] "
-              "[--kernel-timeout-ms N] [--inject spec] [options]");
-    std::vector<Workload> workloads =
-        suiteByName(name).valueOrDie();
-    HardwareConfig config = configFrom(args);
-    SchedulingPolicy policy = policyFrom(args);
-    CliIsolation iso;
-    isolationFrom(args, iso);
-    unsigned jobs = args.getUint("jobs", 0);
-
-    std::size_t failed = 0;
-    Table failures({"kernel", "code", "detail"});
-
-    // Shared input cache, as a batch service would run: artifacts are
-    // memoized across kernels and every fault site (including the
-    // cache lookups) is live.
-    InputCache cache;
-
-    if (args.has("predict")) {
-        // Model-only fast path (no oracle simulation).
-        GpuMechOptions options;
-        options.policy = policy;
-        options.level = levelFrom(args);
-        options.modelSfu = args.has("model-sfu");
-        auto preds = predictSuite(workloads, config, options, jobs,
-                                  &cache, iso.options);
-        Table t({"kernel", "status", "CPI", "IPC/core"});
-        for (const KernelPrediction &pred : preds) {
-            if (pred.ok()) {
-                t.addRow({pred.kernel, "ok",
-                          fmtDouble(pred.result.cpi, 3),
-                          fmtDouble(pred.result.ipc, 4)});
-            } else {
-                ++failed;
-                t.addRow({pred.kernel, "FAILED", "-", "-"});
-                failures.addRow({pred.kernel,
-                                 toString(pred.status.code()),
-                                 pred.status.message()});
-            }
-        }
-        t.print(std::cout);
-        if (failed > 0) {
-            std::cout << "\n" << failed << "/" << preds.size()
-                      << " kernels failed:\n";
-            failures.print(std::cout);
-        }
-        if (failed == preds.size())
-            return 1;
-        return failed > 0 ? 2 : 0;
-    }
-
-    auto evals = evaluateSuite(workloads, config, policy, allModels(),
-                               args.has("verbose"), jobs, &cache,
-                               iso.options);
-    Table t({"kernel", "status", "oracle CPI", "GPUMech IPC",
-             "error"});
-    for (const KernelEvaluation &eval : evals) {
-        if (eval.ok()) {
-            t.addRow({eval.kernel, "ok", fmtDouble(eval.oracleCpi, 3),
-                      fmtDouble(eval.predictedIpc.at(
-                                    ModelKind::MT_MSHR_BAND),
-                                4),
-                      fmtPercent(eval.error(ModelKind::MT_MSHR_BAND))});
-        } else {
-            ++failed;
-            t.addRow({eval.kernel, "FAILED", "-", "-", "-"});
-            failures.addRow({eval.kernel, toString(eval.status.code()),
-                             eval.status.message()});
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nmean error over " << evals.size() - failed
-              << " succeeding kernels: "
-              << fmtPercent(averageError(evals,
-                                         ModelKind::MT_MSHR_BAND))
-              << "\n";
-    if (failed > 0) {
-        std::cout << "\n" << failed << "/" << evals.size()
-                  << " kernels failed:\n";
-        failures.print(std::cout);
-    }
-    if (failed == evals.size())
-        return 1;
-    return failed > 0 ? 2 : 0;
-}
 
 void
 usage()
@@ -724,12 +101,13 @@ usage()
         "                           and per-file fault containment)\n"
         "  suite <suite>            evaluate every kernel of a suite\n"
         "                           with per-kernel fault isolation\n"
-        "                           ([--predict] model-only)\n"
+        "                           ([--predict] model-only; --suite S\n"
+        "                            is an equivalent spelling)\n"
         "options: --warps N --cores N --mshrs N --bw GBs\n"
         "         --sfu-lanes N --policy rr|gto --level mt|mshr|band\n"
         "         --model-sfu --json (model/simulate)\n"
-        "         --jobs N (threads; default GPUMECH_JOBS or hardware\n"
-        "          concurrency)\n"
+        "         --jobs N (threads, N >= 1; default GPUMECH_JOBS or\n"
+        "          hardware concurrency)\n"
         "         --kernel-timeout-ms N (per-kernel deadline; 0 = off)\n"
         "         --inject kernel:site[:attempt[:stallMs]][,...]\n"
         "          (deterministic fault injection; sites: parse,\n"
@@ -741,41 +119,9 @@ usage()
         "exit codes: 0 success, 1 total failure, 2 partial (suite)\n";
 }
 
-int
-dispatch(const ArgParser &args)
-{
-    std::string cmd = args.positional(0);
-    if (cmd == "list")
-        return cmdList();
-    if (cmd == "model")
-        return cmdModel(args);
-    if (cmd == "simulate")
-        return cmdSimulate(args);
-    if (cmd == "compare")
-        return cmdCompare(args);
-    if (cmd == "sweep")
-        return cmdSweep(args);
-    if (cmd == "stack")
-        return cmdStack(args);
-    if (cmd == "dump-trace")
-        return cmdDumpTrace(args);
-    if (cmd == "pack")
-        return cmdPack(args);
-    if (cmd == "unpack")
-        return cmdUnpack(args);
-    if (cmd == "model-trace")
-        return cmdModelTrace(args);
-    if (cmd == "suite")
-        return cmdSuite(args);
-    if (cmd.empty() && args.has("suite"))
-        return cmdSuite(args);
-    usage();
-    return cmd.empty() ? 0 : 1;
-}
-
 /**
  * Write/print the observability reports the flags asked for. Runs
- * after dispatch() (success or failure) so a partially-failed suite
+ * after the request (success or failure) so a partially-failed suite
  * still leaves a metrics file behind for diagnosis.
  */
 void
@@ -812,23 +158,48 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+
+    std::string cmd = args.positional(0);
+    if (cmd.empty() && args.has("suite"))
+        cmd = "suite"; // `gpumech --suite stress` alias
+    if (cmd.empty()) {
+        usage();
+        return 0;
+    }
+    if (!verbFromString(cmd).ok()) {
+        usage();
+        return 1;
+    }
+
+    // Workload-independent argument errors (malformed counts, bad
+    // policy/level/inject specs, out-of-range configuration) surface
+    // here, before any evaluation starts.
+    Result<Request> parsed = requestFromArgs(args);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().toString().c_str());
+        return 1;
+    }
+    Request request = std::move(parsed).value();
+
     if (args.has("jobs"))
-        setDefaultJobs(args.getUint("jobs", 0));
+        setDefaultJobs(request.jobs);
     if (args.has("metrics") || !args.get("metrics-json").empty())
         Metrics::enable(true);
     if (!args.get("trace-out").empty())
         TraceLog::enable(true);
-    int code = 0;
-    try {
-        code = dispatch(args);
-    } catch (const StatusException &e) {
-        // Single-kernel commands have no containment boundary; render
-        // the carried Status as a total failure.
-        std::fprintf(stderr, "error: %s\n", e.what());
-        code = 1;
+
+    EngineSession engine;
+    Response response = engine.handle(request);
+    std::cout << response.output;
+    std::cout.flush();
+    if (!response.ok() && response.output.empty()) {
+        std::fprintf(stderr, "error: %s\n",
+                     response.status.toString().c_str());
     }
+
     // Emitted on the failure path too: a half-finished run's metrics
     // and spans are exactly what you want when diagnosing it.
     emitObservability(args);
-    return code;
+    return response.exitCode;
 }

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * `gpumech_serve`: a batching evaluation daemon over the same engine
+ * the CLI uses.
+ *
+ * Reads one JSON request per line (see README "Serving" and
+ * service/request.hh for the schema), evaluates them on a shared
+ * EngineSession — so the input cache stays warm across requests — and
+ * writes one JSON response per line. By default it serves stdin to
+ * stdout; --socket serves a Unix-domain stream socket instead,
+ * accepting one connection at a time with the cache persisting across
+ * connections.
+ *
+ * Usage:
+ *   gpumech_serve [--socket PATH] [--max-queue N] [--max-batch N]
+ *                 [--jobs N] [--kernel-timeout-ms N] [--no-output]
+ *                 [--metrics]
+ *
+ *   --socket PATH          serve a Unix socket instead of stdin
+ *   --max-queue N          admission bound: pending requests before
+ *                          load-shedding (default 64)
+ *   --max-batch N          requests evaluated concurrently per
+ *                          dispatch round (default 4; 1 = serial)
+ *   --jobs N               default worker threads per request, N >= 1
+ *   --kernel-timeout-ms N  default per-kernel deadline (0 = off);
+ *                          a request's "timeout_ms" overrides it
+ *   --no-output            omit the rendered report ("output" field)
+ *                          from responses
+ *   --metrics              enable the metrics registry so requests
+ *                          with "metrics":true get a per-request
+ *                          registry delta
+ *
+ * Draining: EOF on stdin (or SIGTERM / SIGINT) stops intake; every
+ * already-queued request is still answered before exit. Exit code 0
+ * after a clean drain, 1 on setup/argument errors.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/thread_pool.hh"
+#include "service/serve_loop.hh"
+
+using namespace gpumech;
+
+namespace
+{
+
+extern "C" void
+onDrainSignal(int)
+{
+    requestServeDrain();
+}
+
+/**
+ * Install SIGTERM/SIGINT handlers WITHOUT SA_RESTART: the blocking
+ * stdin read / accept() must fail with EINTR so the serve loop
+ * notices the drain request instead of staying parked in the kernel.
+ */
+void
+installDrainHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onDrainSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+
+    ServeOptions options;
+    EngineOptions engine_options;
+    std::uint32_t max_queue = 64, max_batch = 4, jobs = 0;
+    {
+        auto queue = args.getPositiveUint("max-queue", 64);
+        auto batch = args.getPositiveUint("max-batch", 4);
+        auto j = args.getPositiveUint("jobs", 0);
+        for (const auto *status :
+             {&queue.status(), &batch.status(), &j.status()}) {
+            if (!status->ok()) {
+                std::fprintf(stderr, "error: %s\n",
+                             status->toString().c_str());
+                return 1;
+            }
+        }
+        max_queue = queue.value();
+        max_batch = batch.value();
+        jobs = j.value();
+    }
+    options.maxQueue = max_queue;
+    options.maxBatch = max_batch;
+    options.includeOutput = !args.has("no-output");
+    engine_options.jobs = jobs;
+    engine_options.kernelTimeoutMs =
+        args.getUint("kernel-timeout-ms", 0);
+
+    if (jobs != 0)
+        setDefaultJobs(jobs);
+    if (args.has("metrics"))
+        Metrics::enable(true);
+
+    installDrainHandlers();
+
+    EngineSession engine(engine_options);
+
+    std::string socket_path = args.get("socket");
+    ServeSummary summary;
+    if (!socket_path.empty()) {
+        inform(msg("serving on unix socket ", socket_path));
+        Result<ServeSummary> served =
+            serveUnixSocket(engine, socket_path, options);
+        if (!served.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         served.status().toString().c_str());
+            return 1;
+        }
+        summary = served.value();
+    } else {
+        summary = serveLines(engine, std::cin, std::cout, options);
+    }
+
+    inform(msg("drained: ", summary.received, " received, ",
+               summary.evaluated, " evaluated (", summary.failed,
+               " failed), ", summary.shed, " shed, ",
+               summary.malformed, " malformed"));
+    return 0;
+}

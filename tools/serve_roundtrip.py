@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""End-to-end round trip against the gpumech_serve daemon.
+
+Launches the daemon (path in argv[1]), pipes a mixed batch of valid,
+malformed, invalid-argument, unknown-target, and deadline-exceeded
+requests over stdin, then validates the JSON-lines responses:
+
+  * every response line parses under python's strict json module, and
+    the full transcript re-parses under `python3 -m json.tool`
+    (an independent external validator, one document per line);
+  * every request receives exactly one response, matched by id;
+  * status/ok/code fields follow the CLI exit-code contract
+    (0 success, 2 contained partial failure, 1 total failure);
+  * a warm repeat of a model request hits the session cache instead
+    of rebuilding inputs (profiler hit, zero misses);
+  * the daemon drains gracefully on EOF and exits 0.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def fail(why, *context):
+    print("FAIL:", why, file=sys.stderr)
+    for item in context:
+        print("  ", item, file=sys.stderr)
+    sys.exit(1)
+
+
+REQUESTS = [
+    # (id, line) — id None marks the malformed line the reader thread
+    # must answer with a parse error rather than dropping.
+    ("m1", {"id": "m1", "cmd": "model", "kernel": "micro_stream",
+            "config": {"warps": 4, "cores": 2}}),
+    ("m2", {"id": "m2", "cmd": "model", "kernel": "micro_stream",
+            "config": {"warps": 4, "cores": 2}}),
+    (None, "this line is not json"),
+    ("missing", {"id": "missing", "cmd": "model",
+                 "kernel": "no_such_kernel"}),
+    ("badcfg", {"id": "badcfg", "cmd": "model",
+                "kernel": "micro_stream", "config": {"warps": 0}}),
+    # The stalled kernel must be one the m1/m2 warm-up did NOT prime:
+    # the collect-site injection only fires when inputs are actually
+    # rebuilt, and a session-cache hit skips that stage entirely.
+    ("dl", {"id": "dl", "cmd": "suite", "suite": "micro",
+            "predict": True, "config": {"warps": 4, "cores": 2},
+            "timeout_ms": 30,
+            "inject": "micro_pointer_chase:collect:1:500"}),
+    ("ping", {"id": "ping", "cmd": "ping"}),
+    ("stats", {"id": "stats", "cmd": "stats"}),
+]
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_roundtrip.py <gpumech_serve binary>")
+    serve_bin = sys.argv[1]
+
+    stdin = "".join(
+        (line if isinstance(line, str) else json.dumps(line)) + "\n"
+        for _, line in REQUESTS)
+
+    # max-batch 1 keeps responses in request order, which lets the
+    # order assertions below stay exact.
+    proc = subprocess.run(
+        [serve_bin, "--max-batch", "1"],
+        input=stdin, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        fail("daemon exited %d" % proc.returncode, proc.stderr)
+    if "drained" not in proc.stderr:
+        fail("no drain summary on stderr", proc.stderr)
+
+    lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+    if len(lines) != len(REQUESTS):
+        fail("expected %d response lines, got %d"
+             % (len(REQUESTS), len(lines)), *lines)
+
+    # Independent strict validator over the whole transcript: each
+    # response line must be a standalone JSON document.
+    for ln in lines:
+        tool = subprocess.run(
+            [sys.executable, "-m", "json.tool"],
+            input=ln, capture_output=True, text=True)
+        if tool.returncode != 0:
+            fail("json.tool rejected a response line",
+                 ln, tool.stderr)
+
+    responses = [json.loads(ln) for ln in lines]
+    for resp in responses:
+        for field in ("seq", "ok", "code", "status", "kernels",
+                      "failed", "cache", "wall_ms", "output"):
+            if field not in resp:
+                fail("response missing field '%s'" % field, resp)
+    seqs = [resp["seq"] for resp in responses]
+    if sorted(seqs) != list(range(1, len(REQUESTS) + 1)):
+        fail("response seqs are not 1..%d" % len(REQUESTS), seqs)
+
+    by_id = {}
+    for resp in responses:
+        if "id" in resp:
+            if resp["id"] in by_id:
+                fail("duplicate response id", resp)
+            by_id[resp["id"]] = resp
+    parse_errors = [r for r in responses if "id" not in r]
+
+    # Cold model evaluation succeeds and builds inputs.
+    m1 = by_id["m1"]
+    if not (m1["ok"] and m1["code"] == 0 and m1["failed"] == 0):
+        fail("m1 should fully succeed", m1)
+    if m1["cache"]["profiler_misses"] < 1:
+        fail("cold request should miss the profiler cache", m1)
+
+    # Warm repeat: identical output, served from cache.
+    m2 = by_id["m2"]
+    if not (m2["ok"] and m2["code"] == 0):
+        fail("m2 should fully succeed", m2)
+    if m2["cache"]["profiler_misses"] != 0 \
+            or m2["cache"]["profiler_hits"] < 1:
+        fail("warm repeat should hit the profiler cache", m2)
+    if m2["output"] != m1["output"]:
+        fail("warm repeat diverged from cold output", m1, m2)
+
+    # The malformed line earns a parse_error response, not silence.
+    if len(parse_errors) != 1:
+        fail("expected exactly one id-less parse error response",
+             *responses)
+    bad = parse_errors[0]
+    if bad["ok"] or bad["code"] != 1 or bad["status"] != "parse_error":
+        fail("malformed line should yield parse_error, exit 1", bad)
+    if "error" not in bad:
+        fail("failed response should carry an error message", bad)
+
+    # Unknown kernel and invalid config are total failures (exit 1).
+    # badcfg is rejected at request validation, before reaching the
+    # engine — the daemon must still echo its correlation id.
+    missing = by_id["missing"]
+    if missing["ok"] or missing["code"] != 1 \
+            or missing["status"] != "not_found":
+        fail("unknown kernel should be not_found, exit 1", missing)
+    badcfg = by_id["badcfg"]
+    if badcfg["ok"] or badcfg["code"] != 1 \
+            or badcfg["status"] != "invalid_argument":
+        fail("warps=0 should be invalid_argument, exit 1", badcfg)
+
+    # Deadline-exceeded kernel is contained: partial success, the
+    # stalled kernel is reported failed, the suite still answers.
+    dl = by_id["dl"]
+    if not dl["ok"] or dl["code"] != 2 or dl["failed"] < 1:
+        fail("deadline request should be contained partial (code 2)",
+             dl)
+    if "deadline_exceeded" not in dl["output"]:
+        fail("deadline failure class missing from suite output", dl)
+
+    # Control verbs.
+    if by_id["ping"]["output"] != "pong\n":
+        fail("ping should answer pong", by_id["ping"])
+    # The two reader-rejected lines (malformed, badcfg) never reach
+    # the engine, so stats counts the five prior handled requests.
+    stats = json.loads(by_id["stats"]["output"])
+    if stats["requests"] != 5:
+        fail("stats should count the 5 engine-handled requests",
+             stats)
+
+    print("serve round trip OK: %d responses validated" % len(lines))
+
+
+if __name__ == "__main__":
+    main()
