@@ -4,14 +4,31 @@
  *
  * The paper fixes LRU caches (Table I). Because GPUMech's inputs come
  * from a functional simulation of the same caches, the model adapts
- * to any replacement policy automatically; this bench sweeps
- * LRU/FIFO/pseudo-random on cache-sensitive kernels and checks that
- * (a) the oracle's hit rates respond to the policy and (b) GPUMech's
- * error stays in its usual band under every policy.
+ * to any replacement policy automatically; this bench sweeps the full
+ * policy zoo — LRU, FIFO, pseudo-random, and ARC — on cache-sensitive
+ * kernels and checks that (a) the oracle's hit rates respond to the
+ * policy and (b) GPUMech's error stays in its usual band under every
+ * policy. Each policy row also reports whether the MRC fast path
+ * (collector/mrc_collector.hh) models it exactly: LRU stack distances
+ * are exact only for LRU; every other policy is served approximately
+ * and flagged via CollectorResult::mrcApproximate.
+ *
+ * Caveat: kernels whose DRAM utilization lands at rho ~= 1.0 straddle
+ * the bandwidth model's saturation boundary (Eq. 21-23), where the
+ * M/D/1 queuing term is discontinuous; there, sub-percent hit-rate
+ * differences between policies can swing the model error (see the
+ * note the bench prints).
+ *
+ * Results go to stdout and BENCH_replacement_policy.json (see --out).
  */
 
+#include <fstream>
 #include <iostream>
+#include <thread>
 
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
@@ -19,26 +36,52 @@
 
 using namespace gpumech;
 
-int
-main()
+namespace
 {
+
+struct Policy
+{
+    std::uint32_t index;
+    const char *label;
+    bool mrcExact; //!< LRU stack distances model it without error
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    std::string out_path =
+        args.get("out", "BENCH_replacement_policy.json");
+
     std::cout << "=== Ablation: cache replacement policy ===\n\n";
 
     const std::vector<std::string> kernels = {
         "kmeans_kernel_c", "leukocyte_dilate",
         "hotspot_calculate_temp", "stencil_block2d",
         "convolutionRows"};
-    const std::vector<std::pair<std::uint32_t, std::string>> policies =
-        {{0, "LRU"}, {1, "FIFO"}, {2, "Random"}};
+    const std::vector<Policy> policies = {{0, "LRU", true},
+                                          {1, "FIFO", false},
+                                          {2, "Random", false},
+                                          {3, "ARC", false}};
+
+    JsonWriter json;
+    json.field("bench", "ablation_replacement_policy");
+    json.field("hardware_threads",
+               static_cast<std::uint64_t>(
+                   std::thread::hardware_concurrency()));
 
     Table t({"kernel", "policy", "oracle CPI", "L1 hit rate",
              "GPUMech err"});
     std::map<std::string, std::vector<double>> errors;
+    json.beginObject("kernels");
     for (const auto &name : kernels) {
         const Workload &workload = workloadByName(name);
-        for (const auto &[index, label] : policies) {
+        json.beginObject(name);
+        for (const Policy &policy : policies) {
             HardwareConfig config = HardwareConfig::baseline();
-            config.replacementPolicy = index;
+            config.replacementPolicy = policy.index;
             KernelTrace kernel = workload.generate(config);
 
             GpuTiming oracle(kernel, config,
@@ -51,22 +94,53 @@ main()
             GpuMechResult model =
                 runGpuMech(kernel, config, GpuMechOptions{});
             double err = relativeError(model.ipc, 1.0 / s.cpi());
-            errors[label].push_back(err);
-            t.addRow({name, label, fmtDouble(s.cpi(), 2),
+            errors[policy.label].push_back(err);
+            t.addRow({name, policy.label, fmtDouble(s.cpi(), 2),
                       fmtPercent(hit_rate), fmtPercent(err)});
+            json.beginObject(policy.label);
+            json.field("oracle_cpi", s.cpi());
+            json.field("l1_hit_rate", hit_rate);
+            json.field("model_error", err);
+            json.endObject();
         }
+        json.endObject();
     }
+    json.endObject();
     t.print(std::cout);
 
-    std::cout << "\nAverage GPUMech error per policy:\n";
-    for (const auto &[index, label] : policies) {
-        (void)index;
-        std::cout << "  " << label << ": "
-                  << fmtPercent(mean(errors[label])) << "\n";
+    std::cout << "\nAverage GPUMech error per policy (MRC-exact "
+                 "policies marked *):\n";
+    json.beginObject("policy_summary");
+    for (const Policy &policy : policies) {
+        double avg = mean(errors[policy.label]);
+        std::cout << "  " << policy.label
+                  << (policy.mrcExact ? "*" : "") << ": "
+                  << fmtPercent(avg) << "\n";
+        json.beginObject(policy.label);
+        json.field("avg_error", avg);
+        json.field("mrc_exact", policy.mrcExact);
+        json.endObject();
     }
+    json.endObject();
+
     std::cout << "\nexpected shape: hit rates shift with the policy "
-                 "and GPUMech tracks the oracle under all three, "
+                 "and GPUMech tracks the oracle under all four, "
                  "because its inputs are collected on the same "
-                 "caches.\n";
+                 "caches. Only LRU is modeled exactly by the MRC fast "
+                 "path; the others fall back to LRU stack distances "
+                 "and set CollectorResult::mrcApproximate.\n"
+                 "known outlier: kernels whose DRAM utilization sits "
+                 "at rho ~= 1.0 (stencil_block2d) straddle the Eq. "
+                 "21-23 regime boundary, where the M/D/1 queuing term "
+                 "is discontinuous — a sub-percent hit-rate shift "
+                 "from the policy can flip the branch and swing the "
+                 "model CPI. That is a property of the bandwidth "
+                 "model at saturation, not of any policy.\n";
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal(msg("cannot open ", out_path, " for writing"));
+    out << json.finish() << "\n";
+    std::cout << "\nwrote " << out_path << "\n";
     return 0;
 }

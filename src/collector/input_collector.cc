@@ -70,14 +70,26 @@ CollectorResult::latencyOf(std::uint32_t pc) const
 namespace
 {
 
-/**
- * Derived quantities shared by both engines: per-PC latencies
- * (Section V-B) and avg_miss_latency (Eq. 19), both pure functions of
- * the already-accumulated counters.
- */
+/** Initialize per-PC profiles and the dynamic instruction counts. */
 void
-finishResult(CollectorResult &result, const KernelTrace &kernel,
-             const HardwareConfig &config)
+initProfiles(CollectorResult &result, const KernelTrace &kernel)
+{
+    result.pcs.resize(kernel.numStaticInsts());
+    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc)
+        result.pcs[pc].op = kernel.opcodeOf(pc);
+
+    // Instruction-count bookkeeping happens once per dynamic
+    // instruction regardless of opcode; one dense pass over the flat
+    // PC array.
+    for (std::uint32_t pc : kernel.instPcs())
+        ++result.pcs[pc].instCount;
+}
+
+} // namespace
+
+void
+finishCollectorResult(CollectorResult &result, const KernelTrace &kernel,
+                      const HardwareConfig &config)
 {
     result.pcLatency.resize(kernel.numStaticInsts());
     for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc) {
@@ -111,23 +123,6 @@ finishResult(CollectorResult &result, const KernelTrace &kernel,
             static_cast<double>(miss_reqs);
     }
 }
-
-/** Initialize per-PC profiles and the dynamic instruction counts. */
-void
-initProfiles(CollectorResult &result, const KernelTrace &kernel)
-{
-    result.pcs.resize(kernel.numStaticInsts());
-    for (std::uint32_t pc = 0; pc < kernel.numStaticInsts(); ++pc)
-        result.pcs[pc].op = kernel.opcodeOf(pc);
-
-    // Instruction-count bookkeeping happens once per dynamic
-    // instruction regardless of opcode; one dense pass over the flat
-    // PC array.
-    for (std::uint32_t pc : kernel.instPcs())
-        ++result.pcs[pc].instCount;
-}
-
-} // namespace
 
 CollectorResult
 collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
@@ -209,7 +204,7 @@ collectInputs(const KernelTrace &kernel, const HardwareConfig &config)
         }
     }
 
-    finishResult(result, kernel, config);
+    finishCollectorResult(result, kernel, config);
 
     double l1_acc = 0.0, l1_hit = 0.0;
     for (std::uint32_t c = 0; c < config.numCores; ++c) {
@@ -415,7 +410,7 @@ collectInputsParallel(const KernelTrace &kernel,
         }
     }
 
-    finishResult(result, kernel, config);
+    finishCollectorResult(result, kernel, config);
 
     double l1_acc = 0.0, l1_hit = 0.0;
     for (const CorePartial &part : partials) {

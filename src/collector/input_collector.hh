@@ -98,9 +98,32 @@ struct CollectorResult
     double l1HitRate = 0.0;
     double l2HitRate = 0.0;
 
+    /**
+     * Provenance of MRC-derived results (collector/mrc_collector.hh):
+     * mrcDerived marks a result computed from a reuse-distance profile
+     * instead of a functional-hierarchy walk, and mrcApproximate marks
+     * the derivations that are approximate rather than exact (sampled
+     * profile, set-associative geometry, or a non-LRU replacement
+     * policy), with the reasons spelled out in mrcApproximation.
+     * Both stay false/empty on simulated results.
+     */
+    bool mrcDerived = false;
+    bool mrcApproximate = false;
+    std::string mrcApproximation;
+
     /** Latency of a PC; fatal if out of range. */
     double latencyOf(std::uint32_t pc) const;
 };
+
+/**
+ * Fill the derived fields shared by every collector engine — per-PC
+ * latencies (Section V-B) and avg_miss_latency (Eq. 19) — from the
+ * already-accumulated per-PC counters. Exposed so the MRC derivation
+ * path reuses the exact same arithmetic as the simulated engines.
+ */
+void finishCollectorResult(CollectorResult &result,
+                           const KernelTrace &kernel,
+                           const HardwareConfig &config);
 
 /**
  * Run the input collector over a kernel (serial reference engine).

@@ -102,11 +102,11 @@ HardwareConfig::validate() const
     GPUMECH_TRY(requirePositive("dramBandwidthGBs", dramBandwidthGBs));
     GPUMECH_TRY(validateCache("l1", l1SizeBytes, l1LineBytes, l1Assoc));
     GPUMECH_TRY(validateCache("l2", l2SizeBytes, l2LineBytes, l2Assoc));
-    if (replacementPolicy > 2) {
+    if (replacementPolicy > 3) {
         return invalidField(
             "replacementPolicy",
-            msg("must be 0 (LRU), 1 (FIFO) or 2 (random), got ",
-                replacementPolicy));
+            msg("must be 0 (LRU), 1 (FIFO), 2 (random) or 3 (ARC), "
+                "got ", replacementPolicy));
     }
     return Status();
 }

@@ -98,9 +98,9 @@ struct HardwareConfig
 
     /**
      * Cache replacement policy index, shared by L1 and L2:
-     * 0 = LRU (default), 1 = FIFO, 2 = pseudo-random. Kept as an
-     * integer here to avoid a header cycle with mem/cache.hh; the
-     * hierarchy translates it.
+     * 0 = LRU (default), 1 = FIFO, 2 = pseudo-random, 3 = ARC
+     * (adaptive replacement). Kept as an integer here to avoid a
+     * header cycle with mem/cache.hh; the hierarchy translates it.
      */
     std::uint32_t replacementPolicy = 0;
 

@@ -1,5 +1,6 @@
 #include "core/gpumech.hh"
 
+#include "collector/mrc_collector.hh"
 #include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
@@ -81,8 +82,9 @@ GpuMechProfiler::GpuMechProfiler(
     const KernelTrace &kernel, const HardwareConfig &config,
     RepSelection selection, std::uint32_t num_clusters,
     unsigned profile_threads,
-    std::shared_ptr<const CollectorResult> precollected)
-    : kernel(kernel), config(config)
+    std::shared_ptr<const CollectorResult> precollected,
+    std::shared_ptr<const MrcProfile> mrc)
+    : kernel(kernel), config(config), mrcProfile(std::move(mrc))
 {
     if (kernel.numWarps() == 0) {
         // Thrown (not fatal) so the per-kernel containment boundary in
@@ -94,6 +96,10 @@ GpuMechProfiler::GpuMechProfiler(
     }
     if (precollected) {
         collected = std::move(precollected);
+    } else if (mrcProfile) {
+        Span span("derive", kernel.name());
+        collected = std::make_shared<const CollectorResult>(
+            deriveCollectorResult(*mrcProfile, kernel, config));
     } else {
         Span span("collect", kernel.name());
         collected = std::make_shared<const CollectorResult>(
@@ -137,6 +143,11 @@ GpuMechProfiler::evaluateAt(const HardwareConfig &new_config,
     // a configuration skips them entirely.
     std::shared_ptr<const CollectorResult> new_inputs =
         collectorMemo.getOrCompute(new_config.collectorKey(), [&] {
+            if (mrcProfile) {
+                Span span("derive", kernel.name());
+                return deriveCollectorResult(*mrcProfile, kernel,
+                                             new_config);
+            }
             Span span("collect", kernel.name());
             return collectInputsParallel(kernel, new_config);
         });

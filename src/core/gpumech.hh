@@ -24,6 +24,7 @@
 #include "collector/input_collector.hh"
 #include "common/config.hh"
 #include "common/memo.hh"
+#include "mem/mrc.hh"
 #include "core/contention.hh"
 #include "core/cpi_stack.hh"
 #include "core/interval_builder.hh"
@@ -118,6 +119,11 @@ class GpuMechProfiler
      *        either way.
      * @param precollected collector result for (kernel, config) from a
      *        shared InputCache; when null, collectInputs() runs here.
+     * @param mrc optional reuse-distance profile (the MRC fast path):
+     *        when set, every collector result — the profiling one
+     *        (unless @p precollected is given) and every evaluateAt()
+     *        geometry re-collection — is derived from the profile
+     *        instead of re-running the functional cache simulation.
      */
     GpuMechProfiler(const KernelTrace &kernel,
                     const HardwareConfig &config,
@@ -125,7 +131,8 @@ class GpuMechProfiler
                     std::uint32_t num_clusters = 2,
                     unsigned profile_threads = 1,
                     std::shared_ptr<const CollectorResult> precollected =
-                        nullptr);
+                        nullptr,
+                    std::shared_ptr<const MrcProfile> mrc = nullptr);
 
     /** Evaluate the multi-warp model at the profiling configuration. */
     GpuMechResult evaluate(SchedulingPolicy policy,
@@ -167,6 +174,7 @@ class GpuMechProfiler
   private:
     const KernelTrace &kernel;
     HardwareConfig config;
+    std::shared_ptr<const MrcProfile> mrcProfile; //!< null = rerun mode
     std::shared_ptr<const CollectorResult> collected;
     std::vector<IntervalProfile> warpProfiles;
     std::uint32_t repWarp = 0;

@@ -33,6 +33,32 @@ harnessMetrics()
 } // namespace
 
 std::string
+toString(SweepMode mode)
+{
+    switch (mode) {
+      case SweepMode::Rerun:
+        return "rerun";
+      case SweepMode::Mrc:
+        return "mrc";
+    }
+    return "?";
+}
+
+bool
+parseSweepMode(const std::string &text, SweepMode &out)
+{
+    if (text == "rerun") {
+        out = SweepMode::Rerun;
+        return true;
+    }
+    if (text == "mrc") {
+        out = SweepMode::Mrc;
+        return true;
+    }
+    return false;
+}
+
+std::string
 toString(ModelKind kind)
 {
     switch (kind) {
@@ -151,11 +177,19 @@ KernelEvaluation
 evaluateKernel(const Workload &workload, const HardwareConfig &config,
                SchedulingPolicy policy,
                const std::vector<ModelKind> &models, InputCache *cache,
-               const IsolationOptions &isolation)
+               const IsolationOptions &isolation, SweepMode mode,
+               double mrc_rate)
 {
     KernelEvaluation eval;
     eval.kernel = workload.name;
     eval.policy = policy;
+
+    // The MRC fast path needs a cache to share the reuse-distance
+    // profile across cells; without one, fall back to a call-local
+    // cache (correct, just no cross-call reuse).
+    InputCache local;
+    if (mode == SweepMode::Mrc && !cache)
+        cache = &local;
 
     eval.status = runContained(workload.name, isolation, [&] {
         if (cache) {
@@ -169,7 +203,9 @@ evaluateKernel(const Workload &workload, const HardwareConfig &config,
             }
             eval.oracleIpc =
                 eval.oracleCpi > 0.0 ? 1.0 / eval.oracleCpi : 0.0;
-            ProfiledKernel pk = cache->profiler(workload, config);
+            ProfiledKernel pk = mode == SweepMode::Mrc
+                ? cache->mrcProfiler(workload, config, mrc_rate)
+                : cache->profiler(workload, config);
             predictModels(eval, *pk.profiler, config, policy, models);
             return;
         }

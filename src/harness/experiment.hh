@@ -29,6 +29,31 @@
 namespace gpumech
 {
 
+/**
+ * How configuration sweeps obtain collector inputs at each cell.
+ *
+ * Rerun replays the functional cache simulation per cell (the exact
+ * reference). Mrc profiles reuse distances once per kernel and derives
+ * every cache geometry from that one profile
+ * (collector/mrc_collector.hh) — typically several times faster on
+ * cache-geometry sweeps, exact on fully-associative LRU geometries and
+ * a close approximation elsewhere.
+ */
+enum class SweepMode
+{
+    Rerun,
+    Mrc,
+};
+
+/** CLI name of a sweep mode ("rerun" / "mrc"). */
+std::string toString(SweepMode mode);
+
+/**
+ * Parse a CLI sweep-mode name; returns false (leaving @p out
+ * untouched) on anything but "rerun" or "mrc".
+ */
+bool parseSweepMode(const std::string &text, SweepMode &out);
+
 /** The evaluated models (Table II). */
 enum class ModelKind
 {
@@ -106,6 +131,12 @@ struct KernelEvaluation
  *        injected fault, or an unexpected std::exception — is
  *        contained: it is returned in KernelEvaluation::status and
  *        never escapes to the caller.
+ * @param mode collector-input source for the model side (the oracle
+ *        always runs the timing simulator): SweepMode::Mrc derives
+ *        cache behaviour from a shared reuse-distance profile instead
+ *        of re-running the functional simulation
+ * @param mrc_rate SHARDS sampling rate in (0, 1] for SweepMode::Mrc;
+ *        1.0 profiles every line
  */
 KernelEvaluation evaluateKernel(const Workload &workload,
                                 const HardwareConfig &config,
@@ -113,7 +144,9 @@ KernelEvaluation evaluateKernel(const Workload &workload,
                                 const std::vector<ModelKind> &models =
                                     allModels(),
                                 InputCache *cache = nullptr,
-                                const IsolationOptions &isolation = {});
+                                const IsolationOptions &isolation = {},
+                                SweepMode mode = SweepMode::Rerun,
+                                double mrc_rate = 1.0);
 
 /**
  * Evaluate a set of kernels; optionally logs per-kernel progress via

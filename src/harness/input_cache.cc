@@ -1,5 +1,6 @@
 #include "harness/input_cache.hh"
 
+#include "collector/mrc_collector.hh"
 #include "common/isolation.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -27,6 +28,8 @@ struct CacheMetrics
     Counter collectorMisses{"cache.collector.misses"};
     Counter profilerLookups{"cache.profiler.lookups"};
     Counter profilerMisses{"cache.profiler.misses"};
+    Counter mrcLookups{"cache.mrc.lookups"};
+    Counter mrcMisses{"cache.mrc.misses"};
     Counter evictions{"cache.evictions"};
 };
 
@@ -99,14 +102,62 @@ InputCache::profiler(const Workload &workload,
     return *entry;
 }
 
+std::shared_ptr<const MrcProfile>
+InputCache::mrc(const Workload &workload, const HardwareConfig &config,
+                double sampling_rate)
+{
+    evalCheckpoint(FaultSite::Cache);
+    cacheMetrics().mrcLookups.add();
+    return mrcs.getOrCompute(
+        msg(workload.name, '|', config.traceKey(),
+            "|mrc=", sampling_rate),
+        [&] {
+            cacheMetrics().mrcMisses.add();
+            std::shared_ptr<const KernelTrace> kernel =
+                trace(workload, config);
+            Span span("mrc", workload.name);
+            return collectMrcProfile(*kernel, config, sampling_rate);
+        });
+}
+
+ProfiledKernel
+InputCache::mrcProfiler(const Workload &workload,
+                        const HardwareConfig &config,
+                        double sampling_rate, RepSelection selection,
+                        std::uint32_t num_clusters)
+{
+    evalCheckpoint(FaultSite::Cache);
+    cacheMetrics().profilerLookups.add();
+    std::string key =
+        msg(workload.name, '|', config.collectorKey(),
+            "|ir=", config.issueRate, '|', toString(selection), '|',
+            num_clusters, "|mrc=", sampling_rate);
+    auto entry = mrcProfilers.getOrCompute(key, [&] {
+        cacheMetrics().profilerMisses.add();
+        ProfiledKernel pk;
+        pk.trace = trace(workload, config);
+        std::shared_ptr<const MrcProfile> profile =
+            mrc(workload, config, sampling_rate);
+        Span span("profile", workload.name);
+        pk.profiler = std::make_shared<const GpuMechProfiler>(
+            *pk.trace, config, selection, num_clusters, 1, nullptr,
+            std::move(profile));
+        return pk;
+    });
+    return *entry;
+}
+
 void
 InputCache::clear()
 {
     cacheMetrics().evictions.add(traces.size() + collected.size() +
-                                 profilers.size());
+                                 profilers.size() + mrcs.size() +
+                                 mrcProfilers.size());
     traces.clear();
     collected.clear();
     profilers.clear();
+    mrcs.clear();
+    mrcProfilers.clear();
 }
 
 } // namespace gpumech

@@ -11,6 +11,14 @@
  *   trace     (workload.name, HardwareConfig::traceKey())
  *   collector (workload.name, HardwareConfig::collectorKey())
  *   profiler  (collector key + issue rate + selection + k)
+ *   mrc       (workload.name, traceKey(), sampling rate)
+ *   mrcProfiler (profiler key + sampling rate)
+ *
+ * The mrc entries back --sweep-mode=mrc cache-geometry sweeps: the
+ * reuse-distance profile is keyed only by trace-shaping fields
+ * (traceKey), so every cache-geometry cell of a sweep shares ONE
+ * profile, and each cell's collector result is derived from it in
+ * O(histogram) time instead of a functional-simulation walk.
  *
  * Every artifact is a deterministic function of its key, so cached
  * evaluation results are bit-identical to fresh ones (asserted by
@@ -63,12 +71,38 @@ class InputCache
              RepSelection selection = RepSelection::Clustering,
              std::uint32_t num_clusters = 2);
 
+    /**
+     * Reuse-distance profile for a workload (collector/mrc_collector
+     * .hh). Keyed by trace-shaping fields only — cache geometry does
+     * not participate — so one entry serves a whole geometry sweep.
+     *
+     * @param sampling_rate SHARDS rate in (0, 1]; part of the key
+     */
+    std::shared_ptr<const MrcProfile>
+    mrc(const Workload &workload, const HardwareConfig &config,
+        double sampling_rate = 1.0);
+
+    /**
+     * Like profiler(), but the GpuMechProfiler carries the shared
+     * reuse-distance profile: its collector inputs (and every
+     * evaluateAt() re-collection) are derived from the profile instead
+     * of simulated. Evaluate through evaluateAt(config, ...), exactly
+     * as with profiler().
+     */
+    ProfiledKernel
+    mrcProfiler(const Workload &workload, const HardwareConfig &config,
+                double sampling_rate = 1.0,
+                RepSelection selection = RepSelection::Clustering,
+                std::uint32_t num_clusters = 2);
+
     std::size_t traceHits() const { return traces.hits(); }
     std::size_t traceMisses() const { return traces.misses(); }
     std::size_t collectorHits() const { return collected.hits(); }
     std::size_t collectorMisses() const { return collected.misses(); }
     std::size_t profilerHits() const { return profilers.hits(); }
     std::size_t profilerMisses() const { return profilers.misses(); }
+    std::size_t mrcHits() const { return mrcs.hits(); }
+    std::size_t mrcMisses() const { return mrcs.misses(); }
 
     /** Drop every cached artifact. */
     void clear();
@@ -77,6 +111,8 @@ class InputCache
     MemoCache<KernelTrace> traces;
     MemoCache<CollectorResult> collected;
     MemoCache<ProfiledKernel> profilers;
+    MemoCache<MrcProfile> mrcs;
+    MemoCache<ProfiledKernel> mrcProfilers;
 };
 
 } // namespace gpumech

@@ -29,10 +29,10 @@ predictSuite(EvalSession &session,
 SweepResult
 runSweep(EvalSession &session, const std::vector<Workload> &workloads,
          const std::vector<SweepPoint> &points, SchedulingPolicy policy,
-         bool verbose)
+         bool verbose, const SweepOptions &options)
 {
     return runSweep(workloads, points, policy, verbose, session.jobs,
-                    &session.cache, session.isolation);
+                    &session.cache, session.isolation, options);
 }
 
 } // namespace gpumech

@@ -14,7 +14,7 @@ SweepResult
 runSweep(const std::vector<Workload> &workloads,
          const std::vector<SweepPoint> &points, SchedulingPolicy policy,
          bool verbose, unsigned jobs, InputCache *cache,
-         const IsolationOptions &isolation)
+         const IsolationOptions &isolation, const SweepOptions &options)
 {
     InputCache local;
     if (!cache)
@@ -39,7 +39,8 @@ runSweep(const std::vector<Workload> &workloads,
                     inform(msg("evaluating ", workload.name, " @ ",
                                point.label));
                 return evaluateKernel(workload, point.config, policy,
-                                      allModels(), cache, isolation);
+                                      allModels(), cache, isolation,
+                                      options.mode, options.mrcRate);
             },
             1, jobs);
 

@@ -24,6 +24,18 @@ struct SweepPoint
     HardwareConfig config;
 };
 
+/**
+ * Sweep evaluation knobs. The default (SweepMode::Rerun, rate 1)
+ * reproduces the historical behaviour bit-for-bit; SweepMode::Mrc
+ * derives each cell's cache behaviour from one shared reuse-distance
+ * profile per kernel (see harness/experiment.hh).
+ */
+struct SweepOptions
+{
+    SweepMode mode = SweepMode::Rerun;
+    double mrcRate = 1.0; //!< SHARDS sampling rate for SweepMode::Mrc
+};
+
 /** One contained per-cell failure of a sweep. */
 struct SweepFailure
 {
@@ -70,12 +82,14 @@ struct SweepResult
  * @param isolation per-kernel deadline / fault plan; a failing cell
  *        lands in SweepResult::failures, the rest of the grid still
  *        runs
+ * @param options sweep mode (rerun vs MRC-derived) and sampling rate
  */
 SweepResult runSweep(const std::vector<Workload> &workloads,
                      const std::vector<SweepPoint> &points,
                      SchedulingPolicy policy, bool verbose = false,
                      unsigned jobs = 0, InputCache *cache = nullptr,
-                     const IsolationOptions &isolation = {});
+                     const IsolationOptions &isolation = {},
+                     const SweepOptions &options = {});
 
 struct EvalSession;
 
@@ -86,7 +100,8 @@ struct EvalSession;
 SweepResult runSweep(EvalSession &session,
                      const std::vector<Workload> &workloads,
                      const std::vector<SweepPoint> &points,
-                     SchedulingPolicy policy, bool verbose = false);
+                     SchedulingPolicy policy, bool verbose = false,
+                     const SweepOptions &options = {});
 
 /** Render a sweep as a table (rows = models, columns = points). */
 void printSweep(std::ostream &os, const SweepResult &result);

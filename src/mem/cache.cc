@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -17,6 +18,8 @@ toString(ReplacementPolicy policy)
         return "FIFO";
       case ReplacementPolicy::PseudoRandom:
         return "Random";
+      case ReplacementPolicy::Arc:
+        return "ARC";
     }
     return "?";
 }
@@ -41,6 +44,8 @@ Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
     setsPow2 = (sets & (sets - 1)) == 0;
     setMask = sets - 1;
     table.resize(static_cast<std::size_t>(sets) * ways);
+    if (policy == ReplacementPolicy::Arc)
+        arcSets.resize(sets);
 }
 
 std::uint32_t
@@ -109,8 +114,148 @@ Cache::selectVictim(Way *base)
         victimSeed ^= victimSeed << 17;
         return &base[victimSeed % ways];
       }
+      case ReplacementPolicy::Arc:
+        break; // ARC never uses the Way table
     }
     panic("unknown replacement policy");
+}
+
+namespace
+{
+
+/** Remove @p tag from @p list if present; true when it was. */
+bool
+listErase(std::vector<Addr> &list, Addr tag)
+{
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == tag) {
+            list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Push @p tag at the MRU (front) position. */
+void
+listPushMru(std::vector<Addr> &list, Addr tag)
+{
+    list.insert(list.begin(), tag);
+}
+
+/** Pop and return the LRU (back) entry. */
+Addr
+listPopLru(std::vector<Addr> &list)
+{
+    Addr tag = list.back();
+    list.pop_back();
+    return tag;
+}
+
+} // namespace
+
+bool
+Cache::arcResident(const ArcSet &set, Addr tag) const
+{
+    for (Addr t : set.t1) {
+        if (t == tag)
+            return true;
+    }
+    for (Addr t : set.t2) {
+        if (t == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::arcHit(ArcSet &set, Addr tag)
+{
+    // Case I: a resident hit promotes to the frequency list's MRU.
+    if (!listErase(set.t1, tag))
+        listErase(set.t2, tag);
+    listPushMru(set.t2, tag);
+}
+
+void
+Cache::arcReplace(ArcSet &set, bool in_b2)
+{
+    // REPLACE(x, p): evict T1's LRU to B1 when T1 exceeds its target
+    // (or meets it on a B2 hit), otherwise T2's LRU to B2.
+    bool from_t1 =
+        !set.t1.empty() &&
+        (set.t1.size() > set.p ||
+         (in_b2 && set.t1.size() == set.p));
+    if (from_t1) {
+        listPushMru(set.b1, listPopLru(set.t1));
+    } else if (!set.t2.empty()) {
+        listPushMru(set.b2, listPopLru(set.t2));
+    } else if (!set.t1.empty()) {
+        listPushMru(set.b1, listPopLru(set.t1));
+    }
+}
+
+void
+Cache::arcMissFill(ArcSet &set, Addr tag)
+{
+    const std::size_t c = ways;
+    if (listErase(set.b1, tag)) {
+        // Case II: ghost hit in B1 — recency is winning, grow p.
+        std::size_t delta =
+            set.b1.empty() ? 1
+                           : std::max<std::size_t>(
+                                 1, set.b2.size() / (set.b1.size() + 1));
+        set.p = static_cast<std::uint32_t>(
+            std::min(c, set.p + delta));
+        arcReplace(set, false);
+        listPushMru(set.t2, tag);
+        return;
+    }
+    if (listErase(set.b2, tag)) {
+        // Case III: ghost hit in B2 — frequency is winning, shrink p.
+        std::size_t delta =
+            set.b2.empty() ? 1
+                           : std::max<std::size_t>(
+                                 1, set.b1.size() / (set.b2.size() + 1));
+        set.p = static_cast<std::uint32_t>(
+            set.p > delta ? set.p - delta : 0);
+        arcReplace(set, true);
+        listPushMru(set.t2, tag);
+        return;
+    }
+    // Case IV: a brand-new line.
+    if (set.t1.size() + set.b1.size() == c) {
+        if (set.t1.size() < c) {
+            listPopLru(set.b1);
+            arcReplace(set, false);
+        } else {
+            listPopLru(set.t1); // B1 is empty: evict without a ghost
+        }
+    } else if (set.t1.size() + set.t2.size() + set.b1.size() +
+                   set.b2.size() >=
+               c) {
+        if (set.t1.size() + set.t2.size() + set.b1.size() +
+                set.b2.size() ==
+            2 * c)
+            listPopLru(set.b2);
+        arcReplace(set, false);
+    }
+    listPushMru(set.t1, tag);
+}
+
+bool
+Cache::arcLookup(Addr tag, bool fill_on_miss)
+{
+    ArcSet &set =
+        arcSets[setsPow2 ? static_cast<std::size_t>(tag & setMask)
+                         : static_cast<std::size_t>(tag % sets)];
+    if (arcResident(set, tag)) {
+        arcHit(set, tag);
+        return true;
+    }
+    if (fill_on_miss)
+        arcMissFill(set, tag);
+    return false;
 }
 
 void
@@ -129,6 +274,11 @@ Cache::access(Addr line_addr)
     ++numAccesses;
     ++useClock;
     Addr tag = tagOf(line_addr);
+    if (policy == ReplacementPolicy::Arc) {
+        bool hit = arcLookup(tag, true);
+        numHits += hit ? 1 : 0;
+        return hit;
+    }
     Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
@@ -148,6 +298,11 @@ Cache::lookup(Addr line_addr)
     ++numAccesses;
     ++useClock;
     Addr tag = tagOf(line_addr);
+    if (policy == ReplacementPolicy::Arc) {
+        bool hit = arcLookup(tag, false);
+        numHits += hit ? 1 : 0;
+        return hit;
+    }
     Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
@@ -164,6 +319,12 @@ bool
 Cache::probe(Addr line_addr) const
 {
     Addr tag = tagOf(line_addr);
+    if (policy == ReplacementPolicy::Arc) {
+        const ArcSet &set =
+            arcSets[setsPow2 ? static_cast<std::size_t>(tag & setMask)
+                             : static_cast<std::size_t>(tag % sets)];
+        return arcResident(set, tag);
+    }
     const Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         if (base[w].valid && base[w].tag == tag)
@@ -177,6 +338,10 @@ Cache::fill(Addr line_addr)
 {
     ++useClock;
     Addr tag = tagOf(line_addr);
+    if (policy == ReplacementPolicy::Arc) {
+        arcLookup(tag, true); // hit refreshes recency, miss fills
+        return;
+    }
     Way *base = setBase(tag);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Way &way = base[w];
@@ -193,6 +358,8 @@ Cache::reset()
 {
     for (auto &way : table)
         way = Way{};
+    for (auto &set : arcSets)
+        set = ArcSet{};
     useClock = 0;
     numAccesses = 0;
     numHits = 0;

@@ -27,9 +27,10 @@ enum class ReplacementPolicy : std::uint8_t
     Lru,          //!< true least-recently-used (default)
     Fifo,         //!< evict the oldest fill, ignore recency
     PseudoRandom, //!< deterministic xorshift victim choice
+    Arc,          //!< adaptive replacement cache (per-set ARC)
 };
 
-/** Policy name ("LRU" / "FIFO" / "Random"). */
+/** Policy name ("LRU" / "FIFO" / "Random" / "ARC"). */
 std::string toString(ReplacementPolicy policy);
 
 /** Tag-state set-associative cache with selectable replacement. */
@@ -94,6 +95,26 @@ class Cache
         std::uint64_t fillTime = 0; //!< insertion stamp (FIFO)
     };
 
+    /**
+     * One set's adaptive-replacement state (Megiddo & Modha): resident
+     * lists T1 (recency) and T2 (frequency), ghost lists B1/B2, and the
+     * adaptation target p for |T1|. MRU is the front of each list;
+     * linear scans are fine at per-set sizes (<= ways entries).
+     */
+    struct ArcSet
+    {
+        std::vector<Addr> t1, t2, b1, b2;
+        std::uint32_t p = 0; //!< target |T1| in [0, ways]
+    };
+
+    // ARC code path (policy == Arc routes every operation here; the
+    // Way table stays unused).
+    bool arcLookup(Addr tag, bool fill_on_miss);
+    bool arcResident(const ArcSet &set, Addr tag) const;
+    void arcHit(ArcSet &set, Addr tag);
+    void arcMissFill(ArcSet &set, Addr tag);
+    void arcReplace(ArcSet &set, bool in_b2);
+
     std::uint32_t setIndex(Addr line_addr) const;
     Addr tagOf(Addr line_addr) const;
 
@@ -116,6 +137,7 @@ class Cache
     std::string cacheName;
     ReplacementPolicy policy;
     std::vector<Way> table; //!< sets * ways entries, set-major
+    std::vector<ArcSet> arcSets; //!< per-set ARC state (Arc only)
     std::uint64_t useClock = 0;
     std::uint64_t numAccesses = 0;
     std::uint64_t numHits = 0;

@@ -27,6 +27,8 @@ replacementFromConfig(const HardwareConfig &config)
         return ReplacementPolicy::Fifo;
       case 2:
         return ReplacementPolicy::PseudoRandom;
+      case 3:
+        return ReplacementPolicy::Arc;
     }
     fatal(msg("invalid replacementPolicy index ",
               config.replacementPolicy));

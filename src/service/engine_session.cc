@@ -230,12 +230,18 @@ handleSweep(EvalSession &session, const Request &req, std::ostream &os)
         w = found.value();
     }
     const HardwareConfig &base = req.config;
+    bool mrc = req.sweepMode == SweepMode::Mrc;
 
     // Profile once at the base configuration; each point re-evaluates
     // (Section VI-D). The warps axis changes the trace itself
     // (occupancy), so those points profile at their own configuration
-    // — through the cache, so a repeated sweep is model-only.
-    ProfiledKernel base_pk = session.cache.profiler(*w, base);
+    // — through the cache, so a repeated sweep is model-only. In MRC
+    // mode the profiler carries a shared reuse-distance profile, so
+    // the cache-geometry axes derive each cell instead of re-running
+    // the functional simulation.
+    ProfiledKernel base_pk =
+        mrc ? session.cache.mrcProfiler(*w, base, req.mrcRate)
+            : session.cache.profiler(*w, base);
 
     std::vector<std::string> header{req.sweepParam, "model CPI",
                                     "model IPC"};
@@ -251,13 +257,20 @@ handleSweep(EvalSession &session, const Request &req, std::ostream &os)
             config.numMshrs = static_cast<std::uint32_t>(v);
         } else if (req.sweepParam == "bw") {
             config.dramBandwidthGBs = v;
+        } else if (req.sweepParam == "l1-kb") {
+            config.l1SizeBytes = static_cast<std::uint32_t>(v) * 1024;
+        } else if (req.sweepParam == "l2-kb") {
+            config.l2SizeBytes = static_cast<std::uint32_t>(v) * 1024;
         } else {
             config.sfuLanes = static_cast<std::uint32_t>(v);
         }
 
-        ProfiledKernel pk = req.sweepParam == "warps"
-                                ? session.cache.profiler(*w, config)
-                                : base_pk;
+        ProfiledKernel pk =
+            req.sweepParam == "warps"
+                ? (mrc ? session.cache.mrcProfiler(*w, config,
+                                                   req.mrcRate)
+                       : session.cache.profiler(*w, config))
+                : base_pk;
         GpuMechResult r = pk.profiler->evaluateAt(
             config, req.policy, ModelLevel::MT_MSHR_BAND, req.modelSfu);
 
@@ -274,7 +287,18 @@ handleSweep(EvalSession &session, const Request &req, std::ostream &os)
         t.addRow(std::move(row));
     }
     os << "kernel: " << req.kernel << ", sweeping " << req.sweepParam
-       << "\n\n";
+       << "\n";
+    // Only the non-default mode announces itself: the default (rerun)
+    // output stays byte-identical to the pre-MRC CLI.
+    if (mrc) {
+        const CollectorResult &inputs = base_pk.profiler->inputs();
+        os << "sweep mode: mrc (rate " << fmtDouble(req.mrcRate, 4)
+           << ")";
+        if (inputs.mrcApproximate)
+            os << ", approximate: " << inputs.mrcApproximation;
+        os << "\n";
+    }
+    os << "\n";
     t.print(os);
     return Response{};
 }

@@ -127,10 +127,31 @@ Status
 checkSweepParam(const std::string &param)
 {
     if (param == "warps" || param == "mshrs" || param == "bw" ||
-        param == "sfu-lanes")
+        param == "sfu-lanes" || param == "l1-kb" || param == "l2-kb")
         return Status();
     return Status(StatusCode::InvalidArgument,
                   msg("unknown sweep parameter '", param, "'"));
+}
+
+Result<SweepMode>
+sweepModeFromString(const std::string &mode)
+{
+    SweepMode out = SweepMode::Rerun;
+    if (!parseSweepMode(mode, out)) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("unknown sweep mode '", mode,
+                          "' (use rerun or mrc)"));
+    }
+    return out;
+}
+
+Status
+checkMrcRate(double rate)
+{
+    if (rate > 0.0 && rate <= 1.0)
+        return Status();
+    return Status(StatusCode::InvalidArgument,
+                  msg("mrc rate must be in (0, 1], got ", rate));
 }
 
 Status
@@ -264,13 +285,20 @@ requestFromArgs(const ArgParser &args)
         if (req.kernel.empty()) {
             return usageError(
                 "usage: gpumech sweep <kernel> --param "
-                "warps|mshrs|bw|sfu-lanes [--values a,b,c] [--oracle]");
+                "warps|mshrs|bw|sfu-lanes|l1-kb|l2-kb "
+                "[--values a,b,c] [--sweep-mode rerun|mrc] "
+                "[--mrc-rate r] [--oracle]");
         }
         req.sweepParam = args.get("param", "warps");
         GPUMECH_TRY(checkSweepParam(req.sweepParam));
         GPUMECH_ASSIGN_OR_RETURN(
             req.sweepValues,
             sweepValuesFromString(args.get("values", "8,16,24,32,48")));
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.sweepMode,
+            sweepModeFromString(args.get("sweep-mode", "rerun")));
+        req.mrcRate = args.getDouble("mrc-rate", 1.0);
+        GPUMECH_TRY(checkMrcRate(req.mrcRate));
         break;
       }
       case Verb::DumpTrace:
@@ -466,6 +494,14 @@ requestFromJson(const std::string &line)
                 req.sweepValues,
                 sweepValuesFromString("8,16,24,32,48"));
         }
+        std::string mode;
+        GPUMECH_ASSIGN_OR_RETURN(mode,
+                                 doc.getString("sweep_mode", "rerun"));
+        GPUMECH_ASSIGN_OR_RETURN(req.sweepMode,
+                                 sweepModeFromString(mode));
+        GPUMECH_ASSIGN_OR_RETURN(req.mrcRate,
+                                 doc.getNumber("mrc_rate", 1.0));
+        GPUMECH_TRY(checkMrcRate(req.mrcRate));
     }
 
     // Target presence, mirroring requestFromArgs.

@@ -33,6 +33,7 @@
 #include "common/isolation.hh"
 #include "common/status.hh"
 #include "core/gpumech.hh"
+#include "harness/experiment.hh"
 
 namespace gpumech
 {
@@ -93,6 +94,17 @@ struct Request
 
     std::string sweepParam = "warps";   //!< Sweep axis
     std::vector<double> sweepValues;    //!< Sweep points
+
+    /**
+     * Sweep: how cells get collector inputs (--sweep-mode /
+     * "sweep_mode"). Rerun replays the functional cache simulation per
+     * cell; Mrc derives every cell from one shared reuse-distance
+     * profile (fast path for the cache-geometry axes).
+     */
+    SweepMode sweepMode = SweepMode::Rerun;
+
+    /** Sweep: SHARDS sampling rate in (0, 1] for SweepMode::Mrc. */
+    double mrcRate = 1.0;
 
     /** Worker threads for fan-out; 0 = session default. */
     unsigned jobs = 0;

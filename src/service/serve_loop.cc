@@ -147,6 +147,15 @@ struct QueuedRequest
 {
     std::uint64_t seq = 0;
     Request request;
+
+    /**
+     * Response already computed at intake (a malformed line). Ready
+     * entries ride the queue so their responses are written in seq
+     * order with everything else, but never reach the engine; for
+     * them `request` only carries the salvaged correlation id.
+     */
+    bool ready = false;
+    Response response;
 };
 
 ServeSummary
@@ -175,8 +184,13 @@ serveTransport(EngineSession &engine, Transport &transport,
             write_failed.store(true);
     };
 
-    // Intake: parse lines, shed on a full queue, answer bad lines
-    // immediately. Runs concurrently with dispatch below.
+    // Intake: parse lines, shed on a full queue. Bad lines get their
+    // error response here but are enqueued as ready entries so the
+    // dispatcher writes them in seq order with the evaluated ones
+    // (emitting directly from this thread raced the dispatcher's
+    // writes and broke the strict ordering contract); only a full
+    // queue falls back to an immediate out-of-band answer, exactly
+    // like shedding. Runs concurrently with dispatch below.
     std::thread reader([&] {
         std::string line;
         std::uint64_t seq = 0;
@@ -189,12 +203,27 @@ serveTransport(EngineSession &engine, Transport &transport,
                 Response resp;
                 resp.status = parsed.status();
                 resp.exitCode = 1;
+                std::string salvaged = salvageRequestId(line);
+                bool direct = false;
                 {
                     std::lock_guard<std::mutex> lock(mu);
                     ++summary.received;
                     ++summary.malformed;
+                    if (queue.size() >= max_queue) {
+                        direct = true;
+                    } else {
+                        QueuedRequest entry;
+                        entry.seq = seq;
+                        entry.ready = true;
+                        entry.response = std::move(resp);
+                        entry.request.id = salvaged;
+                        queue.push_back(std::move(entry));
+                    }
                 }
-                emit(resp, salvageRequestId(line), seq);
+                if (direct)
+                    emit(resp, salvaged, seq);
+                else
+                    cv.notify_one();
                 continue;
             }
             Request req = std::move(parsed).value();
@@ -254,29 +283,37 @@ serveTransport(EngineSession &engine, Transport &transport,
 
         std::vector<Response> responses;
         if (batch.size() == 1) {
-            const Request &req = batch[0].request;
-            const bool with_metrics =
-                req.wantMetrics && Metrics::enabled();
-            std::vector<MetricSnapshot> before;
-            if (with_metrics)
-                before = Metrics::snapshot();
-            Response resp = engine.handle(req);
-            if (with_metrics) {
-                resp.metricsJson = metricsToJson(
-                    snapshotDelta(before, Metrics::snapshot()));
+            if (batch[0].ready) {
+                responses.push_back(std::move(batch[0].response));
+            } else {
+                const Request &req = batch[0].request;
+                const bool with_metrics =
+                    req.wantMetrics && Metrics::enabled();
+                std::vector<MetricSnapshot> before;
+                if (with_metrics)
+                    before = Metrics::snapshot();
+                Response resp = engine.handle(req);
+                if (with_metrics) {
+                    resp.metricsJson = metricsToJson(
+                        snapshotDelta(before, Metrics::snapshot()));
+                }
+                responses.push_back(std::move(resp));
             }
-            responses.push_back(std::move(resp));
         } else {
             responses = parallelMap<Response>(
                 batch.size(),
                 [&](std::size_t i) {
-                    return engine.handle(batch[i].request);
+                    return batch[i].ready
+                               ? std::move(batch[i].response)
+                               : engine.handle(batch[i].request);
                 },
                 1, static_cast<unsigned>(batch.size()));
         }
 
         for (std::size_t i = 0; i < batch.size(); ++i) {
-            {
+            if (!batch[i].ready) {
+                // Ready entries were counted as malformed at intake;
+                // only engine-evaluated requests tally here.
                 std::lock_guard<std::mutex> lock(mu);
                 ++summary.evaluated;
                 if (!responses[i].ok())

@@ -221,6 +221,7 @@ TEST(Replacement, PolicyNames)
     EXPECT_EQ(toString(ReplacementPolicy::Lru), "LRU");
     EXPECT_EQ(toString(ReplacementPolicy::Fifo), "FIFO");
     EXPECT_EQ(toString(ReplacementPolicy::PseudoRandom), "Random");
+    EXPECT_EQ(toString(ReplacementPolicy::Arc), "ARC");
 }
 
 TEST(Replacement, FifoIgnoresRecency)
@@ -267,7 +268,7 @@ TEST(Replacement, AllPoliciesFillInvalidWaysFirst)
 {
     for (auto policy :
          {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
-          ReplacementPolicy::PseudoRandom}) {
+          ReplacementPolicy::PseudoRandom, ReplacementPolicy::Arc}) {
         Cache c(512, 64, 2, "p", policy);
         c.access(0x000);
         c.access(0x100); // second way of set 0, no eviction
@@ -303,6 +304,104 @@ TEST(Replacement, ConfigIndexTranslation)
     config.replacementPolicy = 2;
     EXPECT_EQ(replacementFromConfig(config),
               ReplacementPolicy::PseudoRandom);
+    config.replacementPolicy = 3;
+    EXPECT_EQ(replacementFromConfig(config), ReplacementPolicy::Arc);
+}
+
+TEST(Replacement, ArcColdMissThenHit)
+{
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Replacement, ArcRespectsSetCapacity)
+{
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    Addr a = 0x000, b = 0x100, d = 0x200; // same set, 2 ways
+    c.access(a);
+    c.access(b);
+    c.access(d);
+    int resident = 0;
+    for (Addr x : {a, b, d})
+        resident += c.probe(x) ? 1 : 0;
+    EXPECT_EQ(resident, 2); // never more lines than ways
+}
+
+TEST(Replacement, ArcKeepsReReferencedLineAgainstScan)
+{
+    // The ARC selling point: a line promoted to the frequency list
+    // (two touches) survives a scan of single-use lines that would
+    // flush it out of plain LRU.
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    Addr hot = 0x000;
+    c.access(hot);
+    c.access(hot); // promoted to T2
+    for (int i = 1; i <= 6; ++i)
+        c.access(static_cast<Addr>(i) * 0x100); // same-set scan
+    EXPECT_TRUE(c.probe(hot));
+}
+
+TEST(Replacement, ArcGhostHitRestoresEvictedLine)
+{
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    Addr a = 0x000, b = 0x100, d = 0x200;
+    c.access(a);
+    c.access(a); // a promoted to the frequency list
+    c.access(b); // recency list holds b
+    c.access(d); // b evicted to the B1 ghost list
+    EXPECT_FALSE(c.probe(b));
+    // Re-touching b is a miss, but its ghost entry restores it to
+    // residency immediately (ARC case II).
+    EXPECT_FALSE(c.access(b));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.access(b));
+}
+
+TEST(Replacement, ArcLookupMissDoesNotFill)
+{
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    EXPECT_FALSE(c.lookup(0x0));
+    EXPECT_FALSE(c.probe(0x0));
+    // A later access still sees a cold line (no ghost was planted).
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x0));
+}
+
+TEST(Replacement, ArcIsDeterministicAcrossRuns)
+{
+    auto trace = [](Cache &c) {
+        std::vector<bool> hits;
+        for (int i = 0; i < 200; ++i)
+            hits.push_back(c.access((i % 24) * 0x100ull));
+        return hits;
+    };
+    Cache c1(512, 64, 2, "a1", ReplacementPolicy::Arc);
+    Cache c2(512, 64, 2, "a2", ReplacementPolicy::Arc);
+    EXPECT_EQ(trace(c1), trace(c2));
+}
+
+TEST(Replacement, ArcResetClearsAdaptiveState)
+{
+    Cache c(512, 64, 2, "arc", ReplacementPolicy::Arc);
+    for (int i = 0; i < 32; ++i)
+        c.access((i % 6) * 0x100ull);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.access(0x0)); // cold again: ghosts cleared too
+}
+
+TEST(Replacement, ArcHierarchyTranslation)
+{
+    HardwareConfig config = HardwareConfig::baseline();
+    config.numCores = 1;
+    config.replacementPolicy = 3;
+    FunctionalHierarchy h(config);
+    EXPECT_EQ(h.l1(0).replacementPolicy(), ReplacementPolicy::Arc);
+    EXPECT_EQ(h.l2().replacementPolicy(), ReplacementPolicy::Arc);
 }
 
 TEST(Replacement, HierarchyHonoursConfigPolicy)

@@ -132,7 +132,7 @@ TEST(ConfigValidate, AcceptsNonPowerOfTwoSetCounts)
 TEST(ConfigValidate, RejectsUnknownReplacementPolicy)
 {
     HardwareConfig config = HardwareConfig::baseline();
-    config.replacementPolicy = 3;
+    config.replacementPolicy = 4; // 0-3 are LRU/FIFO/random/ARC
     expectRejects(config, "replacementPolicy");
 }
 

@@ -86,7 +86,9 @@ usage()
         "  compare <kernel>         all models vs the oracle\n"
         "  sweep <kernel>           sweep one hardware parameter\n"
         "                           (--param warps|mshrs|bw|sfu-lanes\n"
-        "                            --values a,b,c [--oracle])\n"
+        "                            |l1-kb|l2-kb --values a,b,c\n"
+        "                            [--sweep-mode rerun|mrc]\n"
+        "                            [--mrc-rate r] [--oracle])\n"
         "  stack <kernel>           CPI stacks across warp counts\n"
         "  dump-trace <kernel> <f>  write the kernel trace to a file\n"
         "                           (binary .gmt when f ends in .gmt,\n"
