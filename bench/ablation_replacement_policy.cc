@@ -13,11 +13,12 @@
  * are exact only for LRU; every other policy is served approximately
  * and flagged via CollectorResult::mrcApproximate.
  *
- * Caveat: kernels whose DRAM utilization lands at rho ~= 1.0 straddle
- * the bandwidth model's saturation boundary (Eq. 21-23), where the
- * M/D/1 queuing term is discontinuous; there, sub-percent hit-rate
- * differences between policies can swing the model error (see the
- * note the bench prints).
+ * Kernels near DRAM saturation (rho ~= 1.0) used to straddle a
+ * discontinuity in the Eq. 21-23 queuing term, where sub-percent
+ * hit-rate differences between policies swung the model error; the
+ * continuity clamp at kBandwidthRhoClamp (core/contention.hh)
+ * removed that regime boundary, so policy deltas now move the model
+ * smoothly even at saturation.
  *
  * Results go to stdout and BENCH_replacement_policy.json (see --out).
  */
@@ -128,14 +129,10 @@ main(int argc, char **argv)
                  "because its inputs are collected on the same "
                  "caches. Only LRU is modeled exactly by the MRC fast "
                  "path; the others fall back to LRU stack distances "
-                 "and set CollectorResult::mrcApproximate.\n"
-                 "known outlier: kernels whose DRAM utilization sits "
-                 "at rho ~= 1.0 (stencil_block2d) straddle the Eq. "
-                 "21-23 regime boundary, where the M/D/1 queuing term "
-                 "is discontinuous — a sub-percent hit-rate shift "
-                 "from the policy can flip the branch and swing the "
-                 "model CPI. That is a property of the bandwidth "
-                 "model at saturation, not of any policy.\n";
+                 "and set CollectorResult::mrcApproximate. Kernels "
+                 "near DRAM saturation (stencil_block2d) stay smooth "
+                 "across policies since the Eq. 21-23 queuing term "
+                 "was clamped to be continuous at rho = 1.\n";
 
     std::ofstream out(out_path);
     if (!out)

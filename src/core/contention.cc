@@ -35,15 +35,14 @@ bandwidthQueuingDelay(double lambda, double service_cycles,
 {
     if (lambda <= 0.0 || service_cycles <= 0.0 || total_reqs <= 0.0)
         return 0.0;
-    // Eq. 22: utilization of the deterministic server.
-    double rho = lambda * service_cycles;
+    // Eq. 22: utilization of the deterministic server, clamped below
+    // saturation so the waiting time stays finite and continuous (the
+    // deficit past rho = 1 is modelContention's to charge).
+    double rho = std::min(lambda * service_cycles, kBandwidthRhoClamp);
     // Eq. 21 cap: a request arrives with half the maximum number of
     // requests ahead of it.
     double cap = service_cycles * total_reqs / 2.0;
-    if (rho >= 1.0)
-        return cap;
-    double wq = lambda * service_cycles * service_cycles /
-                (2.0 * (1.0 - rho));
+    double wq = rho * service_cycles / (2.0 * (1.0 - rho));
     return std::min(wq, cap);
 }
 
@@ -96,10 +95,14 @@ modelContention(const IntervalProfile &rep, const MultithreadingResult &mt,
     }
 
     // --- DRAM bandwidth model (Eq. 21-23) ---
-    // The channel serves all cores; demand beyond its service rate
-    // stretches execution (saturation deficit). Below saturation the
-    // M/D/1 waiting time charges each memory interval's requests
-    // once (a divergent burst's requests overlap their queuing).
+    // The channel serves all cores: the M/D/1 waiting time (clamped at
+    // kBandwidthRhoClamp so it plateaus instead of diverging) charges
+    // each memory interval's requests once (a divergent burst's
+    // requests overlap their queuing), and demand beyond the channel's
+    // service rate additionally stretches execution by the saturation
+    // deficit. Summing the two terms instead of branching on rho >= 1
+    // keeps the queue delay continuous and monotone across saturation
+    // (pinned by test_contention's QueueDelay*AcrossSaturation tests).
     if (model_bandwidth && dram_reqs > 0.0) {
         double span = mt_span + result.mshrDelay;
         double gpu_reqs = dram_reqs * cores;
@@ -107,12 +110,9 @@ modelContention(const IntervalProfile &rep, const MultithreadingResult &mt,
         result.dramServiceNeeded = needed;
         double lambda = gpu_reqs / span;
         result.dramUtilization = lambda * service;
-        if (result.dramUtilization >= 1.0) {
-            result.bandwidthDelay = needed - span;
-        } else {
-            double wq = bandwidthQueuingDelay(lambda, service, gpu_reqs);
-            result.bandwidthDelay = wq * mem_intervals;
-        }
+        double wq = bandwidthQueuingDelay(lambda, service, gpu_reqs);
+        result.bandwidthDelay =
+            wq * mem_intervals + std::max(needed - span, 0.0);
     }
 
     // --- SFU structural contention (extension) ---

@@ -71,9 +71,25 @@ double expectedMshrQueuingDelay(double core_reqs, std::uint32_t num_mshrs,
                                 double avg_miss_latency);
 
 /**
+ * Utilization ceiling at which the M/D/1 waiting time (Eq. 21) is
+ * evaluated. The raw formula diverges as rho -> 1 while the
+ * saturation deficit (Eq. 23's regime) starts from zero at rho = 1,
+ * which used to leave a cliff exactly at the regime boundary:
+ * sub-percent input shifts around saturation flipped the branch and
+ * swung the predicted CPI. Clamping rho keeps the queuing term a
+ * smooth plateau that the linearly growing deficit takes over from,
+ * making total queue delay continuous and monotone across rho = 1.
+ */
+constexpr double kBandwidthRhoClamp = 0.95;
+
+/**
  * M/D/1 waiting time (Eq. 21) with the paper's cap of half the
  * maximum number of requests ahead: arrival rate lambda,
- * deterministic service time s.
+ * deterministic service time s. The utilization is evaluated at no
+ * more than kBandwidthRhoClamp, so the return value is continuous and
+ * monotonically non-decreasing in lambda even across saturation; the
+ * service deficit beyond rho = 1 is charged separately by
+ * modelContention.
  */
 double bandwidthQueuingDelay(double lambda, double service_cycles,
                              double total_reqs);

@@ -665,6 +665,16 @@ EngineSession::dispatch(const Request &req)
       case Verb::Ping:
         os << "pong\n";
         break;
+      case Verb::Health: {
+        // The engine's view: alive and counting. The connection
+        // supervisor enriches this with queue/connection state before
+        // it reaches a socket client (supervisor.cc).
+        JsonWriter json;
+        json.field("healthy", true);
+        json.field("requests", handled.load());
+        os << json.finish() << "\n";
+        break;
+      }
       case Verb::Stats: {
         JsonWriter json;
         json.field("requests", handled.load());

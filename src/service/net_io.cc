@@ -1,0 +1,163 @@
+#include "service/net_io.hh"
+
+#include <cerrno>
+#include <chrono>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gpumech
+{
+
+namespace
+{
+
+/** Stop-flag / deadline poll granularity. */
+constexpr int kPollTickMs = 200;
+
+std::uint64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+WriteResult
+writeAllFd(int fd, const char *data, std::size_t size,
+           std::uint64_t timeout_ms, bool is_socket)
+{
+    std::uint64_t deadline = timeout_ms ? nowMs() + timeout_ms : 0;
+    std::size_t done = 0;
+    while (done < size) {
+        ssize_t n;
+        if (is_socket)
+            n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        else
+            n = ::write(fd, data + done, size - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Kernel buffer full: wait for writability, bounded by
+            // the deadline so a stalled reader cannot park us.
+            int wait = kPollTickMs;
+            if (deadline) {
+                std::uint64_t now = nowMs();
+                if (now >= deadline)
+                    return WriteResult::Timeout;
+                std::uint64_t left = deadline - now;
+                if (left < static_cast<std::uint64_t>(wait))
+                    wait = static_cast<int>(left);
+            }
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            int rc = ::poll(&pfd, 1, wait);
+            if (rc < 0 && errno != EINTR)
+                return WriteResult::Closed;
+            if (rc > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)))
+                return WriteResult::Closed;
+            continue;
+        }
+        // EPIPE/ECONNRESET (peer gone) and anything else fatal.
+        return WriteResult::Closed;
+    }
+    return WriteResult::Ok;
+}
+
+FdLineReader::FdLineReader(int fd, std::size_t max_line_bytes,
+                           std::uint64_t idle_timeout_ms)
+    : fd(fd), maxLineBytes(max_line_bytes),
+      idleTimeoutMs(idle_timeout_ms)
+{
+}
+
+ReadResult
+FdLineReader::readLine(std::string &line,
+                       const std::atomic<bool> &stop)
+{
+    std::uint64_t idle_since = nowMs();
+    for (;;) {
+        // Serve from the buffer first: data already read must be
+        // drained even after EOF or a raised stop flag.
+        std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            if (maxLineBytes && nl > maxLineBytes)
+                return ReadResult::Oversized;
+            line.assign(buffer, 0, nl);
+            buffer.erase(0, nl + 1);
+            return ReadResult::Line;
+        }
+        if (maxLineBytes && buffer.size() > maxLineBytes)
+            return ReadResult::Oversized;
+        if (sawEof) {
+            if (!buffer.empty()) {
+                // Final unterminated line.
+                line = std::move(buffer);
+                buffer.clear();
+                return ReadResult::Line;
+            }
+            return ReadResult::Eof;
+        }
+        if (stop.load(std::memory_order_relaxed))
+            return ReadResult::Stopped;
+
+        // Wait for input in short ticks so stop/idle are noticed.
+        int wait = kPollTickMs;
+        if (idleTimeoutMs) {
+            std::uint64_t now = nowMs();
+            if (now - idle_since >= idleTimeoutMs)
+                return ReadResult::Idle;
+            std::uint64_t left = idleTimeoutMs - (now - idle_since);
+            if (left < static_cast<std::uint64_t>(wait))
+                wait = static_cast<int>(left);
+        }
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, wait);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::Error;
+        }
+        if (rc == 0)
+            continue;
+        if (pfd.revents & POLLNVAL)
+            return ReadResult::Error;
+        if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+
+        char chunk[4096];
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            idle_since = nowMs();
+            continue;
+        }
+        if (n == 0) {
+            sawEof = true;
+            continue;
+        }
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return ReadResult::Error;
+    }
+}
+
+std::size_t
+FdLineReader::bufferedLines() const
+{
+    std::size_t count = 0;
+    for (char c : buffer)
+        if (c == '\n')
+            ++count;
+    return count;
+}
+
+} // namespace gpumech

@@ -27,6 +27,7 @@ toString(Verb verb)
       case Verb::Suite: return "suite";
       case Verb::Ping: return "ping";
       case Verb::Stats: return "stats";
+      case Verb::Health: return "health";
     }
     return "?";
 }
@@ -48,6 +49,7 @@ verbFromString(const std::string &name)
         {"suite", Verb::Suite},
         {"ping", Verb::Ping},
         {"stats", Verb::Stats},
+        {"health", Verb::Health},
     };
     for (const auto &entry : table) {
         if (name == entry.first)
@@ -257,6 +259,7 @@ requestFromArgs(const ArgParser &args)
       case Verb::List:
       case Verb::Ping:
       case Verb::Stats:
+      case Verb::Health:
         break;
       case Verb::Model:
         req.kernel = args.positional(1);
@@ -548,6 +551,7 @@ requestFromJson(const std::string &line)
       case Verb::List:
       case Verb::Ping:
       case Verb::Stats:
+      case Verb::Health:
         break;
     }
     return req;
@@ -569,6 +573,8 @@ responseToJsonLine(const Response &response, const std::string &id,
         json.field("error", response.status.message());
     if (response.shed)
         json.field("shed", true);
+    if (response.retryAfterMs)
+        json.field("retry_after_ms", response.retryAfterMs);
     json.field("kernels",
                static_cast<std::uint64_t>(response.stats.kernels));
     json.field("failed",
@@ -587,6 +593,16 @@ responseToJsonLine(const Response &response, const std::string &id,
     if (include_output)
         json.field("output", response.output);
     return json.finish();
+}
+
+std::string
+salvageRequestId(const std::string &line)
+{
+    Result<JsonValue> doc = parseJson(line);
+    if (!doc.ok() || !doc.value().isObject())
+        return "";
+    const JsonValue *id = doc.value().find("id");
+    return (id && id->isString()) ? id->string() : "";
 }
 
 } // namespace gpumech

@@ -54,6 +54,7 @@ enum class Verb
     Suite,      //!< evaluate a whole suite with fault isolation
     Ping,       //!< serve-only liveness probe
     Stats,      //!< serve-only session/cache/metrics report
+    Health,     //!< serve-only supervisor health snapshot
 };
 
 /** Stable verb name (the CLI subcommand / JSON "cmd" value). */
@@ -152,6 +153,13 @@ struct Response
     /** True when admission control rejected the request unprocessed. */
     bool shed = false;
 
+    /**
+     * Shed responses only: suggested client back-off before retrying,
+     * derived from the current queue depth and recent service times.
+     * Rendered as "retry_after_ms"; 0 = no hint.
+     */
+    std::uint64_t retryAfterMs = 0;
+
     /** Rendered report — byte-identical to the pre-split CLI stdout. */
     std::string output;
 
@@ -202,14 +210,21 @@ parseInjectSpec(const std::string &specs);
 
 /**
  * Render a response as one JSON line (no trailing newline): id, seq,
- * ok/code/status (+error message when failed), shed flag when set,
- * work counters, cache activity, wall time, and the rendered report
- * text when @p include_output.
+ * ok/code/status (+error message when failed), shed flag and
+ * retry_after_ms hint when set, work counters, cache activity, wall
+ * time, and the rendered report text when @p include_output.
  */
 std::string responseToJsonLine(const Response &response,
                                const std::string &id,
                                std::uint64_t seq,
                                bool include_output);
+
+/**
+ * Best-effort "id" extraction from a line that failed to parse as a
+ * request, so the error response still correlates with whatever the
+ * client thought it sent. Returns "" when no id field is salvageable.
+ */
+std::string salvageRequestId(const std::string &line);
 
 } // namespace gpumech
 

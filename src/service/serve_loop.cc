@@ -1,22 +1,16 @@
 #include "service/serve_loop.hh"
 
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
-#include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include "common/json_value.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/thread_pool.hh"
+#include "service/net_io.hh"
 
 namespace gpumech
 {
@@ -26,23 +20,7 @@ namespace
 
 std::atomic<bool> drainRequested{false};
 
-/**
- * Best-effort id recovery for rejected lines: a request that fails
- * semantic validation may still be well-formed JSON carrying the
- * client's correlation id, and echoing it back lets the client match
- * the error to its request instead of falling back to seq counting.
- */
-std::string
-salvageRequestId(const std::string &line)
-{
-    Result<JsonValue> doc = parseJson(line);
-    if (!doc.ok() || !doc.value().isObject())
-        return "";
-    const JsonValue *id = doc.value().find("id");
-    return (id && id->isString()) ? id->string() : "";
-}
-
-/** One line-oriented connection (stdin/stdout or a socket fd). */
+/** One line-oriented connection (stdin/stdout or an fd pair). */
 class Transport
 {
   public:
@@ -83,64 +61,39 @@ class StreamTransport : public Transport
     std::ostream &out;
 };
 
-/** Buffered line I/O over a POSIX fd (Unix-socket connections). */
+/**
+ * Hardened line I/O over a POSIX fd pair (the daemon's stdin/stdout
+ * mode): reads go through FdLineReader (drain noticed within one poll
+ * tick, EINTR-safe), writes through writeAllFd (partial writes and
+ * EINTR looped, no SIGPIPE surprises on redirected-to-socket stdout).
+ */
 class FdTransport : public Transport
 {
   public:
-    explicit FdTransport(int fd) : fd(fd) {}
+    FdTransport(int in_fd, int out_fd)
+        : reader(in_fd, /*max_line_bytes=*/0, /*idle_timeout_ms=*/0),
+          outFd(out_fd)
+    {}
 
     bool
     readLine(std::string &line) override
     {
-        line.clear();
-        for (;;) {
-            if (drainRequested.load(std::memory_order_relaxed))
-                return false;
-            std::size_t nl = buffer.find('\n');
-            if (nl != std::string::npos) {
-                line = buffer.substr(0, nl);
-                buffer.erase(0, nl + 1);
-                return true;
-            }
-            char chunk[4096];
-            ssize_t n = ::read(fd, chunk, sizeof(chunk));
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue; // re-check the drain flag
-                return false;
-            }
-            if (n == 0) {
-                // EOF: deliver a final unterminated line, if any.
-                if (buffer.empty())
-                    return false;
-                line.swap(buffer);
-                return true;
-            }
-            buffer.append(chunk, static_cast<std::size_t>(n));
-        }
+        ReadResult r = reader.readLine(line, drainRequested);
+        return r == ReadResult::Line;
     }
 
     bool
     writeLine(const std::string &line) override
     {
         std::string data = line + "\n";
-        std::size_t off = 0;
-        while (off < data.size()) {
-            ssize_t n = ::write(fd, data.data() + off,
-                                data.size() - off);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return false;
-            }
-            off += static_cast<std::size_t>(n);
-        }
-        return true;
+        return writeAllFd(outFd, data.data(), data.size(),
+                          /*timeout_ms=*/0,
+                          /*is_socket=*/false) == WriteResult::Ok;
     }
 
   private:
-    int fd;
-    std::string buffer;
+    FdLineReader reader;
+    int outFd;
 };
 
 struct QueuedRequest
@@ -327,16 +280,6 @@ serveTransport(EngineSession &engine, Transport &transport,
     return summary;
 }
 
-void
-accumulate(ServeSummary &total, const ServeSummary &part)
-{
-    total.received += part.received;
-    total.evaluated += part.evaluated;
-    total.failed += part.failed;
-    total.shed += part.shed;
-    total.malformed += part.malformed;
-}
-
 } // namespace
 
 ServeSummary
@@ -347,65 +290,12 @@ serveLines(EngineSession &engine, std::istream &in, std::ostream &out,
     return serveTransport(engine, transport, options);
 }
 
-Result<ServeSummary>
-serveUnixSocket(EngineSession &engine, const std::string &socket_path,
-                const ServeOptions &options)
+ServeSummary
+serveFd(EngineSession &engine, int in_fd, int out_fd,
+        const ServeOptions &options)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path)) {
-        return Status(StatusCode::InvalidArgument,
-                      msg("socket path too long (",
-                          socket_path.size(), " bytes, max ",
-                          sizeof(addr.sun_path) - 1, "): ",
-                          socket_path));
-    }
-    std::memcpy(addr.sun_path, socket_path.c_str(),
-                socket_path.size() + 1);
-
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        return Status(StatusCode::Internal,
-                      msg("socket(): ", std::strerror(errno)));
-    }
-    ::unlink(socket_path.c_str()); // replace a stale socket file
-    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        Status s(StatusCode::InvalidArgument,
-                 msg("bind(", socket_path,
-                     "): ", std::strerror(errno)));
-        ::close(fd);
-        return s;
-    }
-    if (::listen(fd, 8) != 0) {
-        Status s(StatusCode::Internal,
-                 msg("listen(", socket_path,
-                     "): ", std::strerror(errno)));
-        ::close(fd);
-        ::unlink(socket_path.c_str());
-        return s;
-    }
-
-    // One connection at a time; the engine's warm cache spans them.
-    ServeSummary total;
-    while (!drainRequested.load(std::memory_order_relaxed)) {
-        int client = ::accept(fd, nullptr, nullptr);
-        if (client < 0) {
-            if (errno == EINTR)
-                continue; // drain flag re-checked above
-            Status s(StatusCode::Internal,
-                     msg("accept(): ", std::strerror(errno)));
-            ::close(fd);
-            ::unlink(socket_path.c_str());
-            return s;
-        }
-        FdTransport transport(client);
-        accumulate(total, serveTransport(engine, transport, options));
-        ::close(client);
-    }
-    ::close(fd);
-    ::unlink(socket_path.c_str());
-    return total;
+    FdTransport transport(in_fd, out_fd);
+    return serveTransport(engine, transport, options);
 }
 
 void

@@ -1,13 +1,15 @@
 /**
  * @file
- * JSON-lines serving loop for the gpumech_serve daemon.
+ * Single-connection JSON-lines serving loop for the gpumech_serve
+ * daemon's stdin/stdout mode (socket mode runs the multi-client
+ * supervisor, supervisor.hh).
  *
- * One reader thread pulls request lines off the transport (stdin or a
- * Unix-domain socket connection) into a bounded queue; the caller's
- * thread dispatches queued requests in small batches onto the shared
- * thread pool. Admission control is load-shedding: when the queue is
- * full, the request is answered immediately with
- * StatusCode::ResourceExhausted ("shed":true) and never evaluated.
+ * One reader thread pulls request lines off the transport into a
+ * bounded queue; the caller's thread dispatches queued requests in
+ * small batches onto the shared thread pool. Admission control is
+ * load-shedding: when the queue is full, the request is answered
+ * immediately with StatusCode::ResourceExhausted ("shed":true) and
+ * never evaluated.
  *
  * Ordering: evaluated responses are written in request (seq) order.
  * Shed and parse-error responses are written by the reader thread as
@@ -73,16 +75,13 @@ ServeSummary serveLines(EngineSession &engine, std::istream &in,
                         const ServeOptions &options = {});
 
 /**
- * Serve connections on a Unix-domain stream socket at @p socket_path
- * (an existing file there is replaced). Connections are accepted one
- * at a time, each served like serveLines until its EOF; the engine —
- * and its warm cache — persists across connections. Returns the
- * accumulated totals once a drain is requested, or a Status when the
- * socket cannot be set up.
+ * serveLines over raw POSIX fds (the daemon's stdin/stdout mode):
+ * reads and writes go through the hardened net_io helpers, so output
+ * survives partial writes and EINTR, and a drain request interrupts a
+ * parked read within one poll tick.
  */
-Result<ServeSummary> serveUnixSocket(EngineSession &engine,
-                                     const std::string &socket_path,
-                                     const ServeOptions &options = {});
+ServeSummary serveFd(EngineSession &engine, int in_fd, int out_fd,
+                     const ServeOptions &options = {});
 
 /**
  * Ask the serving loop to drain and return (async-signal-safe; the

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Multi-client connection supervisor for the gpumech_serve daemon's
+ * Unix-socket mode.
+ *
+ * The single-connection loop (serve_loop.hh) accepts one client at a
+ * time; the supervisor accepts many concurrently and keeps one engine
+ * — and its warm cache — shared across all of them:
+ *
+ *   accept loop   non-blocking listen fd polled in short ticks;
+ *                 reaps finished connections and notices a drain
+ *                 request within one tick
+ *   per conn      a reader thread (hardened line intake: byte cap,
+ *                 idle timeout, cooperative stop) and a writer thread
+ *                 (responses written strictly in that client's seq
+ *                 order via a reorder buffer, bounded write timeout)
+ *   dispatchers   N threads popping a shared admission queue and
+ *                 evaluating requests on the engine; metrics-snapshot
+ *                 requests run exclusively
+ *
+ * Fairness and backpressure are per client: each connection has a
+ * bounded in-flight quota, so one firehose client is shed with
+ * ResourceExhausted (carrying a "retry_after_ms" back-off hint
+ * derived from queue depth and recent service times) while others
+ * keep being admitted. Misbehaving clients are isolated, never fatal:
+ * an oversized line or an idle timeout disconnects that client; a
+ * write timeout (slow reader) disconnects that client; everyone else
+ * is untouched.
+ *
+ * Draining (requestServeDrain(), typically SIGTERM): the supervisor
+ * stops accepting, stops intake on every connection, finishes and
+ * answers everything already admitted, counts buffered-but-unread
+ * lines as dropped, flushes every writer, and returns.
+ */
+
+#ifndef GPUMECH_SERVICE_SUPERVISOR_HH
+#define GPUMECH_SERVICE_SUPERVISOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/engine_session.hh"
+
+namespace gpumech
+{
+
+/** Supervisor knobs (the daemon's --serve-* flags). */
+struct SupervisorOptions
+{
+    /** Shared admission queue bound before load shedding. Min 1. */
+    std::size_t maxQueue = 64;
+
+    /** Dispatcher threads evaluating admitted requests. Min 1. */
+    unsigned dispatchers = 2;
+
+    /**
+     * Per-client bound on requests admitted but not yet answered;
+     * beyond it the client is shed (fairness quota). Min 1.
+     */
+    std::size_t maxInflight = 8;
+
+    /**
+     * Per-response write deadline; a client that cannot absorb its
+     * responses this long is disconnected. 0 = wait forever.
+     */
+    std::uint64_t writeTimeoutMs = 5000;
+
+    /** Disconnect a client idle this long. 0 = never. */
+    std::uint64_t idleTimeoutMs = 0;
+
+    /** Per-line byte cap; an oversized line ends that client. Min 1. */
+    std::size_t maxLineBytes = 1 << 20;
+
+    /** Echo the rendered report in each response's "output" field. */
+    bool includeOutput = true;
+};
+
+/** Totals of one supervised serving run. */
+struct SupervisorSummary
+{
+    std::uint64_t connections = 0; //!< clients accepted
+    std::uint64_t received = 0;    //!< request lines read
+    std::uint64_t evaluated = 0;   //!< requests handled by the engine
+    std::uint64_t failed = 0;      //!< evaluated with a non-ok status
+    std::uint64_t shed = 0;        //!< rejected by admission control
+    std::uint64_t malformed = 0;   //!< lines that failed to parse
+
+    std::uint64_t slowDisconnects = 0; //!< write-timeout evictions
+    std::uint64_t idleDisconnects = 0; //!< idle-timeout evictions
+    std::uint64_t oversized = 0;       //!< byte-cap evictions
+
+    /**
+     * Lines a client had already sent that were never admitted
+     * (buffered at drain, or trailing an eviction) plus admitted
+     * responses that could not be delivered to a vanished client.
+     */
+    std::uint64_t dropped = 0;
+};
+
+/**
+ * Serve connections on a Unix-domain stream socket at @p socket_path
+ * (an existing file there is replaced), concurrently, until a drain
+ * is requested. Returns the accumulated totals, or a Status when the
+ * socket cannot be set up.
+ */
+Result<SupervisorSummary>
+serveSupervised(EngineSession &engine, const std::string &socket_path,
+                const SupervisorOptions &options = {});
+
+} // namespace gpumech
+
+#endif // GPUMECH_SERVICE_SUPERVISOR_HH

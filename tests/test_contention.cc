@@ -98,23 +98,34 @@ TEST(Contention, MD1WqGrowsWithUtilization)
 
 TEST(Contention, MD1CappedAtHalfQueue)
 {
-    // Near saturation Wq explodes; the Eq. 21 cap limits it to
-    // s * total / 2.
+    // With few requests in flight the Eq. 21 cap (s * total / 2)
+    // binds before the rho clamp does.
     double s = 0.5;
-    double total = 100.0;
+    double total = 4.0;
     double wq = bandwidthQueuingDelay(0.9999 / s, s, total);
-    EXPECT_LE(wq, s * total / 2.0 + 1e-9);
+    EXPECT_NEAR(wq, s * total / 2.0, 1e-9);
 }
 
-TEST(Contention, SaturationDeficitBeyondRhoOne)
+TEST(Contention, QueueingTermContinuousAcrossSaturation)
 {
-    // rho = 2: the channel needs twice the interval span; the delay
-    // is at least the service deficit.
-    double s = 1.0;
-    double total = 100.0;
-    double lambda = 2.0; // interval span = total/lambda = 50
-    double d = bandwidthQueuingDelay(lambda, s, total);
-    EXPECT_GE(d, 100.0 * s - 50.0 - 1e-9);
+    // The waiting time plateaus at the clamped utilization instead of
+    // branching at rho = 1: values just below, at, and beyond
+    // saturation are identical (the deficit past rho = 1 is charged
+    // by modelContention, not here).
+    double s = 0.5;
+    double total = 1e9;
+    double plateau =
+        bandwidthQueuingDelay(kBandwidthRhoClamp / s, s, total);
+    EXPECT_GT(plateau, 0.0);
+    for (double rho : {0.96, 0.9999, 1.0, 1.0001, 2.0, 10.0}) {
+        EXPECT_DOUBLE_EQ(bandwidthQueuingDelay(rho / s, s, total),
+                         plateau)
+            << "rho=" << rho;
+    }
+    // Below the clamp the pure M/D/1 formula still applies.
+    double below = bandwidthQueuingDelay(0.5 / s, s, total);
+    EXPECT_NEAR(below, 0.5 * s / (2.0 * 0.5), 1e-12);
+    EXPECT_LT(below, plateau);
 }
 
 TEST(Contention, ZeroForNoRequests)
@@ -191,7 +202,8 @@ TEST(Contention, BandwidthSaturationDeficit)
 {
     // 32 store requests per warp-interval, 32 warps, 16 cores:
     // 16384 requests * (2/3) = 10922.7 DRAM cycles vs a span of
-    // 10 insts * 32 * CPI 1 = 320 cycles.
+    // 10 insts * 32 * CPI 1 = 320 cycles. Deep in saturation the
+    // delay is the service deficit plus the plateaued queuing term.
     HardwareConfig config = HardwareConfig::baseline();
     CollectorResult inputs;
     inputs.avgMissLatency = 420.0;
@@ -199,8 +211,63 @@ TEST(Contention, BandwidthSaturationDeficit)
     ContentionResult r = modelContention(p, mtWith(1.0, 10), inputs,
                                          config, false, true);
     EXPECT_GT(r.dramUtilization, 1.0);
-    EXPECT_NEAR(r.bandwidthDelay,
-                16384.0 * config.dramServiceCycles() - 320.0, 1e-6);
+    double s = config.dramServiceCycles();
+    double deficit = 16384.0 * s - 320.0;
+    double plateau = bandwidthQueuingDelay(1.0 / s, s, 16384.0);
+    EXPECT_NEAR(r.bandwidthDelay, deficit + plateau, 1e-6);
+    EXPECT_GE(r.bandwidthDelay, deficit);
+}
+
+/** Bandwidth delay for a fixed demand evaluated at utilization rho. */
+double
+delayAtRho(double rho)
+{
+    // One memory interval, 1 DRAM request per warp, baseline machine:
+    // gpu_reqs and service are fixed, and the multithreaded span is
+    // chosen so the channel lands exactly at the requested rho.
+    HardwareConfig config = HardwareConfig::baseline();
+    CollectorResult inputs;
+    inputs.avgMissLatency = 420.0;
+    const std::uint64_t insts = 100;
+    IntervalProfile p = profileWith(insts, 420.0, 0.0, 1.0, 1.0);
+    double gpu_reqs = 1.0 * config.warpsPerCore * config.numCores;
+    double needed = gpu_reqs * config.dramServiceCycles();
+    double core_insts =
+        static_cast<double>(insts) * config.warpsPerCore;
+    double span = needed / rho;
+    ContentionResult r = modelContention(
+        p, mtWith(span / core_insts, insts), inputs, config, false,
+        true);
+    EXPECT_NEAR(r.dramUtilization, rho, 1e-9);
+    return r.bandwidthDelay;
+}
+
+TEST(Contention, QueueDelayMonotoneAcrossSaturation)
+{
+    // Regression for the Eq. 21-23 regime-boundary cliff: sweeping a
+    // fixed demand's utilization through rho = 1 must never decrease
+    // the charged queue delay. The old branch dropped from the capped
+    // M/D/1 value to a zero deficit exactly at saturation, so a
+    // sub-percent input shift could swing the predicted CPI.
+    double prev = -1.0;
+    for (double rho : {0.5, 0.8, 0.9, 0.94, 0.96, 0.99, 0.999, 1.0,
+                       1.001, 1.01, 1.1, 1.5, 2.0, 4.0}) {
+        double d = delayAtRho(rho);
+        EXPECT_GE(d, prev - 1e-9) << "rho=" << rho;
+        prev = d;
+    }
+}
+
+TEST(Contention, QueueDelayContinuousAcrossSaturation)
+{
+    // The two sides of rho = 1 meet: stepping epsilon across the
+    // boundary moves the delay proportionally to epsilon, not by a
+    // branch-sized jump.
+    double below = delayAtRho(1.0 - 1e-6);
+    double at = delayAtRho(1.0);
+    double above = delayAtRho(1.0 + 1e-6);
+    EXPECT_NEAR(below, at, 1e-2 * std::max(at, 1.0));
+    EXPECT_NEAR(above, at, 1e-2 * std::max(at, 1.0));
 }
 
 TEST(Contention, BandwidthSubSaturationUsesWq)

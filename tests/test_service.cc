@@ -3,17 +3,28 @@
  * Service-layer tests: the typed request model (argv and JSON-lines
  * parsers, including the checked count-valued options), the
  * EngineSession front-end contract (warm-cache reuse, containment,
- * exit-code semantics), the response serialization, and the serving
- * loop (ordering, malformed lines, admission control, drain).
+ * exit-code semantics), the response serialization, the serving loop
+ * (ordering, malformed lines, admission control, drain), and the
+ * multi-client connection supervisor (per-client ordering/routing,
+ * fairness quotas with retry hints, misbehaving-client isolation,
+ * graceful drain with work in flight).
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "common/json_value.hh"
 #include "service/engine_session.hh"
 #include "service/serve_loop.hh"
+#include "service/supervisor.hh"
 
 using namespace gpumech;
 
@@ -412,6 +423,398 @@ TEST(ServeLoop, DrainFlagStopsIntake)
     EXPECT_EQ(summary.received, 0u);
     EXPECT_TRUE(out.str().empty());
     resetServeDrain();
+}
+
+// ---------------------------------------------------------------------
+// Connection supervisor (socket mode)
+// ---------------------------------------------------------------------
+
+/** Fresh socket path per server (parallel ctest shards). */
+std::string
+freshSocketPath()
+{
+    static int counter = 0;
+    std::ostringstream os;
+    os << "/tmp/gm_sup_" << ::getpid() << "_" << ++counter << ".sock";
+    return os.str();
+}
+
+/** serveSupervised on a background thread, drained on destruction. */
+struct SupervisedServer
+{
+    explicit SupervisedServer(const SupervisorOptions &options)
+        : path(freshSocketPath())
+    {
+        resetServeDrain();
+        thread = std::thread([this, options] {
+            result = serveSupervised(engine, path, options);
+        });
+    }
+
+    ~SupervisedServer() { stop(); }
+
+    /** Request a drain and wait for the run's totals. */
+    SupervisorSummary
+    stop()
+    {
+        if (thread.joinable()) {
+            requestServeDrain();
+            thread.join();
+            resetServeDrain();
+            EXPECT_TRUE(result.ok()) << result.status().toString();
+        }
+        return result.ok() ? result.value() : SupervisorSummary{};
+    }
+
+    std::string path;
+    EngineSession engine;
+    std::thread thread;
+    Result<SupervisorSummary> result{SupervisorSummary{}};
+};
+
+/** Raw blocking Unix-socket client with line-buffered reads. */
+struct SocketClient
+{
+    ~SocketClient() { disconnect(); }
+
+    /** Connect, retrying while the server is still binding. */
+    bool
+    connectTo(const std::string &path)
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        for (int attempt = 0; attempt < 500; ++attempt) {
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0)
+                return false;
+            if (::connect(fd,
+                          reinterpret_cast<const sockaddr *>(&addr),
+                          sizeof(addr)) == 0)
+                return true;
+            ::close(fd);
+            fd = -1;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        return false;
+    }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string data = line + "\n";
+        return sendRaw(data);
+    }
+
+    bool
+    sendRaw(const std::string &data)
+    {
+        std::size_t off = 0;
+        while (off < data.size()) {
+            ssize_t n = ::send(fd, data.data() + off,
+                               data.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /** Next response line; false on EOF or after @p timeout_ms. */
+    bool
+    readLine(std::string &line, int timeout_ms = 10000)
+    {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            std::size_t nl = buffer.find('\n');
+            if (nl != std::string::npos) {
+                line = buffer.substr(0, nl);
+                buffer.erase(0, nl + 1);
+                return true;
+            }
+            if (std::chrono::steady_clock::now() >= deadline)
+                return false;
+            struct pollfd pfd = {fd, POLLIN, 0};
+            int rc = ::poll(&pfd, 1, 100);
+            if (rc <= 0)
+                continue;
+            char chunk[4096];
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n > 0) {
+                buffer.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0)
+                return false; // EOF
+            if (errno != EINTR)
+                return false;
+        }
+    }
+
+    /** Parse the next response line as JSON. */
+    bool
+    readJson(JsonValue &doc, int timeout_ms = 10000)
+    {
+        std::string line;
+        if (!readLine(line, timeout_ms))
+            return false;
+        Result<JsonValue> parsed = parseJson(line);
+        EXPECT_TRUE(parsed.ok()) << line;
+        if (!parsed.ok())
+            return false;
+        doc = std::move(parsed).value();
+        return true;
+    }
+
+    void
+    disconnect()
+    {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+
+    int fd = -1;
+    std::string buffer;
+};
+
+TEST(Supervisor, ConcurrentClientsKeepOrderAndRouting)
+{
+    SupervisorOptions options;
+    options.dispatchers = 4;
+    options.maxQueue = 128;   // every request fits: nothing sheds,
+    options.maxInflight = 32; // so ordering/routing is fully checked
+    SupervisedServer server(options);
+
+    constexpr int kClients = 4, kRequests = 10;
+    SocketClient clients[kClients];
+    for (int c = 0; c < kClients; ++c)
+        ASSERT_TRUE(clients[c].connectTo(server.path)) << c;
+
+    // Interleave sends across clients so requests from different
+    // connections are in flight together.
+    for (int r = 0; r < kRequests; ++r) {
+        for (int c = 0; c < kClients; ++c) {
+            std::ostringstream req;
+            req << R"({"cmd":"ping","id":"c)" << c << "-" << r
+                << R"("})";
+            ASSERT_TRUE(clients[c].sendLine(req.str()));
+        }
+    }
+
+    // Every client gets exactly its own responses, seq 1..N in order.
+    for (int c = 0; c < kClients; ++c) {
+        for (int r = 0; r < kRequests; ++r) {
+            JsonValue doc;
+            ASSERT_TRUE(clients[c].readJson(doc)) << c << "/" << r;
+            EXPECT_EQ(doc.find("seq")->number(), r + 1.0);
+            std::ostringstream want;
+            want << "c" << c << "-" << r;
+            EXPECT_EQ(doc.find("id")->string(), want.str());
+            EXPECT_TRUE(doc.find("ok")->boolean());
+        }
+    }
+
+    for (auto &client : clients)
+        client.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.connections, 4u);
+    EXPECT_EQ(summary.received, 40u);
+    EXPECT_EQ(summary.evaluated, 40u);
+    EXPECT_EQ(summary.shed, 0u);
+    EXPECT_EQ(summary.dropped, 0u);
+}
+
+TEST(Supervisor, QuotaShedsWithRetryHint)
+{
+    SupervisorOptions options;
+    options.dispatchers = 1;
+    options.maxInflight = 1;
+    SupervisedServer server(options);
+
+    SocketClient client;
+    ASSERT_TRUE(client.connectTo(server.path));
+    // One slow request (300ms injected stall) fills the quota; pings
+    // sent behind it must be shed with a back-off hint.
+    ASSERT_TRUE(client.sendLine(
+        R"({"cmd":"suite","suite":"micro","predict":true,)"
+        R"("config":{"warps":4,"cores":2},)"
+        R"("inject":"micro_stream:collect:1:300","id":"slow"})"));
+    constexpr int kPings = 5;
+    for (int i = 0; i < kPings; ++i)
+        ASSERT_TRUE(client.sendLine(R"({"cmd":"ping","id":"p"})"));
+
+    std::size_t shed_seen = 0;
+    double last_seq = 0.0;
+    for (int i = 0; i < 1 + kPings; ++i) {
+        JsonValue doc;
+        ASSERT_TRUE(client.readJson(doc)) << i;
+        EXPECT_GT(doc.find("seq")->number(), last_seq);
+        last_seq = doc.find("seq")->number();
+        const JsonValue *shed = doc.find("shed");
+        if (shed != nullptr && shed->boolean()) {
+            ++shed_seen;
+            EXPECT_EQ(doc.find("status")->string(),
+                      "resource_exhausted");
+            const JsonValue *hint = doc.find("retry_after_ms");
+            ASSERT_NE(hint, nullptr);
+            EXPECT_GE(hint->number(), 1.0);
+        }
+    }
+    EXPECT_GE(shed_seen, 1u);
+
+    client.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.shed, shed_seen);
+    EXPECT_EQ(summary.evaluated + summary.shed, 1u + kPings);
+}
+
+TEST(Supervisor, GarbageLineAnswersErrorAndKeepsConnection)
+{
+    SupervisedServer server(SupervisorOptions{});
+    SocketClient client;
+    ASSERT_TRUE(client.connectTo(server.path));
+    ASSERT_TRUE(client.sendLine("this is not json"));
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"ping","id":"after"})"));
+
+    JsonValue doc;
+    ASSERT_TRUE(client.readJson(doc));
+    EXPECT_EQ(doc.find("seq")->number(), 1.0);
+    EXPECT_FALSE(doc.find("ok")->boolean());
+    ASSERT_TRUE(client.readJson(doc));
+    EXPECT_EQ(doc.find("seq")->number(), 2.0);
+    EXPECT_TRUE(doc.find("ok")->boolean());
+    EXPECT_EQ(doc.find("id")->string(), "after");
+
+    client.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.malformed, 1u);
+    EXPECT_EQ(summary.evaluated, 1u);
+}
+
+TEST(Supervisor, OversizedLineEvictsOnlyThatClient)
+{
+    SupervisorOptions options;
+    options.maxLineBytes = 64;
+    SupervisedServer server(options);
+
+    SocketClient bad, good;
+    ASSERT_TRUE(bad.connectTo(server.path));
+    ASSERT_TRUE(good.connectTo(server.path));
+
+    // 1 KiB with no terminator blows the 64-byte cap mid-line.
+    ASSERT_TRUE(bad.sendRaw(std::string(1024, 'x')));
+    JsonValue doc;
+    ASSERT_TRUE(bad.readJson(doc));
+    EXPECT_FALSE(doc.find("ok")->boolean());
+    EXPECT_NE(doc.find("error")->string().find("byte cap"),
+              std::string::npos);
+    std::string line;
+    EXPECT_FALSE(bad.readLine(line, 3000)); // then EOF: evicted
+
+    // The other client is untouched.
+    ASSERT_TRUE(good.sendLine(R"({"cmd":"ping","id":"ok"})"));
+    ASSERT_TRUE(good.readJson(doc));
+    EXPECT_TRUE(doc.find("ok")->boolean());
+
+    good.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.oversized, 1u);
+    EXPECT_EQ(summary.connections, 2u);
+}
+
+TEST(Supervisor, MidStreamDisconnectLeavesServerHealthy)
+{
+    SupervisedServer server(SupervisorOptions{});
+
+    {
+        SocketClient vanishing;
+        ASSERT_TRUE(vanishing.connectTo(server.path));
+        // A request whose response will have nowhere to go, plus a
+        // partial line cut off mid-JSON.
+        ASSERT_TRUE(vanishing.sendLine(R"({"cmd":"ping","id":"v"})"));
+        ASSERT_TRUE(vanishing.sendRaw(R"({"cmd":"mo)"));
+        vanishing.disconnect();
+    }
+
+    SocketClient survivor;
+    ASSERT_TRUE(survivor.connectTo(server.path));
+    ASSERT_TRUE(survivor.sendLine(R"({"cmd":"ping","id":"s"})"));
+    JsonValue doc;
+    ASSERT_TRUE(survivor.readJson(doc));
+    EXPECT_TRUE(doc.find("ok")->boolean());
+    EXPECT_EQ(doc.find("id")->string(), "s");
+
+    survivor.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.connections, 2u);
+}
+
+TEST(Supervisor, HealthReportsSupervisorState)
+{
+    SupervisedServer server(SupervisorOptions{});
+    SocketClient client;
+    ASSERT_TRUE(client.connectTo(server.path));
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"health","id":"h"})"));
+
+    JsonValue doc;
+    ASSERT_TRUE(client.readJson(doc));
+    EXPECT_TRUE(doc.find("ok")->boolean());
+    const JsonValue *output = doc.find("output");
+    ASSERT_NE(output, nullptr);
+    Result<JsonValue> inner = parseJson(output->string());
+    ASSERT_TRUE(inner.ok()) << output->string();
+    EXPECT_TRUE(inner.value().find("healthy")->boolean());
+    EXPECT_FALSE(inner.value().find("draining")->boolean());
+    EXPECT_GE(inner.value().find("connections")->number(), 1.0);
+
+    client.disconnect();
+    server.stop();
+}
+
+TEST(Supervisor, DrainAnswersEverythingInFlight)
+{
+    SupervisorOptions options;
+    options.dispatchers = 2;
+    SupervisedServer server(options);
+
+    SocketClient client;
+    ASSERT_TRUE(client.connectTo(server.path));
+    // A batch with a 300ms stall in front, all admitted before the
+    // drain lands: the drain must still answer every one of them.
+    ASSERT_TRUE(client.sendLine(
+        R"({"cmd":"suite","suite":"micro","predict":true,)"
+        R"("config":{"warps":4,"cores":2},)"
+        R"("inject":"micro_stream:collect:1:300","id":"slow"})"));
+    constexpr int kTrailing = 4;
+    for (int i = 0; i < kTrailing; ++i)
+        ASSERT_TRUE(client.sendLine(R"({"cmd":"ping","id":"t"})"));
+
+    // Give the reader a beat to admit everything, then drain with the
+    // stall still holding a dispatcher.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    requestServeDrain();
+
+    double last_seq = 0.0;
+    for (int i = 0; i < 1 + kTrailing; ++i) {
+        JsonValue doc;
+        ASSERT_TRUE(client.readJson(doc)) << i;
+        EXPECT_GT(doc.find("seq")->number(), last_seq);
+        last_seq = doc.find("seq")->number();
+    }
+    std::string line;
+    EXPECT_FALSE(client.readLine(line, 3000)); // clean EOF after drain
+
+    client.disconnect();
+    SupervisorSummary summary = server.stop();
+    EXPECT_EQ(summary.received, 1u + kTrailing);
+    EXPECT_EQ(summary.evaluated + summary.shed, 1u + kTrailing);
 }
 
 } // namespace

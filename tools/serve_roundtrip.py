@@ -15,12 +15,23 @@ requests over stdin, then validates the JSON-lines responses:
     of rebuilding inputs (profiler hit, zero misses);
   * the daemon drains gracefully on EOF and exits 0.
 
+A second phase starts the daemon in socket mode, parks a batch of
+requests behind an injected 300ms stall, and SIGTERMs the daemon with
+the batch still in flight: every admitted request must be answered, in
+seq order, before the socket closes, and the daemon must exit 0 with a
+drain summary.
+
 Exits non-zero with a diagnostic on the first violated expectation.
 """
 
 import json
+import os
+import signal
+import socket
 import subprocess
 import sys
+import tempfile
+import time
 
 
 def fail(why, *context):
@@ -167,5 +178,92 @@ def main():
     print("serve round trip OK: %d responses validated" % len(lines))
 
 
+def read_socket_lines(sock, count, deadline=60.0):
+    """Read `count` newline-terminated lines, then expect EOF."""
+    sock.settimeout(deadline)
+    buf = b""
+    lines = []
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except socket.timeout:
+            fail("timed out waiting for drain responses",
+                 len(lines), "of", count)
+        if not chunk:
+            break
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            lines.append(line.decode())
+    if len(lines) != count:
+        fail("expected %d responses then EOF, got %d"
+             % (count, len(lines)), *lines)
+    return lines
+
+
+def socket_drain():
+    """SIGTERM with batched requests in flight on the socket path."""
+    serve_bin = sys.argv[1]
+    sock_dir = tempfile.mkdtemp(prefix="gm_rt_")
+    sock_path = os.path.join(sock_dir, "serve.sock")
+    proc = subprocess.Popen(
+        [serve_bin, "--socket", sock_path, "--dispatch", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        end = time.time() + 30.0
+        while not os.path.exists(sock_path):
+            if proc.poll() is not None:
+                fail("daemon died before binding", proc.returncode)
+            if time.time() > end:
+                fail("socket never appeared")
+            time.sleep(0.05)
+
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(sock_path)
+        batch = [{"id": "slow", "cmd": "suite", "suite": "micro",
+                  "predict": True,
+                  "config": {"warps": 4, "cores": 2},
+                  "inject": "micro_stream:collect:1:300"}]
+        batch += [{"id": "t%d" % i, "cmd": "ping"} for i in range(4)]
+        sock.sendall("".join(
+            json.dumps(req) + "\n" for req in batch).encode())
+        time.sleep(0.2)  # let the reader admit the batch
+        proc.send_signal(signal.SIGTERM)
+
+        lines = read_socket_lines(sock, len(batch))
+        sock.close()
+        responses = [json.loads(ln) for ln in lines]
+        seqs = [resp["seq"] for resp in responses]
+        if seqs != sorted(seqs) or len(set(seqs)) != len(batch):
+            fail("drain responses out of order or duplicated", seqs)
+        got_ids = {resp["id"] for resp in responses}
+        want_ids = {req["id"] for req in batch}
+        if got_ids != want_ids:
+            fail("drain lost or misrouted responses",
+                 sorted(got_ids), sorted(want_ids))
+
+        out, err = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            fail("daemon exited %d after drain" % proc.returncode,
+                 err)
+        if "drained" not in err:
+            fail("no drain summary on stderr", err)
+        print("socket drain OK: %d in-flight requests answered "
+              "across SIGTERM" % len(batch))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        try:
+            os.unlink(sock_path)
+        except OSError:
+            pass
+        try:
+            os.rmdir(sock_dir)
+        except OSError:
+            pass
+
+
 if __name__ == "__main__":
     main()
+    socket_drain()

@@ -1,0 +1,342 @@
+#!/usr/bin/env python3
+"""Chaos soak against the gpumech_serve connection supervisor.
+
+Launches the daemon in socket mode (binary path in argv[1]) and drives
+it with N concurrent clients, each following a seeded random script of
+valid requests (ping / model / health), garbage lines, blank
+keep-alives, and shed-provoking bursts, while designated misbehaving
+clients inject oversized lines (eviction expected) and abrupt
+mid-stream disconnects (server must shrug). The harness then performs
+a SIGTERM drain with a request still in flight.
+
+Invariants checked (any violation exits non-zero):
+
+  * zero lost responses: every non-blank line a well-behaved client
+    sends gets exactly one response (evaluated, error, or shed);
+  * zero duplicated or misrouted responses: ids are unique per client
+    and every received id belongs to the receiving client's own set;
+  * per-client ordering: "seq" is strictly increasing per connection;
+  * every response line parses as strict JSON;
+  * the oversized client receives an explanatory error, then EOF;
+  * the drain answers the in-flight request before the socket closes;
+  * the daemon exits 0 with a drain summary after SIGTERM.
+
+Usage: serve_soak.py <gpumech_serve> [--clients N] [--requests N]
+                     [--seed S] [--keep-going]
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+MAX_LINE_BYTES = 4096
+WINDOW = 4  # client-side outstanding-request cap (self backpressure)
+
+
+def fail(why, *context):
+    print("FAIL:", why, file=sys.stderr)
+    for item in context:
+        print("  ", item, file=sys.stderr)
+    sys.exit(1)
+
+
+class LineClient:
+    """Blocking Unix-socket client with line-buffered reads."""
+
+    def __init__(self, path, timeout=60.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def send_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def read_line(self):
+        """Next line, or None on EOF."""
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ClientResult:
+    def __init__(self, name):
+        self.name = name
+        self.errors = []
+        self.responses = 0
+
+    def check(self, ok, why, *context):
+        if not ok:
+            self.errors.append(
+                "%s: %s %s" % (self.name, why,
+                               " | ".join(str(c) for c in context)))
+
+
+def valid_request(rng, rid):
+    roll = rng.random()
+    if roll < 0.70:
+        return {"cmd": "ping", "id": rid}
+    if roll < 0.90:
+        return {"cmd": "model", "kernel": "micro_stream",
+                "config": {"warps": 4, "cores": 2}, "id": rid}
+    return {"cmd": "health", "id": rid}
+
+
+class Outstanding:
+    """Responses still owed to one client: a set of correlation ids
+    plus a count of id-less ones (garbage lines earn an error response
+    whose id could not be salvaged)."""
+
+    def __init__(self):
+        self.ids = set()
+        self.noid = 0
+
+    def __len__(self):
+        return len(self.ids) + self.noid
+
+
+def drain_responses(client, result, pending, last_seq, want=0):
+    """Read responses until `pending` drops to `want` (or EOF)."""
+    while len(pending) > want:
+        line = client.read_line()
+        result.check(line is not None,
+                     "EOF with %d responses outstanding" % len(pending),
+                     sorted(pending.ids), pending.noid)
+        if line is None:
+            return last_seq
+        try:
+            resp = json.loads(line)
+        except json.JSONDecodeError as exc:
+            result.check(False, "unparseable response line",
+                         line, exc)
+            continue
+        result.responses += 1
+        seq = resp.get("seq")
+        result.check(isinstance(seq, (int, float)) and seq > last_seq,
+                     "seq not strictly increasing", last_seq, resp)
+        if isinstance(seq, (int, float)):
+            last_seq = seq
+        if "id" in resp:
+            rid = resp["id"]
+            result.check(rid in pending.ids,
+                         "response id not mine or duplicated", resp)
+            pending.ids.discard(rid)
+        else:
+            result.check(pending.noid > 0,
+                         "unexpected id-less response", resp)
+            pending.noid = max(0, pending.noid - 1)
+    return last_seq
+
+
+def well_behaved(path, index, requests, seed, result):
+    rng = random.Random(seed * 1000 + index)
+    client = LineClient(path)
+    pending = Outstanding()
+    last_seq = 0.0
+    sent = 0
+    while sent < requests:
+        roll = rng.random()
+        rid = "c%d-%d" % (index, sent)
+        if roll < 0.10:
+            client.send_line("")  # blank keep-alive: no response
+        elif roll < 0.20:
+            sent += 1
+            pending.noid += 1  # garbage earns an id-less error
+            client.send_line("garbage %s {{{" % rid)
+        elif roll < 0.30:
+            # Well-formed JSON that fails request validation: the
+            # error response must still echo the salvaged id.
+            sent += 1
+            pending.ids.add(rid)
+            client.send_line(json.dumps({"cmd": "model", "id": rid}))
+        else:
+            sent += 1
+            pending.ids.add(rid)
+            client.send_line(json.dumps(valid_request(rng, rid)))
+        last_seq = drain_responses(client, result, pending, last_seq,
+                                   want=WINDOW)
+    last_seq = drain_responses(client, result, pending, last_seq)
+    client.close()
+
+
+def oversized_attacker(path, index, result):
+    client = LineClient(path)
+    pending = Outstanding()
+    pending.ids.add("c%d-0" % index)
+    client.send_line(json.dumps({"cmd": "ping",
+                                 "id": "c%d-0" % index}))
+    drain_responses(client, result, pending, last_seq=0.0)
+    # Blow the byte cap mid-line: expect one error, then eviction.
+    client.send_raw(b"x" * (MAX_LINE_BYTES * 2))
+    line = client.read_line()
+    result.check(line is not None, "no eviction notice before EOF")
+    if line is not None:
+        try:
+            resp = json.loads(line)
+            result.check(not resp.get("ok", True),
+                         "oversized line should answer an error", resp)
+            result.check("byte cap" in resp.get("error", ""),
+                         "eviction error should name the byte cap",
+                         resp)
+        except json.JSONDecodeError as exc:
+            result.check(False, "unparseable eviction notice",
+                         line, exc)
+    result.check(client.read_line() is None,
+                 "evicted client should see EOF")
+    client.close()
+
+
+def disconnector(path, index, requests, seed, result):
+    """Sends work, then vanishes mid-line without reading it all."""
+    rng = random.Random(seed * 1000 + index)
+    client = LineClient(path)
+    for i in range(max(2, requests // 4)):
+        client.send_line(json.dumps(
+            valid_request(rng, "c%d-%d" % (index, i))))
+    # Read one response (maybe), then cut the connection mid-JSON.
+    client.read_line()
+    client.send_raw(b'{"cmd":"mo')
+    client.close()
+
+
+def wait_for_socket(path, proc, deadline=30.0):
+    end = time.time() + deadline
+    while time.time() < end:
+        if proc.poll() is not None:
+            fail("daemon died before binding", proc.returncode)
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(path)
+                probe.close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    fail("socket %s never became connectable" % path)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("serve_bin")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    if args.clients < 4:
+        fail("need at least 4 clients (roles: attacker, "
+             "disconnector, well-behaved)")
+
+    sock_dir = tempfile.mkdtemp(prefix="gm_soak_")
+    sock_path = os.path.join(sock_dir, "serve.sock")
+    proc = subprocess.Popen(
+        [args.serve_bin, "--socket", sock_path, "--dispatch", "2",
+         "--max-inflight", "8", "--max-queue", "32", "--no-output",
+         "--max-line-bytes", str(MAX_LINE_BYTES)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        wait_for_socket(sock_path, proc)
+
+        results = []
+        threads = []
+        for i in range(args.clients):
+            result = ClientResult("client%d" % i)
+            results.append(result)
+            if i == 0:
+                target, targs = oversized_attacker, (sock_path, i,
+                                                     result)
+            elif i % 4 == 3:
+                target, targs = disconnector, (sock_path, i,
+                                               args.requests,
+                                               args.seed, result)
+            else:
+                target, targs = well_behaved, (sock_path, i,
+                                               args.requests,
+                                               args.seed, result)
+
+            def run(target=target, targs=targs, result=result):
+                try:
+                    target(*targs)
+                except Exception as exc:  # noqa: BLE001
+                    result.check(False, "client raised", repr(exc))
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=120)
+            if thread.is_alive():
+                fail("client thread wedged")
+
+        # Drain under load: park a slow request, SIGTERM, and the
+        # response must still arrive before the socket closes.
+        witness = LineClient(sock_path)
+        witness.send_line(json.dumps({
+            "cmd": "suite", "suite": "micro", "predict": True,
+            "config": {"warps": 4, "cores": 2},
+            "inject": "micro_pointer_chase:collect:1:300",
+            "id": "drain-witness"}))
+        time.sleep(0.2)  # let the reader admit it
+        proc.send_signal(signal.SIGTERM)
+        line = witness.read_line()
+        if line is None:
+            fail("drain dropped the in-flight request")
+        resp = json.loads(line)
+        if resp.get("id") != "drain-witness":
+            fail("drain response misrouted", resp)
+        if witness.read_line() is not None:
+            fail("expected EOF after the drain flushed")
+        witness.close()
+
+        out, err = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            fail("daemon exited %d" % proc.returncode, err)
+        if "drained" not in err:
+            fail("no drain summary on stderr", err)
+
+        errors = [e for r in results for e in r.errors]
+        if errors:
+            fail("%d invariant violations" % len(errors), *errors[:20])
+
+        total = sum(r.responses for r in results)
+        print("serve soak OK: %d clients, %d responses validated, "
+              "clean drain (%s)"
+              % (args.clients, total,
+                 err.strip().splitlines()[-1] if err else ""))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        try:
+            os.unlink(sock_path)
+        except OSError:
+            pass
+        try:
+            os.rmdir(sock_dir)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    main()
