@@ -130,10 +130,11 @@ serveTransport(EngineSession &engine, Transport &transport,
     std::atomic<bool> write_failed{false};
 
     auto emit = [&](const Response &resp, const std::string &id,
-                    std::uint64_t seq) {
+                    std::uint64_t seq, bool force_output = false) {
         std::lock_guard<std::mutex> lock(write_mu);
         if (!transport.writeLine(responseToJsonLine(
-                resp, id, seq, options.includeOutput)))
+                resp, id, seq,
+                options.includeOutput || force_output)))
             write_failed.store(true);
     };
 
@@ -272,7 +273,11 @@ serveTransport(EngineSession &engine, Transport &transport,
                 if (!responses[i].ok())
                     ++summary.failed;
             }
-            emit(responses[i], batch[i].request.id, batch[i].seq);
+            // Health/stats answers ARE their output; --no-output
+            // must not strip them down to an empty success line.
+            emit(responses[i], batch[i].request.id, batch[i].seq,
+                 batch[i].request.verb == Verb::Health ||
+                     batch[i].request.verb == Verb::Stats);
         }
     }
 

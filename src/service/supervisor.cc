@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -36,6 +37,13 @@ constexpr int kAcceptTickMs = 200;
 
 /** Ceiling on the retry_after_ms back-off hint. */
 constexpr std::uint64_t kMaxRetryHintMs = 30000;
+
+/**
+ * Drain-time bound on flushing writers whose own write timeout is
+ * disabled (writeTimeoutMs 0 = wait forever): past this grace the
+ * stalled peer's fd is shut down so the daemon can exit.
+ */
+constexpr std::uint64_t kDrainWriterGraceMs = 5000;
 
 /** One client connection: fd, its two threads, and writer state. */
 struct Conn
@@ -232,6 +240,18 @@ Supervisor::readerMain(std::shared_ptr<Conn> conn)
         }
         Request req = std::move(parsed).value();
 
+        // Health is answered inline — never queued, never shed — so
+        // it keeps working under overload and during drain. Its
+        // payload IS the output, so it ignores --no-output.
+        if (req.verb == Verb::Health) {
+            deliver(conn, seq,
+                    responseToJsonLine(healthResponse(), req.id, seq,
+                                       /*include_output=*/true) +
+                        "\n",
+                    false);
+            continue;
+        }
+
         // Admission: the client's own in-flight quota first (reader
         // is the sole incrementer, so check-then-add cannot overrun),
         // then the shared queue bound.
@@ -399,9 +419,15 @@ Supervisor::dispatcherMain()
                              : alpha * resp.stats.wallMs +
                                    (1.0 - alpha) * ewmaWallMs;
         }
+        // Health/stats answers ARE their output; --no-output must
+        // not strip them down to an empty success line.
+        const bool include_output =
+            options.includeOutput ||
+            item.request.verb == Verb::Health ||
+            item.request.verb == Verb::Stats;
         deliver(item.conn, item.seq,
                 responseToJsonLine(resp, item.request.id, item.seq,
-                                   options.includeOutput) +
+                                   include_output) +
                     "\n",
                 true);
     }
@@ -472,6 +498,63 @@ Supervisor::run(const std::string &socket_path)
         }
     };
 
+    // Full teardown, shared by the normal drain and the fatal
+    // accept-loop exits (returning with joinable reader/writer/
+    // dispatcher threads alive would std::terminate): stop accepting,
+    // stop intake everywhere, answer everything admitted, flush every
+    // writer within a bounded grace, and join everything.
+    auto shutdownAll = [&] {
+        ::close(listen_fd);
+        ::unlink(socket_path.c_str());
+        connStop.store(true);
+        for (auto &conn : conns)
+            if (conn->reader.joinable())
+                conn->reader.join();
+        {
+            std::lock_guard<std::mutex> lock(queueMu);
+            stopDispatch = true;
+        }
+        queueCv.notify_all();
+        for (auto &t : dispatchers)
+            t.join();
+        for (auto &conn : conns)
+            conn->cv.notify_all();
+        // Writers with writeTimeoutMs 0 can block forever on a peer
+        // that never reads; past the grace, force the stalled fd shut
+        // so writeAllFd fails and the writer exits (its undelivered
+        // lines are counted as dropped on the way out).
+        const std::uint64_t grace =
+            options.writeTimeoutMs > 0
+                ? options.writeTimeoutMs + kAcceptTickMs
+                : kDrainWriterGraceMs;
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(grace);
+        auto writers_pending = [&] {
+            for (const auto &conn : conns)
+                if (!conn->writerExited.load())
+                    return true;
+            return false;
+        };
+        while (writers_pending() &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        for (auto &conn : conns) {
+            if (conn->writerExited.load())
+                continue;
+            {
+                std::lock_guard<std::mutex> lock(conn->mu);
+                conn->dead = true;
+            }
+            ::shutdown(conn->fd, SHUT_RDWR);
+            conn->cv.notify_all();
+        }
+        reap(true);
+    };
+
+    int last_accept_errno = 0; // rate-limits exhaustion warnings
+
     while (!serveDraining()) {
         struct pollfd pfd = {listen_fd, POLLIN, 0};
         int rc = ::poll(&pfd, 1, kAcceptTickMs);
@@ -481,8 +564,7 @@ Supervisor::run(const std::string &socket_path)
                 continue; // drain flag re-checked above
             Status s(StatusCode::Internal,
                      msg("poll(): ", std::strerror(errno)));
-            ::close(listen_fd);
-            ::unlink(socket_path.c_str());
+            shutdownAll();
             return s;
         }
         if (rc == 0 || !(pfd.revents & POLLIN))
@@ -490,14 +572,28 @@ Supervisor::run(const std::string &socket_path)
         int client = ::accept(listen_fd, nullptr, nullptr);
         if (client < 0) {
             if (errno == EINTR || errno == EAGAIN ||
-                errno == EWOULDBLOCK)
+                errno == EWOULDBLOCK || errno == ECONNABORTED)
+                continue; // transient; ECONNABORTED = peer bailed
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                // Resource exhaustion is load, not a server bug:
+                // keep serving the clients we have and retry after a
+                // tick (reap above frees fds as connections finish).
+                if (errno != last_accept_errno) {
+                    last_accept_errno = errno;
+                    warn(msg("accept(): ", std::strerror(errno),
+                             "; retrying"));
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(kAcceptTickMs));
                 continue;
+            }
             Status s(StatusCode::Internal,
                      msg("accept(): ", std::strerror(errno)));
-            ::close(listen_fd);
-            ::unlink(socket_path.c_str());
+            shutdownAll();
             return s;
         }
+        last_accept_errno = 0;
         ::fcntl(client, F_SETFL,
                 ::fcntl(client, F_GETFL, 0) | O_NONBLOCK);
         auto conn = std::make_shared<Conn>();
@@ -512,24 +608,7 @@ Supervisor::run(const std::string &socket_path)
         conns.push_back(std::move(conn));
     }
 
-    // Drain: stop accepting, stop intake everywhere, answer
-    // everything admitted, flush every writer, and only then return.
-    ::close(listen_fd);
-    ::unlink(socket_path.c_str());
-    connStop.store(true);
-    for (auto &conn : conns)
-        if (conn->reader.joinable())
-            conn->reader.join();
-    {
-        std::lock_guard<std::mutex> lock(queueMu);
-        stopDispatch = true;
-    }
-    queueCv.notify_all();
-    for (auto &t : dispatchers)
-        t.join();
-    for (auto &conn : conns)
-        conn->cv.notify_all();
-    reap(true);
+    shutdownAll();
 
     std::lock_guard<std::mutex> lock(statsMu);
     return totals;

@@ -25,12 +25,18 @@
  * keep being admitted. Misbehaving clients are isolated, never fatal:
  * an oversized line or an idle timeout disconnects that client; a
  * write timeout (slow reader) disconnects that client; everyone else
- * is untouched.
+ * is untouched. The accept loop shrugs off client-induced errno too:
+ * ECONNABORTED is skipped and fd exhaustion (EMFILE/ENFILE) retries
+ * after a tick rather than shutting the daemon down.
  *
  * Draining (requestServeDrain(), typically SIGTERM): the supervisor
  * stops accepting, stops intake on every connection, finishes and
  * answers everything already admitted, counts buffered-but-unread
- * lines as dropped, flushes every writer, and returns.
+ * lines as dropped, flushes every writer within a bounded grace
+ * (a stalled peer is cut off and its undelivered responses counted
+ * as dropped, so drain terminates even with writeTimeoutMs 0), and
+ * returns. Fatal listen-socket errors run the same teardown before
+ * reporting the Status, so no thread is ever left running.
  */
 
 #ifndef GPUMECH_SERVICE_SUPERVISOR_HH

@@ -778,6 +778,35 @@ TEST(Supervisor, HealthReportsSupervisorState)
     server.stop();
 }
 
+TEST(Supervisor, HealthPayloadSurvivesNoOutput)
+{
+    // Health/stats answers ARE their output: --no-output must strip
+    // rendered reports from normal responses but not hollow out the
+    // operational protocol into empty success lines.
+    SupervisorOptions options;
+    options.includeOutput = false;
+    SupervisedServer server(options);
+    SocketClient client;
+    ASSERT_TRUE(client.connectTo(server.path));
+
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"health","id":"h"})"));
+    JsonValue doc;
+    ASSERT_TRUE(client.readJson(doc));
+    const JsonValue *output = doc.find("output");
+    ASSERT_NE(output, nullptr);
+    Result<JsonValue> inner = parseJson(output->string());
+    ASSERT_TRUE(inner.ok()) << output->string();
+    EXPECT_TRUE(inner.value().find("healthy")->boolean());
+
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"list","id":"l"})"));
+    ASSERT_TRUE(client.readJson(doc));
+    EXPECT_TRUE(doc.find("ok")->boolean());
+    EXPECT_EQ(doc.find("output"), nullptr);
+
+    client.disconnect();
+    server.stop();
+}
+
 TEST(Supervisor, DrainAnswersEverythingInFlight)
 {
     SupervisorOptions options;

@@ -15,6 +15,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "collector/input_collector.hh"
 #include "common/isolation.hh"
 #include "common/mmap_file.hh"
@@ -441,8 +443,14 @@ class TraceFormatFiles : public ::testing::Test
     void
     SetUp() override
     {
+        // Unique per test and process: ctest runs each case as its
+        // own process, possibly in parallel, and a shared directory
+        // lets one case's TearDown delete another's files.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
         dir = std::filesystem::temp_directory_path() /
-              "gpumech_gmt_test";
+              (std::string("gpumech_gmt_test_") + info->name() + "_" +
+               std::to_string(::getpid()));
         std::filesystem::create_directories(dir);
     }
 
