@@ -27,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <set>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,9 @@ main(int argc, char **argv)
     JsonWriter json;
     json.field("bench", "ext_fault_injection");
     json.field("seed", seed);
+    json.field("hardware_threads",
+               static_cast<std::uint64_t>(
+                   std::thread::hardware_concurrency()));
 
     HardwareConfig config = HardwareConfig::baseline();
     std::vector<Workload> suite = stressSuite();

@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "gates.hh"
+
 #include "common/args.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -187,6 +189,9 @@ main(int argc, char **argv)
     json.field("suite_gmt_load_ms", gmt_sum);
     json.field("suite_gmt_varint_load_ms", varint_sum);
     json.field("suite_speedup", load_speedup);
+    // Format gate, not a thread-scaling one: binary-over-text load
+    // speed is algorithmic, so it holds at any thread count.
+    json.field("load_speedup_gate", gateVerdict(load_speedup >= 10.0));
     json.endObject();
 
     std::cout << "-- trace load (stress suite, best-of-" << reps

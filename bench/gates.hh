@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Gate-verdict helpers shared by the bench/ext_* writers.
+ *
+ * Every BENCH_*.json records its gates as "pass" / "fail" / "skipped"
+ * strings so downstream tooling never has to re-derive a verdict from
+ * raw numbers. A thread-scaling gate (t4/t8 speedup, multi-client
+ * throughput) is vacuous on a 1-hardware-thread machine: it is
+ * recorded as "skipped", never "pass", so a single-core CI runner
+ * cannot launder a meaningless measurement into a green gate.
+ * Algorithmic gates (drift bounds, format-load speedups) hold at any
+ * thread count and always record pass/fail.
+ */
+
+#pragma once
+
+#include <thread>
+
+namespace gpumech
+{
+
+inline const char *
+gateVerdict(bool pass)
+{
+    return pass ? "pass" : "fail";
+}
+
+/** Verdict for a gate whose claim only holds with real parallelism. */
+inline const char *
+threadScalingGate(bool pass)
+{
+    if (std::thread::hardware_concurrency() <= 1)
+        return "skipped";
+    return gateVerdict(pass);
+}
+
+} // namespace gpumech

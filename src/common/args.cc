@@ -1,6 +1,8 @@
 #include "common/args.hh"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -112,17 +114,28 @@ ArgParser::getPositiveUint(const std::string &name,
     return static_cast<std::uint32_t>(v);
 }
 
-double
+Result<double>
 ArgParser::getDouble(const std::string &name, double fallback) const
 {
     auto it = options.find(name);
     if (it == options.end() || it->second.empty())
         return fallback;
+    const std::string &value = it->second;
+    // strtod skips leading whitespace; a shell-quoted "--bw ' 8'" is
+    // still a malformed value here, matching getPositiveUint.
     char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0')
-        fatal(msg("--", name, " expects a number, got '", it->second,
-                  "'"));
+    double v = std::strtod(value.c_str(), &end);
+    if (std::isspace(static_cast<unsigned char>(value[0])) ||
+        end == nullptr || *end != '\0' || end == value.c_str()) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("--", name, " expects a number, got '",
+                          value, "'"));
+    }
+    if (!std::isfinite(v)) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("--", name, " must be finite, got '", value,
+                          "'"));
+    }
     return v;
 }
 

@@ -61,8 +61,18 @@ class ArgParser
     getPositiveUint(const std::string &name,
                     std::uint32_t fallback) const;
 
-    /** Floating-point value of --name; fatal on non-numeric input. */
-    double getDouble(const std::string &name, double fallback) const;
+    /**
+     * Checked floating-point value of --name. Malformed input returns
+     * StatusCode::InvalidArgument instead of calling fatal() (a bad
+     * numeric option in a served request must produce one error
+     * response, never kill the daemon). Non-finite values are rejected
+     * too: strtod happily parses "nan"/"inf"/"1e999", none of which is
+     * a meaningful rate/bandwidth/constraint and +inf even slips past
+     * HardwareConfig's `value > 0` validation. Absent/valueless
+     * options return @p fallback unchecked.
+     */
+    Result<double> getDouble(const std::string &name,
+                             double fallback) const;
 
   private:
     void parse(const std::vector<std::string> &tokens);

@@ -56,6 +56,7 @@ JsonWriter::openObject()
 {
     out << "{";
     needComma.push_back(false);
+    kinds.push_back('o');
 }
 
 void
@@ -64,6 +65,21 @@ JsonWriter::comma()
     if (needComma.back())
         out << ",";
     needComma.back() = true;
+}
+
+void
+JsonWriter::requireObject(const char *what) const
+{
+    if (kinds.back() != 'o')
+        panic(msg("JsonWriter::", what,
+                  " inside an array (use element writers)"));
+}
+
+void
+JsonWriter::requireArray(const char *what) const
+{
+    if (kinds.back() != 'a')
+        panic(msg("JsonWriter::", what, " outside an open array"));
 }
 
 std::string
@@ -75,6 +91,7 @@ JsonWriter::escape(const std::string &s)
 void
 JsonWriter::beginObject(const std::string &key)
 {
+    requireObject("beginObject");
     comma();
     out << "\"" << escape(key) << "\":";
     openObject();
@@ -85,13 +102,75 @@ JsonWriter::endObject()
 {
     if (needComma.size() <= 1)
         panic("JsonWriter::endObject with no open nested object");
+    if (kinds.back() != 'o')
+        panic("JsonWriter::endObject would close an array");
     out << "}";
     needComma.pop_back();
+    kinds.pop_back();
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    requireObject("beginArray");
+    comma();
+    out << "\"" << escape(key) << "\":[";
+    needComma.push_back(false);
+    kinds.push_back('a');
+}
+
+void
+JsonWriter::endArray()
+{
+    if (needComma.size() <= 1 || kinds.back() != 'a')
+        panic("JsonWriter::endArray with no open array");
+    out << "]";
+    needComma.pop_back();
+    kinds.pop_back();
+}
+
+void
+JsonWriter::beginArrayObject()
+{
+    requireArray("beginArrayObject");
+    comma();
+    openObject();
+}
+
+void
+JsonWriter::element(const std::string &value)
+{
+    requireArray("element");
+    comma();
+    out << "\"" << escape(value) << "\"";
+}
+
+void
+JsonWriter::element(double value)
+{
+    requireArray("element");
+    comma();
+    if (!std::isfinite(value)) {
+        out << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out << buf;
+}
+
+void
+JsonWriter::element(std::uint64_t value)
+{
+    requireArray("element");
+    comma();
+    out << value;
 }
 
 void
 JsonWriter::field(const std::string &key, const std::string &value)
 {
+    requireObject("field");
     comma();
     out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
 }
@@ -105,6 +184,7 @@ JsonWriter::field(const std::string &key, const char *value)
 void
 JsonWriter::field(const std::string &key, double value)
 {
+    requireObject("field");
     comma();
     if (!std::isfinite(value)) {
         out << "\"" << escape(key) << "\":null";
@@ -118,6 +198,7 @@ JsonWriter::field(const std::string &key, double value)
 void
 JsonWriter::field(const std::string &key, std::uint64_t value)
 {
+    requireObject("field");
     comma();
     out << "\"" << escape(key) << "\":" << value;
 }
@@ -125,6 +206,7 @@ JsonWriter::field(const std::string &key, std::uint64_t value)
 void
 JsonWriter::field(const std::string &key, bool value)
 {
+    requireObject("field");
     comma();
     out << "\"" << escape(key) << "\":" << (value ? "true" : "false");
 }

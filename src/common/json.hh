@@ -2,8 +2,9 @@
  * @file
  * Minimal JSON writer for machine-readable CLI output.
  *
- * Writes flat or nested objects of numbers/strings/booleans — enough
- * for result export without pulling in a JSON library. Not a parser.
+ * Writes flat or nested objects and arrays of
+ * numbers/strings/booleans — enough for result export without pulling
+ * in a JSON library. Not a parser.
  */
 
 #ifndef GPUMECH_COMMON_JSON_HH
@@ -38,6 +39,20 @@ class JsonWriter
     /** Close the innermost nested object. */
     void endObject();
 
+    /** Begin an array under @p key. */
+    void beginArray(const std::string &key);
+
+    /** Close the innermost array. */
+    void endArray();
+
+    /** Begin an object element inside the innermost (open) array. */
+    void beginArrayObject();
+
+    // Scalar array elements; same non-finite rule as field(double).
+    void element(const std::string &value);
+    void element(double value);
+    void element(std::uint64_t value);
+
     void field(const std::string &key, const std::string &value);
     void field(const std::string &key, const char *value);
 
@@ -56,10 +71,13 @@ class JsonWriter
   private:
     void openObject();
     void comma();
+    void requireObject(const char *what) const;
+    void requireArray(const char *what) const;
     static std::string escape(const std::string &s);
 
     std::ostringstream out;
     std::vector<bool> needComma; //!< per nesting level
+    std::vector<char> kinds;     //!< per level: 'o' object, 'a' array
     bool finished = false;
 };
 

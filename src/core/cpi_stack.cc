@@ -1,6 +1,7 @@
 #include "core/cpi_stack.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -53,6 +54,49 @@ CpiStack::toLine(int precision) const
            << fmtDouble(cpi[i], precision);
     }
     return os.str();
+}
+
+StackDelta
+stackDelta(const CpiStack &from, const CpiStack &to)
+{
+    StackDelta d;
+    for (std::size_t i = 0; i < numStallTypes; ++i) {
+        d.delta[i] = to.cpi[i] - from.cpi[i];
+        if (d.delta[i] < d.delta[static_cast<int>(d.mostRelieved)])
+            d.mostRelieved = static_cast<StallType>(i);
+    }
+    d.relief = d.delta[static_cast<int>(d.mostRelieved)];
+    d.totalDelta = to.total() - from.total();
+    return d;
+}
+
+std::string
+describeRelief(const StackDelta &delta, int precision)
+{
+    std::ostringstream os;
+    const char *sign = delta.totalDelta < 0.0 ? "-" : "+";
+    if (delta.relief < 0.0) {
+        os << "relieves " << toString(delta.mostRelieved) << " by "
+           << fmtDouble(-delta.relief, precision) << " CPI (total "
+           << sign << fmtDouble(std::abs(delta.totalDelta), precision)
+           << ")";
+    } else {
+        os << "no component relieved (total " << sign
+           << fmtDouble(std::abs(delta.totalDelta), precision)
+           << " CPI)";
+    }
+    return os.str();
+}
+
+StallType
+dominantComponent(const CpiStack &stack)
+{
+    StallType top = StallType::Base;
+    for (std::size_t i = 1; i < numStallTypes; ++i) {
+        if (stack.cpi[i] > stack.cpi[static_cast<int>(top)])
+            top = static_cast<StallType>(i);
+    }
+    return top;
 }
 
 CpiStack

@@ -61,6 +61,47 @@ struct CpiStack
 };
 
 /**
+ * Component-wise difference between two CPI stacks, plus the
+ * attribution the tune mode's explanations are built from: which
+ * component a configuration move relieved the most, and by how much.
+ */
+struct StackDelta
+{
+    /** Per-category CPI change, to - from (negative = relieved). */
+    std::array<double, numStallTypes> delta{};
+
+    /**
+     * Category with the most negative delta (ties break toward the
+     * lowest Table III index, so attribution is deterministic). When
+     * no category decreased, this is the argmin all the same and
+     * relief is >= 0.
+     */
+    StallType mostRelieved = StallType::Base;
+
+    /** delta[mostRelieved]; <= 0 whenever any category was relieved. */
+    double relief = 0.0;
+
+    /** to.total() - from.total(). */
+    double totalDelta = 0.0;
+};
+
+/** Compute the delta/attribution of moving from @p from to @p to. */
+StackDelta stackDelta(const CpiStack &from, const CpiStack &to);
+
+/**
+ * One-phrase attribution, e.g. "relieves QUEUE by 0.412 CPI (total
+ * -0.502)"; when nothing was relieved, "no component relieved (total
+ * +0.120 CPI)".
+ */
+std::string describeRelief(const StackDelta &delta, int precision = 3);
+
+/**
+ * Largest category of a stack (ties break toward the lowest Table III
+ * index) — the residual bottleneck the tune advisor names.
+ */
+StallType dominantComponent(const CpiStack &stack);
+
+/**
  * Build the CPI stack of the representative warp running alone
  * (Section VII first bullet): BASE is 1/issue_rate per instruction;
  * each interval's stall cycles are attributed to DEP or split across

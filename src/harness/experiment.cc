@@ -206,6 +206,11 @@ evaluateKernel(const Workload &workload, const HardwareConfig &config,
             ProfiledKernel pk = mode == SweepMode::Mrc
                 ? cache->mrcProfiler(workload, config, mrc_rate)
                 : cache->profiler(workload, config);
+            if (mode == SweepMode::Mrc) {
+                const CollectorResult &inputs = pk.profiler->inputs();
+                eval.mrcApproximate = inputs.mrcApproximate;
+                eval.mrcApproximation = inputs.mrcApproximation;
+            }
             predictModels(eval, *pk.profiler, config, policy, models);
             return;
         }

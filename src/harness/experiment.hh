@@ -106,6 +106,15 @@ struct KernelEvaluation
     /** Predicted IPC per model. */
     std::map<ModelKind, double> predictedIpc;
 
+    /**
+     * SweepMode::Mrc only: the model inputs were derived from the
+     * reuse-distance profile approximately (sampling, set-associative
+     * conversion, non-LRU policy), with the comma-joined reasons.
+     * Rerun-mode evaluations always leave this false.
+     */
+    bool mrcApproximate = false;
+    std::string mrcApproximation;
+
     bool ok() const { return status.ok(); }
 
     /**

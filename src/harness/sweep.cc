@@ -50,12 +50,15 @@ runSweep(const std::vector<Workload> &workloads,
         std::vector<KernelEvaluation> point_evals(
             evals.begin() + p * workloads.size(),
             evals.begin() + (p + 1) * workloads.size());
+        bool approx = false;
         for (const KernelEvaluation &eval : point_evals) {
             if (!eval.ok()) {
                 result.failures.push_back(SweepFailure{
                     points[p].label, eval.kernel, eval.status});
             }
+            approx = approx || (eval.ok() && eval.mrcApproximate);
         }
+        result.mrcApproximate.push_back(approx);
         for (ModelKind kind : allModels()) {
             result.averages[kind].push_back(
                 averageError(point_evals, kind));
@@ -94,7 +97,17 @@ printSweep(std::ostream &os, const SweepResult &result)
 void
 printSweepCsv(std::ostream &os, const SweepResult &result)
 {
-    sweepTable(result, true).printCsv(os);
+    Table t = sweepTable(result, true);
+    // Machine consumers need the approximation signal in-band. Only
+    // sweeps that actually carried an approximation grow the row:
+    // rerun-mode output stays byte-identical to the historical CSV.
+    if (result.anyMrcApproximate()) {
+        std::vector<std::string> row{"mrc_approx"};
+        for (bool b : result.mrcApproximate)
+            row.push_back(b ? "1" : "0");
+        t.addRow(std::move(row));
+    }
+    t.printCsv(os);
 }
 
 } // namespace gpumech

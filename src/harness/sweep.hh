@@ -58,6 +58,24 @@ struct SweepResult
      */
     std::vector<SweepFailure> failures;
 
+    /**
+     * Per point: true when any kernel's model inputs were
+     * MRC-approximate at that point (SweepMode::Mrc only; rerun
+     * sweeps leave every entry false). printSweepCsv appends an
+     * "mrc_approx" 0/1 row when any entry is set, so machine
+     * consumers of the CSV see the signal the text report prints.
+     */
+    std::vector<bool> mrcApproximate;
+
+    bool anyMrcApproximate() const
+    {
+        for (bool b : mrcApproximate) {
+            if (b)
+                return true;
+        }
+        return false;
+    }
+
     bool complete() const { return failures.empty(); }
 };
 

@@ -300,7 +300,43 @@ handleSweep(EvalSession &session, const Request &req, std::ostream &os)
     }
     os << "\n";
     t.print(os);
-    return Response{};
+    Response resp;
+    if (mrc) {
+        const CollectorResult &inputs = base_pk.profiler->inputs();
+        resp.mrcApproximate = inputs.mrcApproximate;
+        resp.mrcApproximation = inputs.mrcApproximation;
+    }
+    return resp;
+}
+
+Response
+handleTune(EvalSession &session, const Request &req, std::ostream &os)
+{
+    const Workload *w = nullptr;
+    {
+        Result<const Workload *> found = lookupWorkload(req.kernel);
+        if (!found.ok())
+            return fail(found.status());
+        w = found.value();
+    }
+    // The search specification rides in req.tune; scheduling and
+    // threading come from the request-level fields like every other
+    // handler.
+    TuneOptions options = req.tune;
+    options.policy = req.policy;
+    options.modelSfu = req.modelSfu;
+    options.jobs = session.jobsFor(req.jobs);
+
+    Result<TuneResult> run = runTune(session, *w, req.config, options);
+    if (!run.ok())
+        return fail(run.status());
+    const TuneResult &result = run.value();
+    os << tuneResultToJson(result, req.kernel, options) << "\n";
+
+    Response resp;
+    resp.mrcApproximate = result.mrcApproximate;
+    resp.mrcApproximation = result.mrcApproximation;
+    return resp;
 }
 
 Response
@@ -632,6 +668,7 @@ EngineSession::dispatch(const Request &req)
       case Verb::Model:
       case Verb::Simulate:
       case Verb::Sweep:
+      case Verb::Tune:
       case Verb::Stack:
         if (req.verb == Verb::Model)
             resp = handleModel(eval, req, os);
@@ -639,6 +676,8 @@ EngineSession::dispatch(const Request &req)
             resp = handleSimulate(eval, req, os);
         else if (req.verb == Verb::Sweep)
             resp = handleSweep(eval, req, os);
+        else if (req.verb == Verb::Tune)
+            resp = handleTune(eval, req, os);
         else
             resp = handleStack(eval, req, os);
         resp.stats.kernels = 1;

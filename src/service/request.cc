@@ -19,6 +19,7 @@ toString(Verb verb)
       case Verb::Simulate: return "simulate";
       case Verb::Compare: return "compare";
       case Verb::Sweep: return "sweep";
+      case Verb::Tune: return "tune";
       case Verb::Stack: return "stack";
       case Verb::DumpTrace: return "dump-trace";
       case Verb::Pack: return "pack";
@@ -41,6 +42,7 @@ verbFromString(const std::string &name)
         {"simulate", Verb::Simulate},
         {"compare", Verb::Compare},
         {"sweep", Verb::Sweep},
+        {"tune", Verb::Tune},
         {"stack", Verb::Stack},
         {"dump-trace", Verb::DumpTrace},
         {"pack", Verb::Pack},
@@ -162,6 +164,67 @@ usageError(const std::string &usage)
     return Status(StatusCode::InvalidArgument, usage);
 }
 
+/** Tune dimension names ("--dims" / "dims"), ladders left default. */
+Result<std::vector<TuneDimension>>
+tuneDimsFromString(const std::string &names)
+{
+    std::vector<TuneDimension> dims;
+    for (const std::string &name : split(names, ',')) {
+        if (!isTuneDimension(name)) {
+            return Status(StatusCode::InvalidArgument,
+                          msg("unknown tune dimension '", name,
+                              "' (use ", tuneDimensionNames(), ")"));
+        }
+        TuneDimension dim;
+        dim.name = name;
+        dims.push_back(std::move(dim));
+    }
+    if (dims.empty()) {
+        return Status(StatusCode::InvalidArgument,
+                      "tune needs at least one dimension");
+    }
+    return dims;
+}
+
+/** "--cost-weights dim=w,..." / "cost_weights" values, merged in. */
+Status
+applyCostWeight(TuneCostModel &cost, const std::string &name, double w)
+{
+    if (!isTuneDimension(name)) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("cost weight names an unknown dimension '",
+                          name, "' (use ", tuneDimensionNames(), ")"));
+    }
+    if (!std::isfinite(w) || w < 0.0) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("cost weight for '", name,
+                          "' must be finite and >= 0, got ", w));
+    }
+    cost.weights[name] = w;
+    return Status();
+}
+
+Result<TuneObjective>
+tuneObjectiveFromString(const std::string &text)
+{
+    TuneObjective objective = TuneObjective::MinCpi;
+    if (!parseTuneObjective(text, objective)) {
+        return Status(StatusCode::InvalidArgument,
+                      msg("unknown objective '", text,
+                          "' (use cpi or cpi-cost)"));
+    }
+    return objective;
+}
+
+Status
+checkTuneBound(const char *name, double bound)
+{
+    if (std::isfinite(bound) && bound >= 0.0)
+        return Status();
+    return Status(StatusCode::InvalidArgument,
+                  msg(name, " must be finite and >= 0, got ", bound));
+}
+
 } // namespace
 
 Result<std::shared_ptr<FaultPlan>>
@@ -234,8 +297,9 @@ requestFromArgs(const ArgParser &args)
     GPUMECH_ASSIGN_OR_RETURN(
         req.config.sfuLanes,
         args.getPositiveUint("sfu-lanes", req.config.sfuLanes));
-    req.config.dramBandwidthGBs =
-        args.getDouble("bw", req.config.dramBandwidthGBs);
+    GPUMECH_ASSIGN_OR_RETURN(
+        req.config.dramBandwidthGBs,
+        args.getDouble("bw", req.config.dramBandwidthGBs));
     GPUMECH_TRY(req.config.validate());
 
     GPUMECH_ASSIGN_OR_RETURN(req.policy,
@@ -300,8 +364,73 @@ requestFromArgs(const ArgParser &args)
         GPUMECH_ASSIGN_OR_RETURN(
             req.sweepMode,
             sweepModeFromString(args.get("sweep-mode", "rerun")));
-        req.mrcRate = args.getDouble("mrc-rate", 1.0);
+        GPUMECH_ASSIGN_OR_RETURN(req.mrcRate,
+                                 args.getDouble("mrc-rate", 1.0));
         GPUMECH_TRY(checkMrcRate(req.mrcRate));
+        break;
+      }
+      case Verb::Tune: {
+        req.kernel = args.positional(1);
+        if (req.kernel.empty()) {
+            return usageError(
+                "usage: gpumech tune <kernel> [--dims d1,d2,...] "
+                "[--<dim>-values a,b,c] [--objective cpi|cpi-cost] "
+                "[--restarts n] [--seed s] [--max-cost c] "
+                "[--max-cpi c] [--cost-weights dim=w,...] "
+                "[--sweep-mode mrc|rerun] [--mrc-rate r] "
+                "[--allow-approx]");
+        }
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.tune.dims,
+            tuneDimsFromString(args.get("dims", "mshrs,bw,l1-kb,l2-kb")));
+        for (TuneDimension &dim : req.tune.dims) {
+            std::string values = args.get(dim.name + "-values", "");
+            if (!values.empty()) {
+                GPUMECH_ASSIGN_OR_RETURN(dim.values,
+                                         sweepValuesFromString(values));
+            }
+        }
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.tune.objective,
+            tuneObjectiveFromString(args.get("objective", "cpi")));
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.tune.restarts,
+            args.getPositiveUint("restarts", req.tune.restarts));
+        std::uint32_t seed = 1;
+        GPUMECH_ASSIGN_OR_RETURN(seed, args.getPositiveUint("seed", 1));
+        req.tune.seed = seed;
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.constraints.maxCost,
+                                 args.getDouble("max-cost", 0.0));
+        GPUMECH_TRY(checkTuneBound("--max-cost",
+                                   req.tune.constraints.maxCost));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.constraints.maxCpi,
+                                 args.getDouble("max-cpi", 0.0));
+        GPUMECH_TRY(checkTuneBound("--max-cpi",
+                                   req.tune.constraints.maxCpi));
+        for (const std::string &pair :
+             split(args.get("cost-weights", ""), ',')) {
+            auto eq = pair.find('=');
+            char *end = nullptr;
+            double w = eq == std::string::npos
+                           ? 0.0
+                           : std::strtod(pair.c_str() + eq + 1, &end);
+            if (eq == std::string::npos || eq == 0 || end == nullptr ||
+                *end != '\0' || pair.c_str() + eq + 1 == end) {
+                return Status(StatusCode::InvalidArgument,
+                              msg("bad cost weight '", pair,
+                                  "' (use dim=weight)"));
+            }
+            GPUMECH_TRY(applyCostWeight(req.tune.cost,
+                                        pair.substr(0, eq), w));
+        }
+        req.tune.allowApprox = args.has("allow-approx");
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.tune.mode,
+            sweepModeFromString(args.get("sweep-mode", "mrc")));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.mrcRate,
+                                 args.getDouble("mrc-rate", 1.0));
+        if (req.tune.mode == SweepMode::Mrc)
+            GPUMECH_TRY(checkMrcRate(req.tune.mrcRate));
         break;
       }
       case Verb::DumpTrace:
@@ -507,12 +636,113 @@ requestFromJson(const std::string &line)
         GPUMECH_TRY(checkMrcRate(req.mrcRate));
     }
 
+    if (req.verb == Verb::Tune) {
+        if (const JsonValue *dims = doc.find("dims")) {
+            if (!dims->isArray()) {
+                return Status(StatusCode::InvalidArgument,
+                              "field 'dims' must be an array of "
+                              "names or {name, values} objects");
+            }
+            for (const JsonValue &d : dims->items()) {
+                TuneDimension dim;
+                if (d.isString()) {
+                    dim.name = d.string();
+                } else if (d.isObject()) {
+                    GPUMECH_ASSIGN_OR_RETURN(dim.name,
+                                             d.getString("name"));
+                    if (const JsonValue *values = d.find("values")) {
+                        if (!values->isArray()) {
+                            return Status(
+                                StatusCode::InvalidArgument,
+                                msg("dimension '", dim.name,
+                                    "' \"values\" must be an array "
+                                    "of numbers"));
+                        }
+                        for (const JsonValue &v : values->items()) {
+                            if (!v.isNumber()) {
+                                return Status(
+                                    StatusCode::InvalidArgument,
+                                    msg("dimension '", dim.name,
+                                        "' \"values\" must be an "
+                                        "array of numbers"));
+                            }
+                            dim.values.push_back(v.number());
+                        }
+                    }
+                } else {
+                    return Status(StatusCode::InvalidArgument,
+                                  "field 'dims' must be an array of "
+                                  "names or {name, values} objects");
+                }
+                if (!isTuneDimension(dim.name)) {
+                    return Status(StatusCode::InvalidArgument,
+                                  msg("unknown tune dimension '",
+                                      dim.name, "' (use ",
+                                      tuneDimensionNames(), ")"));
+                }
+                req.tune.dims.push_back(std::move(dim));
+            }
+        }
+        if (req.tune.dims.empty()) {
+            GPUMECH_ASSIGN_OR_RETURN(
+                req.tune.dims,
+                tuneDimsFromString("mshrs,bw,l1-kb,l2-kb"));
+        }
+        std::string objective;
+        GPUMECH_ASSIGN_OR_RETURN(objective,
+                                 doc.getString("objective", "cpi"));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.objective,
+                                 tuneObjectiveFromString(objective));
+        GPUMECH_ASSIGN_OR_RETURN(
+            req.tune.restarts,
+            getPositiveCount(doc, "restarts", req.tune.restarts));
+        std::uint32_t seed = 1;
+        GPUMECH_ASSIGN_OR_RETURN(seed, getPositiveCount(doc, "seed", 1));
+        req.tune.seed = seed;
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.constraints.maxCost,
+                                 doc.getNumber("max_cost", 0.0));
+        GPUMECH_TRY(checkTuneBound("field 'max_cost'",
+                                   req.tune.constraints.maxCost));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.constraints.maxCpi,
+                                 doc.getNumber("max_cpi", 0.0));
+        GPUMECH_TRY(checkTuneBound("field 'max_cpi'",
+                                   req.tune.constraints.maxCpi));
+        if (const JsonValue *weights = doc.find("cost_weights")) {
+            if (!weights->isObject()) {
+                return Status(StatusCode::InvalidArgument,
+                              "field 'cost_weights' must be an "
+                              "object of dim: weight");
+            }
+            for (const auto &member : weights->members()) {
+                if (!member.second.isNumber()) {
+                    return Status(StatusCode::InvalidArgument,
+                                  msg("cost weight '", member.first,
+                                      "' must be a number"));
+                }
+                GPUMECH_TRY(applyCostWeight(req.tune.cost, member.first,
+                                            member.second.number()));
+            }
+        }
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.allowApprox,
+                                 doc.getBool("allow_approx", false));
+        std::string mode;
+        GPUMECH_ASSIGN_OR_RETURN(mode,
+                                 doc.getString("sweep_mode", "mrc"));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.mode,
+                                 sweepModeFromString(mode));
+        GPUMECH_ASSIGN_OR_RETURN(req.tune.mrcRate,
+                                 doc.getNumber("mrc_rate", 1.0));
+        if (req.tune.mode == SweepMode::Mrc)
+            GPUMECH_TRY(checkMrcRate(req.tune.mrcRate));
+    }
+
     // Target presence, mirroring requestFromArgs.
     switch (req.verb) {
       case Verb::Model:
       case Verb::Simulate:
       case Verb::Compare:
       case Verb::Sweep:
+      case Verb::Tune:
       case Verb::Stack:
         if (req.kernel.empty()) {
             return Status(StatusCode::InvalidArgument,
@@ -588,6 +818,10 @@ responseToJsonLine(const Response &response, const std::string &id,
     json.field("profiler_misses", response.stats.profilerMisses);
     json.endObject();
     json.field("wall_ms", response.stats.wallMs);
+    if (response.mrcApproximate) {
+        json.field("mrc_approximate", true);
+        json.field("mrc_approximation", response.mrcApproximation);
+    }
     if (!response.metricsJson.empty())
         json.field("metrics", response.metricsJson);
     if (include_output)

@@ -34,6 +34,7 @@
 #include "common/status.hh"
 #include "core/gpumech.hh"
 #include "harness/experiment.hh"
+#include "harness/tune.hh"
 
 namespace gpumech
 {
@@ -46,6 +47,7 @@ enum class Verb
     Simulate,   //!< detailed timing simulation for one kernel
     Compare,    //!< all five models vs the oracle for one kernel
     Sweep,      //!< sweep one hardware parameter for one kernel
+    Tune,       //!< guided design-space search for one kernel
     Stack,      //!< CPI stacks across warp counts for one kernel
     DumpTrace,  //!< write a kernel's trace to disk
     Pack,       //!< convert a trace file to binary .gmt
@@ -106,6 +108,12 @@ struct Request
 
     /** Sweep: SHARDS sampling rate in (0, 1] for SweepMode::Mrc. */
     double mrcRate = 1.0;
+
+    /**
+     * Tune (Verb::Tune): the search specification. The handler fills
+     * policy/modelSfu/jobs from the request-level fields.
+     */
+    TuneOptions tune;
 
     /** Worker threads for fan-out; 0 = session default. */
     unsigned jobs = 0;
@@ -168,6 +176,16 @@ struct Response
      * when the request asked for one; empty otherwise.
      */
     std::string metricsJson;
+
+    /**
+     * MRC fast-path approximation surface (sweep / tune): set when
+     * the request's collector inputs were derived approximately, with
+     * the comma-joined reasons. Rendered as "mrc_approximate" /
+     * "mrc_approximation" in the JSON response line, so machine
+     * consumers see the signal the text report prints.
+     */
+    bool mrcApproximate = false;
+    std::string mrcApproximation;
 
     ResponseStats stats;
 

@@ -32,7 +32,9 @@ TEST(Args, KeyValueWithSpace)
 TEST(Args, KeyValueWithEquals)
 {
     ArgParser a({"--bw=96.5"});
-    EXPECT_DOUBLE_EQ(a.getDouble("bw", 0.0), 96.5);
+    auto bw = a.getDouble("bw", 0.0);
+    ASSERT_TRUE(bw.ok());
+    EXPECT_DOUBLE_EQ(bw.value(), 96.5);
 }
 
 TEST(Args, BareFlagBeforeAnotherOption)
@@ -66,7 +68,9 @@ TEST(Args, DefaultsWhenAbsent)
     ArgParser a({});
     EXPECT_FALSE(a.has("warps"));
     EXPECT_EQ(a.getUint("warps", 32), 32u);
-    EXPECT_DOUBLE_EQ(a.getDouble("bw", 192.0), 192.0);
+    auto bw = a.getDouble("bw", 192.0);
+    ASSERT_TRUE(bw.ok());
+    EXPECT_DOUBLE_EQ(bw.value(), 192.0);
     EXPECT_EQ(a.get("policy", "rr"), "rr");
 }
 
@@ -115,6 +119,42 @@ TEST(ArgsDeath, NonNumericValueIsFatal)
     EXPECT_DEATH(
         { [[maybe_unused]] auto v = a.getUint("warps", 0); },
         "expects an integer");
+}
+
+TEST(Args, GetDoubleAcceptsNumbersAndFallsBack)
+{
+    ArgParser a({"--bw", "256", "--mrc-rate=0.5"});
+    auto bw = a.getDouble("bw", 0.0);
+    ASSERT_TRUE(bw.ok());
+    EXPECT_DOUBLE_EQ(bw.value(), 256.0);
+    auto rate = a.getDouble("mrc-rate", 1.0);
+    ASSERT_TRUE(rate.ok());
+    EXPECT_DOUBLE_EQ(rate.value(), 0.5);
+    auto absent = a.getDouble("max-cost", 7.25);
+    ASSERT_TRUE(absent.ok());
+    EXPECT_DOUBLE_EQ(absent.value(), 7.25);
+}
+
+TEST(Args, GetDoubleRejectsJunkAndNonFinite)
+{
+    // The old getDouble called fatal() on junk — one bad "--bw fast"
+    // killed the whole daemon — and silently accepted inf/nan, which
+    // slip past HardwareConfig's "> 0" validation. All of these must
+    // come back as InvalidArgument now.
+    for (const char *bad : {"fast", "12x", "", " 8", "nan", "NaN",
+                            "inf", "-inf", "infinity", "1e999"}) {
+        ArgParser a({"--bw", bad});
+        auto r = a.getDouble("bw", 1.0);
+        if (std::string(bad).empty()) {
+            // Valueless option: fallback, same as getUint/get.
+            ASSERT_TRUE(r.ok());
+            continue;
+        }
+        EXPECT_FALSE(r.ok()) << "accepted --bw " << bad;
+        EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+        EXPECT_NE(r.status().message().find("--bw"), std::string::npos)
+            << r.status().message();
+    }
 }
 
 } // namespace

@@ -35,6 +35,71 @@ TEST(CpiStack, CategoryNamesMatchTableIII)
     EXPECT_EQ(toString(StallType::Queue), "QUEUE");
 }
 
+TEST(StackDelta, AttributesTheMostRelievedComponent)
+{
+    CpiStack from, to;
+    from[StallType::Base] = 1.0;
+    from[StallType::Mshr] = 2.0;
+    from[StallType::Queue] = 0.8;
+    to[StallType::Base] = 1.0;
+    to[StallType::Mshr] = 0.5;  // -1.5: the big winner
+    to[StallType::Queue] = 1.0; // +0.2: got worse
+
+    StackDelta d = stackDelta(from, to);
+    EXPECT_EQ(d.mostRelieved, StallType::Mshr);
+    EXPECT_DOUBLE_EQ(d.relief, -1.5);
+    EXPECT_DOUBLE_EQ(d.totalDelta, -1.3);
+    EXPECT_DOUBLE_EQ(d.delta[static_cast<int>(StallType::Queue)], 0.2);
+    EXPECT_DOUBLE_EQ(d.delta[static_cast<int>(StallType::Base)], 0.0);
+}
+
+TEST(StackDelta, TiesBreakTowardTheLowestIndex)
+{
+    CpiStack from, to;
+    from[StallType::Dep] = 1.0;  // index 1
+    from[StallType::Dram] = 1.0; // index 4
+    // Both drop by exactly 1.0: DEP (lower index) must win, so the
+    // attribution is deterministic.
+    StackDelta d = stackDelta(from, to);
+    EXPECT_EQ(d.mostRelieved, StallType::Dep);
+    EXPECT_DOUBLE_EQ(d.relief, -1.0);
+}
+
+TEST(StackDelta, DescribeReliefCoversBothDirections)
+{
+    CpiStack from, to;
+    from[StallType::Queue] = 1.0;
+    to[StallType::Queue] = 0.588;
+    StackDelta relieved = stackDelta(from, to);
+    EXPECT_EQ(describeRelief(relieved),
+              "relieves QUEUE by 0.412 CPI (total -0.412)");
+
+    // A pure regression relieves nothing.
+    StackDelta worse = stackDelta(to, from);
+    EXPECT_EQ(describeRelief(worse),
+              "no component relieved (total +0.412 CPI)");
+
+    // No change at all still reads as "no component relieved".
+    StackDelta flat = stackDelta(from, from);
+    EXPECT_EQ(describeRelief(flat),
+              "no component relieved (total +0.000 CPI)");
+}
+
+TEST(StackDelta, DominantComponentIsTheArgmax)
+{
+    CpiStack s;
+    s[StallType::Base] = 1.0;
+    s[StallType::Dram] = 2.5;
+    s[StallType::Queue] = 2.0;
+    EXPECT_EQ(dominantComponent(s), StallType::Dram);
+
+    // Ties break toward the lowest index (BASE before DRAM).
+    CpiStack tied;
+    tied[StallType::Base] = 2.5;
+    tied[StallType::Dram] = 2.5;
+    EXPECT_EQ(dominantComponent(tied), StallType::Base);
+}
+
 TEST(CpiStack, TotalSumsCategories)
 {
     CpiStack s;

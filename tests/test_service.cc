@@ -112,6 +112,63 @@ TEST(RequestFromArgs, RejectsBadEnumsAndSpecs)
     EXPECT_EQ(argsCode({"model"}), StatusCode::InvalidArgument);
 }
 
+TEST(RequestFromArgs, MalformedNumericOptionsAreInvalidArgument)
+{
+    // The old getDouble called fatal() on junk: one "--bw fast" took
+    // the whole process down. Every numeric option must now come back
+    // as a parse error the front-end owns.
+    EXPECT_EQ(argsCode({"model", "vectorAdd", "--bw", "fast"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"model", "vectorAdd", "--bw", "inf"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"model", "vectorAdd", "--bw", "nan"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"sweep", "vectorAdd", "--mrc-rate", "lots",
+                        "--sweep-mode", "mrc"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--max-cost", "cheap"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--max-cpi", "-1"}),
+              StatusCode::InvalidArgument);
+}
+
+TEST(RequestFromArgs, ParsesTune)
+{
+    Request req = mustParseArgs(
+        {"tune", "vectorAdd", "--dims", "mshrs,bw",
+         "--mshrs-values", "16,32,64", "--objective", "cpi-cost",
+         "--restarts", "2", "--seed", "7", "--max-cost", "3.5",
+         "--cost-weights", "mshrs=0.2,bw=1", "--allow-approx"});
+    EXPECT_EQ(req.verb, Verb::Tune);
+    EXPECT_EQ(req.kernel, "vectorAdd");
+    ASSERT_EQ(req.tune.dims.size(), 2u);
+    EXPECT_EQ(req.tune.dims[0].name, "mshrs");
+    EXPECT_EQ(req.tune.dims[0].values,
+              (std::vector<double>{16, 32, 64}));
+    EXPECT_EQ(req.tune.dims[1].name, "bw");
+    EXPECT_TRUE(req.tune.dims[1].values.empty()); // default ladder
+    EXPECT_EQ(req.tune.objective, TuneObjective::MinCpiCost);
+    EXPECT_EQ(req.tune.restarts, 2u);
+    EXPECT_EQ(req.tune.seed, 7u);
+    EXPECT_DOUBLE_EQ(req.tune.constraints.maxCost, 3.5);
+    EXPECT_DOUBLE_EQ(req.tune.cost.weights.at("mshrs"), 0.2);
+    EXPECT_DOUBLE_EQ(req.tune.cost.weights.at("bw"), 1.0);
+    EXPECT_TRUE(req.tune.allowApprox);
+    EXPECT_EQ(req.tune.mode, SweepMode::Mrc); // the default
+
+    EXPECT_EQ(argsCode({"tune"}), StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--dims", "voltage"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--objective", "best"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--cost-weights",
+                        "mshrs"}),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(argsCode({"tune", "vectorAdd", "--cost-weights",
+                        "mshrs=-1"}),
+              StatusCode::InvalidArgument);
+}
+
 TEST(RequestFromArgs, SuiteAliasAndIsolation)
 {
     Request req = mustParseArgs({"--suite", "micro",
@@ -175,6 +232,49 @@ TEST(RequestFromJson, RejectsBadRequests)
               StatusCode::InvalidArgument);
     EXPECT_EQ(jsonCode(R"({"cmd":"sweep","kernel":"k","values":["x"]})"),
               StatusCode::InvalidArgument);
+}
+
+TEST(RequestFromJson, ParsesTune)
+{
+    Result<Request> r = requestFromJson(
+        R"({"cmd":"tune","kernel":"vectorAdd",)"
+        R"("dims":["mshrs",{"name":"bw","values":[96,192]}],)"
+        R"("objective":"cpi-cost","restarts":3,"seed":9,)"
+        R"("max_cost":4,"cost_weights":{"bw":0.75},)"
+        R"("allow_approx":true,"sweep_mode":"rerun"})");
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const Request &req = r.value();
+    EXPECT_EQ(req.verb, Verb::Tune);
+    ASSERT_EQ(req.tune.dims.size(), 2u);
+    EXPECT_EQ(req.tune.dims[0].name, "mshrs");
+    EXPECT_TRUE(req.tune.dims[0].values.empty());
+    EXPECT_EQ(req.tune.dims[1].name, "bw");
+    EXPECT_EQ(req.tune.dims[1].values, (std::vector<double>{96, 192}));
+    EXPECT_EQ(req.tune.objective, TuneObjective::MinCpiCost);
+    EXPECT_EQ(req.tune.restarts, 3u);
+    EXPECT_EQ(req.tune.seed, 9u);
+    EXPECT_DOUBLE_EQ(req.tune.constraints.maxCost, 4.0);
+    EXPECT_DOUBLE_EQ(req.tune.cost.weights.at("bw"), 0.75);
+    EXPECT_TRUE(req.tune.allowApprox);
+    EXPECT_EQ(req.tune.mode, SweepMode::Rerun);
+
+    // Defaults: dims filled, mrc mode.
+    Result<Request> d =
+        requestFromJson(R"({"cmd":"tune","kernel":"vectorAdd"})");
+    ASSERT_TRUE(d.ok()) << d.status().toString();
+    EXPECT_EQ(d.value().tune.dims.size(), 4u);
+    EXPECT_EQ(d.value().tune.mode, SweepMode::Mrc);
+
+    EXPECT_EQ(jsonCode(R"({"cmd":"tune"})"),
+              StatusCode::InvalidArgument); // no kernel
+    EXPECT_EQ(jsonCode(R"({"cmd":"tune","kernel":"k","dims":["x"]})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"tune","kernel":"k",)"
+                       R"("cost_weights":{"mshrs":"heavy"}})"),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(jsonCode(R"({"cmd":"tune","kernel":"k",)"
+                       R"("mrc_rate":1e999})"),
+              StatusCode::InvalidArgument); // inf rate
 }
 
 TEST(ResponseToJsonLine, RoundTripsThroughParser)
@@ -362,6 +462,45 @@ TEST(ServeLoop, AnswersEveryLineInOrder)
     // The warm model request reused the first one's artifacts.
     EXPECT_EQ(engine.session().cache.profilerMisses(), 1u);
     EXPECT_GE(engine.session().cache.profilerHits(), 1u);
+}
+
+TEST(ServeLoop, MalformedNumericsDoNotKillTheDaemon)
+{
+    // Regression: bad numeric fields used to reach fatal() via the
+    // unchecked getDouble, killing the whole serving process. Each of
+    // these must answer one error line and the loop must keep serving
+    // — the trailing ping proves the daemon survived.
+    resetServeDrain();
+    EngineSession engine;
+    std::istringstream in(
+        R"({"cmd":"model","kernel":"micro_stream",)"
+        R"("config":{"bw":-5},"id":"a"})" "\n"
+        R"({"cmd":"sweep","kernel":"micro_stream",)"
+        R"("sweep_mode":"mrc","mrc_rate":1e999,"id":"b"})" "\n"
+        R"({"cmd":"tune","kernel":"micro_stream",)"
+        R"("max_cost":-2,"id":"c"})" "\n"
+        R"({"cmd":"ping","id":"d"})" "\n");
+    std::ostringstream out;
+    ServeOptions options;
+    options.maxBatch = 1;
+    ServeSummary summary = serveLines(engine, in, out, options);
+
+    EXPECT_EQ(summary.received, 4u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::map<std::string, bool> ok_by_id;
+    while (std::getline(lines, line)) {
+        Result<JsonValue> doc = parseJson(line);
+        ASSERT_TRUE(doc.ok()) << line;
+        ok_by_id[doc.value().find("id")->string()] =
+            doc.value().find("ok")->boolean();
+    }
+    ASSERT_EQ(ok_by_id.size(), 4u);
+    EXPECT_FALSE(ok_by_id["a"]);
+    EXPECT_FALSE(ok_by_id["b"]);
+    EXPECT_FALSE(ok_by_id["c"]);
+    EXPECT_TRUE(ok_by_id["d"]); // still alive
 }
 
 TEST(ServeLoop, ShedsWhenQueueIsFull)

@@ -1,0 +1,50 @@
+# Run `gpumech tune` on a small declared space and validate that the
+# emitted report is well-formed JSON, using `python3 -m json.tool` as
+# an independent parser. Invoked by the cli_tune_smoke ctest entry
+# (see CMakeLists.txt):
+#
+#   cmake -DGPUMECH_BIN=<path> -DPYTHON3=<path> -DWORK_DIR=<dir>
+#         -P cli_tune_smoke.cmake
+#
+# Beyond parsing, this pins the report's declared shape: a baseline,
+# a best point, a non-empty Pareto frontier, and a bottleneck advisor
+# must all be present, and the run must exit 0.
+
+if(NOT DEFINED GPUMECH_BIN OR NOT DEFINED PYTHON3 OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "GPUMECH_BIN, PYTHON3 and WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(report_json ${WORK_DIR}/tune_report.json)
+
+execute_process(
+    COMMAND ${GPUMECH_BIN} tune vectorAdd --warps 4 --cores 2
+            --dims mshrs,bw --mshrs-values 16,32,64
+            --bw-values 96,192 --restarts 2 --seed 1 --jobs 2
+    RESULT_VARIABLE run_code
+    OUTPUT_FILE ${report_json}
+    ERROR_VARIABLE run_errors)
+if(NOT run_code EQUAL 0)
+    message(FATAL_ERROR
+        "gpumech tune vectorAdd exited ${run_code}\nstderr:\n"
+        "${run_errors}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON3} -m json.tool ${report_json}
+    RESULT_VARIABLE json_code
+    OUTPUT_QUIET
+    ERROR_VARIABLE json_errors)
+if(NOT json_code EQUAL 0)
+    message(FATAL_ERROR
+        "${report_json} is not valid JSON:\n${json_errors}")
+endif()
+
+file(READ ${report_json} report)
+foreach(required "\"baseline\"" "\"best\"" "\"frontier\"" "\"advisor\""
+                 "\"explanation\"" "\"space_size\"" "\"evaluations\"")
+    if(NOT report MATCHES "${required}")
+        message(FATAL_ERROR
+            "tune report is missing ${required}:\n${report}")
+    endif()
+endforeach()

@@ -16,6 +16,7 @@
  *   gpumech simulate <kernel>          detailed timing simulation
  *   gpumech compare <kernel>           all five models vs the oracle
  *   gpumech sweep <kernel>             sweep one hardware parameter
+ *   gpumech tune <kernel>              guided design-space search
  *   gpumech stack <kernel>             CPI stacks across warp counts
  *   gpumech dump-trace <kernel> <file> write the kernel trace to disk
  *   gpumech pack <in> <out.gmt>        convert a trace to binary .gmt
@@ -89,6 +90,19 @@ usage()
         "                            |l1-kb|l2-kb --values a,b,c\n"
         "                            [--sweep-mode rerun|mrc]\n"
         "                            [--mrc-rate r] [--oracle])\n"
+        "  tune <kernel>            guided design-space search (JSON\n"
+        "                           report: best point, Pareto\n"
+        "                           frontier, CPI-stack explanations,\n"
+        "                           bottleneck advisor)\n"
+        "                           ([--dims d1,d2,...] over cores,\n"
+        "                            warps, mshrs, bw, l1-kb, l2-kb,\n"
+        "                            scheduler; [--<dim>-values a,b,c]\n"
+        "                            [--objective cpi|cpi-cost]\n"
+        "                            [--restarts n] [--seed s]\n"
+        "                            [--max-cost c] [--max-cpi c]\n"
+        "                            [--cost-weights dim=w,...]\n"
+        "                            [--sweep-mode mrc|rerun]\n"
+        "                            [--mrc-rate r] [--allow-approx])\n"
         "  stack <kernel>           CPI stacks across warp counts\n"
         "  dump-trace <kernel> <f>  write the kernel trace to a file\n"
         "                           (binary .gmt when f ends in .gmt,\n"
